@@ -1,0 +1,115 @@
+// Experiment A2 — sparse edge_map output deduplication strategies.
+//
+// Ligra offers two ways to keep the sparse output frontier duplicate-free:
+//   (a) CAS-guarded update functions that return true at most once per
+//       target (what BFS/CC/BF do), with dedup off; or
+//   (b) unconditional updates plus the remove_duplicates pass (an O(n)
+//       scratch array + one CAS per produced slot).
+// This bench isolates the cost of (b) over (a) with a frontier-spreading
+// workload where both are correct — the design-choice note in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/inputs.h"
+#include "ligra/edge_map.h"
+#include "parallel/atomics.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+
+namespace {
+
+// (a) CAS-guarded: claims a target once.
+struct guarded_f {
+  uint8_t* visited;
+  bool update(vertex_id, vertex_id v) const {
+    if (!visited[v]) {
+      visited[v] = 1;
+      return true;
+    }
+    return false;
+  }
+  bool update_atomic(vertex_id, vertex_id v) const {
+    return compare_and_swap(&visited[v], uint8_t{0}, uint8_t{1});
+  }
+  bool cond(vertex_id v) const { return atomic_load(&visited[v]) == 0; }
+};
+
+// (b) unconditional: marks but always returns true; relies on dedup.
+struct unguarded_f {
+  uint8_t* visited;
+  bool update(vertex_id, vertex_id v) const {
+    visited[v] = 1;
+    return true;
+  }
+  bool update_atomic(vertex_id, vertex_id v) const {
+    atomic_store(&visited[v], uint8_t{1});
+    return true;
+  }
+  bool cond(vertex_id v) const { return atomic_load(&visited[v]) == 0; }
+};
+
+// Runs a full sparse-only traversal cascade from vertex 0.
+template <class F>
+size_t run_cascade(const graph& g, bool remove_duplicates) {
+  std::vector<uint8_t> visited(g.num_vertices(), 0);
+  visited[0] = 1;
+  vertex_subset frontier(g.num_vertices(), vertex_id{0});
+  edge_map_options opts;
+  opts.strategy = traversal::sparse;
+  opts.remove_duplicates = remove_duplicates;
+  size_t total = 1;
+  while (!frontier.empty()) {
+    frontier = edge_map(g, frontier, F{visited.data()}, opts);
+    total += frontier.size();
+  }
+  return total;
+}
+
+void print_ablation() {
+  std::printf("\n=== A2: sparse-output dedup — CAS-guard vs remove_duplicates "
+              "(BFS-like cascade, seconds) ===\n");
+  table_printer t({"Input", "CAS-guarded", "remove_duplicates",
+                   "dedup overhead"});
+  for (const auto& in : bench::table1_inputs()) {
+    double a = time_best_of(
+        2, [&] { run_cascade<guarded_f>(in.g, /*remove_duplicates=*/false); });
+    double b = time_best_of(2, [&] {
+      run_cascade<unguarded_f>(in.g, /*remove_duplicates=*/true);
+    });
+    // Sanity: both reach the same vertex count.
+    size_t ra = run_cascade<guarded_f>(in.g, false);
+    size_t rb = run_cascade<unguarded_f>(in.g, true);
+    if (ra != rb) std::printf("!! reach mismatch on %s\n", in.name.c_str());
+    t.add_row({in.name, format_double(a, 3), format_double(b, 3),
+               format_double(b / a, 2) + "x"});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void BM_Cascade(benchmark::State& state, const char* input_name, bool dedup) {
+  const graph& g = bench::input_named(input_name);
+  for (auto _ : state) {
+    size_t r = dedup ? run_cascade<unguarded_f>(g, true)
+                     : run_cascade<guarded_f>(g, false);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_ablation();
+  benchmark::RegisterBenchmark("Cascade/rMat/cas-guard", BM_Cascade, "rMat",
+                               false)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Cascade/rMat/dedup", BM_Cascade, "rMat", true)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

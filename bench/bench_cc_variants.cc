@@ -1,0 +1,107 @@
+// Experiment A5 — connectivity algorithm shoot-out across the authors'
+// line of work: the paper's label propagation, the Ligra release's
+// pointer-jumping shortcut variant, the SPAA'14 decomposition-based
+// linear-work algorithm, and serial union-find. Shape claims:
+//   * shortcutting crushes the round count on high-diameter inputs
+//     (3d-grid), where plain propagation needs ~diameter rounds;
+//   * decomposition-based CC does work proportional to m regardless of
+//     diameter (its win in the SPAA'14 paper);
+//   * on low-diameter inputs (rMat/random) plain propagation is already
+//     good, and all variants agree with union-find.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/components.h"
+#include "apps/components_shortcut.h"
+#include "apps/decomposition.h"
+#include "baseline/serial.h"
+#include "bench/inputs.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+
+namespace {
+
+void print_comparison() {
+  std::printf("\n=== A5: connectivity variants (seconds; rounds/levels in "
+              "parentheses) ===\n");
+  table_printer t({"Input", "Union-find(serial)", "LabelProp",
+                   "LabelProp+Shortcut", "Decomposition", "components"});
+  for (const auto& in : bench::table1_inputs()) {
+    double t_uf =
+        time_best_of(1, [&] { baseline::connected_components(in.g); });
+    apps::components_result lp, sc;
+    apps::decomposition_cc_result dc;
+    double t_lp =
+        time_best_of(1, [&] { lp = apps::connected_components(in.g); });
+    double t_sc = time_best_of(
+        1, [&] { sc = apps::connected_components_shortcut(in.g); });
+    double t_dc = time_best_of(1, [&] {
+      dc = apps::connected_components_decomposition(in.g, 0.2, 1);
+    });
+    if (lp.num_components != sc.num_components ||
+        lp.num_components != dc.num_components)
+      std::printf("!! component count mismatch on %s\n", in.name.c_str());
+    t.add_row({in.name, format_double(t_uf, 3),
+               format_double(t_lp, 3) + " (" + std::to_string(lp.num_rounds) + ")",
+               format_double(t_sc, 3) + " (" + std::to_string(sc.num_rounds) + ")",
+               format_double(t_dc, 3) + " (" + std::to_string(dc.num_levels) + ")",
+               std::to_string(lp.num_components)});
+  }
+  t.print();
+
+  // The decomposition itself: cut quality vs beta (the SPAA'14 trade-off).
+  std::printf("\n=== A5: decomposition cut fraction vs beta (rMat) ===\n");
+  table_printer t2({"beta", "clusters", "cut edges", "cut fraction", "rounds"});
+  const graph& g = bench::input_named("rMat");
+  for (double beta : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    auto d = apps::decompose(g, beta, 1);
+    t2.add_row({format_double(beta, 2), format_count(d.num_clusters),
+                format_count(d.cut_edges),
+                format_double(static_cast<double>(d.cut_edges) / g.num_edges(), 3),
+                std::to_string(d.num_rounds)});
+  }
+  t2.print();
+  std::printf("\n");
+}
+
+void BM_Cc(benchmark::State& state, const char* input_name, int variant) {
+  const graph& g = bench::input_named(input_name);
+  for (auto _ : state) {
+    size_t c = 0;
+    switch (variant) {
+      case 0: c = apps::connected_components(g).num_components; break;
+      case 1: c = apps::connected_components_shortcut(g).num_components; break;
+      case 2:
+        c = apps::connected_components_decomposition(g, 0.2, 1).num_components;
+        break;
+    }
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void register_benchmarks() {
+  for (const char* input : {"rMat", "3d-grid"}) {
+    for (auto [suffix, variant] :
+         std::initializer_list<std::pair<const char*, int>>{
+             {"labelprop", 0}, {"shortcut", 1}, {"decomposition", 2}}) {
+      std::string name = std::string("CC/") + input + "/" + suffix;
+      benchmark::RegisterBenchmark(name.c_str(), BM_Cc, input, variant)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_comparison();
+  register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

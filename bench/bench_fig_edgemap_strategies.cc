@@ -1,0 +1,114 @@
+// Experiments F2 + A1 — the edge_map strategy comparison:
+//
+//   * BFS (and Components) with the traversal forced to sparse-only,
+//     dense-only, dense_forward-only, versus the hybrid. Paper shape:
+//     hybrid ~ min(sparse, dense) on every input; dense-only loses badly
+//     on high-diameter inputs (3d-grid), sparse-only loses on low-diameter
+//     skewed inputs (rMat).
+//   * A sweep of the hybrid threshold denominator d (dense when
+//     |U| + outdeg(U) > m/d). Paper uses d = 20; the sweep shows a flat
+//     optimum around it.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/bfs.h"
+#include "apps/components.h"
+#include "bench/inputs.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+
+namespace {
+
+double time_bfs(const graph& g, edge_map_options opts) {
+  return time_best_of(2, [&] { apps::bfs_options o{opts}; apps::bfs(g, 0, o); });
+}
+
+void print_strategy_table() {
+  std::printf("\n=== F2/A1: BFS time (seconds) by edge_map strategy ===\n");
+  table_printer t(
+      {"Input", "Sparse-only", "Dense-only", "DenseFwd-only", "Hybrid(m/20)"});
+  for (const auto& in : bench::table1_inputs()) {
+    edge_map_options sparse, dense, fwd, hybrid;
+    sparse.strategy = traversal::sparse;
+    dense.strategy = traversal::dense;
+    fwd.strategy = traversal::dense_forward;
+    t.add_row({in.name, format_double(time_bfs(in.g, sparse), 3),
+               format_double(time_bfs(in.g, dense), 3),
+               format_double(time_bfs(in.g, fwd), 3),
+               format_double(time_bfs(in.g, hybrid), 3)});
+  }
+  t.print();
+
+  std::printf("\n=== A1: Components time (seconds), dense vs dense_forward "
+              "for the saturated rounds ===\n");
+  table_printer t2({"Input", "Hybrid(pull dense)", "Hybrid(dense_forward)"});
+  for (const auto& in : bench::table1_inputs()) {
+    edge_map_options pull, forward;
+    forward.prefer_dense_forward = true;
+    double a = time_best_of(2, [&] { apps::connected_components(in.g, pull); });
+    double b =
+        time_best_of(2, [&] { apps::connected_components(in.g, forward); });
+    t2.add_row({in.name, format_double(a, 3), format_double(b, 3)});
+  }
+  t2.print();
+}
+
+void print_threshold_sweep() {
+  std::printf("\n=== F2: hybrid threshold sweep — BFS time (seconds) with "
+              "dense threshold m/d ===\n");
+  std::vector<uint64_t> denominators = {1, 2, 5, 10, 20, 40, 100, 1000};
+  std::vector<std::string> header = {"Input"};
+  for (auto d : denominators) header.push_back("d=" + std::to_string(d));
+  table_printer t(header);
+  for (const auto& in : bench::table1_inputs()) {
+    std::vector<std::string> row = {in.name};
+    for (auto d : denominators) {
+      edge_map_options opts;
+      opts.threshold_denominator = d;
+      row.push_back(format_double(time_bfs(in.g, opts), 3));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void BM_BfsStrategy(benchmark::State& state, const char* input_name,
+                    traversal strategy) {
+  const graph& g = bench::input_named(input_name);
+  apps::bfs_options opts;
+  opts.edge_map.strategy = strategy;
+  for (auto _ : state) {
+    auto r = apps::bfs(g, 0, opts);
+    benchmark::DoNotOptimize(r.num_reached);
+  }
+}
+
+void register_benchmarks() {
+  for (const char* input : {"rMat", "3d-grid"}) {
+    for (auto [name, t] :
+         std::initializer_list<std::pair<const char*, traversal>>{
+             {"sparse", traversal::sparse},
+             {"dense", traversal::dense},
+             {"hybrid", traversal::automatic}}) {
+      std::string bname = std::string("BFS/") + input + "/" + name;
+      benchmark::RegisterBenchmark(bname.c_str(), BM_BfsStrategy, input, t)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_strategy_table();
+  print_threshold_sweep();
+  register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

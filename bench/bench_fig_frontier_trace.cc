@@ -1,0 +1,79 @@
+// Experiment F1 — the per-iteration BFS frontier trace that motivates the
+// hybrid edge_map (the paper's frontier plot): frontier size, outgoing
+// edge count, and the traversal direction the hybrid picked, per round.
+//
+// Expected shape (checked against the paper):
+//   * rMat / random: frontier balloons within ~3 hops; the hybrid switches
+//     sparse -> dense for the bulge and back to sparse for the tail.
+//   * 3d-grid: frontiers stay below the m/20 threshold for most of the
+//     traversal; the hybrid stays sparse nearly throughout.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/bfs.h"
+#include "bench/inputs.h"
+#include "util/table.h"
+
+using namespace ligra;
+
+namespace {
+
+void print_trace(const std::string& input_name) {
+  const graph& g = bench::input_named(input_name);
+  edge_map_stats stats;
+  apps::bfs_options opts;
+  opts.edge_map.stats = &stats;
+  auto result = apps::bfs(g, 0, opts);
+
+  std::printf("\n=== F1: BFS frontier trace on %s (n=%s, m=%s) ===\n",
+              input_name.c_str(), format_count(g.num_vertices()).c_str(),
+              format_count(g.num_edges()).c_str());
+  std::printf("threshold m/20 = %s edges\n",
+              format_count(g.num_edges() / 20).c_str());
+  table_printer t({"Round", "Frontier", "Out-Edges", "Direction"});
+  size_t round = 1;
+  size_t truncated = 0;
+  for (const auto& row : result.trace) {
+    if (round <= 40) {
+      t.add_row({std::to_string(round), format_count(row.frontier_size),
+                 format_count(row.frontier_edges),
+                 traversal_name(row.used)});
+    } else {
+      truncated++;
+    }
+    round++;
+  }
+  t.print();
+  if (truncated > 0)
+    std::printf("(… %zu further rounds elided; all sparse tail)\n", truncated);
+  std::printf("reached %s vertices in %zu rounds\n\n",
+              format_count(result.num_reached).c_str(), result.num_rounds);
+}
+
+void BM_BfsWithTrace(benchmark::State& state, const char* input_name) {
+  const graph& g = bench::input_named(input_name);
+  for (auto _ : state) {
+    edge_map_stats stats;
+    apps::bfs_options opts;
+    opts.edge_map.stats = &stats;
+    auto r = apps::bfs(g, 0, opts);
+    benchmark::DoNotOptimize(r.num_reached);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_trace("rMat");
+  print_trace("random");
+  print_trace("3d-grid");
+  benchmark::RegisterBenchmark("BFS+trace/rMat", BM_BfsWithTrace, "rMat")
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("BFS+trace/3d-grid", BM_BfsWithTrace, "3d-grid")
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

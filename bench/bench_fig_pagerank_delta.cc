@@ -1,0 +1,100 @@
+// Experiment F4 — PageRank vs PageRank-Delta (paper §4.5): time and work
+// to reach the same L1 tolerance, and the decay of the Delta variant's
+// active set (the mechanism behind its win). Paper shape: Delta reaches
+// comparable rank values in substantially less time because late rounds
+// touch only the few vertices still changing.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/pagerank.h"
+#include "bench/inputs.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+
+namespace {
+
+double l1(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0;
+  for (size_t i = 0; i < a.size(); i++) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+void print_comparison() {
+  std::printf("\n=== F4: PageRank vs PageRank-Delta to tolerance 1e-7 ===\n");
+  table_printer t({"Input", "PR time", "PR iters", "PRDelta time",
+                   "PRDelta iters", "L1(PR, PRDelta)", "Delta speedup"});
+  for (const auto& in : bench::table1_inputs()) {
+    apps::pagerank_options po;
+    po.tolerance = 1e-7;
+    po.max_iterations = 200;
+    apps::pagerank_delta_options dopts;
+    dopts.tolerance = 1e-7;
+    dopts.max_iterations = 200;
+
+    apps::pagerank_result pr, prd;
+    double t_pr = time_best_of(1, [&] { pr = apps::pagerank(in.g, po); });
+    double t_prd =
+        time_best_of(1, [&] { prd = apps::pagerank_delta(in.g, dopts); });
+    t.add_row({in.name, format_double(t_pr, 3),
+               std::to_string(pr.num_iterations), format_double(t_prd, 3),
+               std::to_string(prd.num_iterations),
+               format_double(l1(pr.rank, prd.rank), 6),
+               format_double(t_pr / t_prd, 2)});
+  }
+  t.print();
+
+  // Active-set decay on rMat — the series behind the figure.
+  std::printf("\n=== F4: PageRank-Delta active vertices per round (rMat) ===\n");
+  apps::pagerank_delta_options dopts;
+  dopts.tolerance = 1e-7;
+  dopts.max_iterations = 200;
+  auto prd = apps::pagerank_delta(bench::input_named("rMat"), dopts);
+  table_printer t2({"Round", "Active vertices"});
+  for (size_t i = 0; i < prd.active_history.size() && i < 30; i++)
+    t2.add_row({std::to_string(i + 1), format_count(prd.active_history[i])});
+  t2.print();
+  std::printf("\n");
+}
+
+void BM_PageRank(benchmark::State& state, const char* input_name,
+                 bool use_delta) {
+  const graph& g = bench::input_named(input_name);
+  for (auto _ : state) {
+    if (use_delta) {
+      apps::pagerank_delta_options o;
+      o.tolerance = 1e-7;
+      o.max_iterations = 200;
+      auto r = apps::pagerank_delta(g, o);
+      benchmark::DoNotOptimize(r.num_iterations);
+    } else {
+      apps::pagerank_options o;
+      o.tolerance = 1e-7;
+      o.max_iterations = 200;
+      auto r = apps::pagerank(g, o);
+      benchmark::DoNotOptimize(r.num_iterations);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_comparison();
+  for (const char* input : {"rMat", "random"}) {
+    benchmark::RegisterBenchmark((std::string("PageRank/") + input).c_str(),
+                                 BM_PageRank, input, false)
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+    benchmark::RegisterBenchmark(
+        (std::string("PageRankDelta/") + input).c_str(), BM_PageRank, input,
+        true)
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment F3 — the paper's scalability figure: running time of each
+// application versus the number of workers (the paper sweeps 1..40 cores
+// with hyper-threading; we sweep 1..hardware_concurrency). Paper shape:
+// near-linear self-relative speedup for the traversal-bound applications.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "bench/inputs.h"
+#include "parallel/scheduler.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+
+namespace {
+
+std::vector<int> worker_counts() {
+  int max = parallel::scheduler::default_num_workers();
+  std::vector<int> counts;
+  for (int w = 1; w <= max; w *= 2) counts.push_back(w);
+  if (counts.back() != max) counts.push_back(max);
+  return counts;
+}
+
+void print_scalability() {
+  const graph& g = bench::input_named("rMat");
+  const auto& wg = bench::weighted_inputs().back().second;  // weighted rMat
+  auto counts = worker_counts();
+
+  std::printf("\n=== F3: time (seconds) vs workers on rMat ===\n");
+  std::vector<std::string> header = {"Application"};
+  for (int w : counts) header.push_back("p=" + std::to_string(w));
+  header.push_back("speedup");
+  table_printer t(header);
+
+  struct row {
+    const char* name;
+    std::function<void()> run;
+  };
+  apps::pagerank_options pr1;
+  pr1.max_iterations = 1;
+  std::vector<row> rows = {
+      {"BFS", [&] { apps::bfs(g, 0); }},
+      {"BC", [&] { apps::bc(g, 0); }},
+      {"Radii", [&] { apps::radii_estimate(g, 1, 64); }},
+      {"Components", [&] { apps::connected_components(g); }},
+      {"PageRank(1it)", [&] { apps::pagerank(g, pr1); }},
+      {"Bellman-Ford", [&] { apps::bellman_ford(wg, 0); }},
+  };
+  for (const auto& r : rows) {
+    std::vector<std::string> cells = {r.name};
+    double first = 0, last = 0;
+    for (int w : counts) {
+      parallel::set_num_workers(w);
+      double s = time_best_of(2, r.run);
+      if (w == counts.front()) first = s;
+      last = s;
+      cells.push_back(format_double(s, 3));
+    }
+    cells.push_back(format_double(first / last, 2));
+    t.add_row(cells);
+  }
+  parallel::set_num_workers(parallel::scheduler::default_num_workers());
+  t.print();
+  std::printf("\n");
+}
+
+void BM_BfsWorkers(benchmark::State& state) {
+  const graph& g = bench::input_named("rMat");
+  parallel::set_num_workers(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = apps::bfs(g, 0);
+    benchmark::DoNotOptimize(r.num_reached);
+  }
+  parallel::set_num_workers(parallel::scheduler::default_num_workers());
+}
+
+void register_benchmarks() {
+  auto* b = benchmark::RegisterBenchmark("BFS/rMat/workers", BM_BfsWorkers)
+                ->Unit(benchmark::kMillisecond);
+  for (int w : worker_counts()) b->Arg(w);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_scalability();
+  register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

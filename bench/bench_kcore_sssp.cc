@@ -1,0 +1,93 @@
+// Experiment A4 — the Julienne bucketing extension: work-efficient
+// bucketed algorithms versus their Ligra-only counterparts.
+//   * k-core: bucketed peeling vs whole-set round peeling. Julienne shape:
+//     bucketing wins when the core structure is deep (rMat), because round
+//     peeling rescans all n vertices per sub-round.
+//   * SSSP: Δ-stepping (several Δ) vs Bellman-Ford vs serial Dijkstra.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/bellman_ford.h"
+#include "apps/delta_stepping.h"
+#include "apps/kcore.h"
+#include "baseline/serial.h"
+#include "bench/inputs.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+
+namespace {
+
+void print_kcore() {
+  std::printf("\n=== A4: k-core — bucketed (Julienne) vs round peeling ===\n");
+  table_printer t({"Input", "max core", "Bucketed (s)", "Rounds-based (s)",
+                   "bucketed steps", "round steps"});
+  for (const auto& in : bench::table1_inputs()) {
+    apps::kcore_result kb, kr;
+    double tb = time_best_of(1, [&] { kb = apps::kcore(in.g); });
+    double tr = time_best_of(1, [&] { kr = apps::kcore_rounds(in.g); });
+    if (kb.coreness != kr.coreness)
+      std::printf("!! coreness mismatch on %s\n", in.name.c_str());
+    t.add_row({in.name, std::to_string(kb.max_core), format_double(tb, 3),
+               format_double(tr, 3), std::to_string(kb.num_rounds),
+               std::to_string(kr.num_rounds)});
+  }
+  t.print();
+}
+
+void print_sssp() {
+  std::printf("\n=== A4: SSSP — Δ-stepping vs Bellman-Ford vs serial Dijkstra "
+              "(seconds) ===\n");
+  table_printer t({"Input", "Dijkstra(serial)", "Bellman-Ford", "Δ=1", "Δ=4",
+                   "Δ=16", "Δ=64"});
+  for (const auto& [name, wg] : bench::weighted_inputs()) {
+    std::vector<std::string> row = {name};
+    row.push_back(
+        format_double(time_best_of(1, [&] { baseline::dijkstra(wg, 0); }), 3));
+    row.push_back(format_double(
+        time_best_of(1, [&] { apps::bellman_ford(wg, 0); }), 3));
+    for (int64_t delta : {1, 4, 16, 64}) {
+      row.push_back(format_double(
+          time_best_of(1, [&] { apps::delta_stepping(wg, 0, delta); }), 3));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void BM_Kcore(benchmark::State& state, const char* input_name, bool bucketed) {
+  const graph& g = bench::input_named(input_name);
+  for (auto _ : state) {
+    auto r = bucketed ? apps::kcore(g) : apps::kcore_rounds(g);
+    benchmark::DoNotOptimize(r.max_core);
+  }
+}
+
+void BM_DeltaStepping(benchmark::State& state) {
+  const auto& wg = bench::weighted_inputs().back().second;  // rMat weighted
+  for (auto _ : state) {
+    auto r = apps::delta_stepping(wg, 0, state.range(0));
+    benchmark::DoNotOptimize(r.num_buckets_processed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_kcore();
+  print_sssp();
+  benchmark::RegisterBenchmark("KCore/rMat/bucketed", BM_Kcore, "rMat", true)
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+  benchmark::RegisterBenchmark("KCore/rMat/rounds", BM_Kcore, "rMat", false)
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+  benchmark::RegisterBenchmark("DeltaStepping/rMat", BM_DeltaStepping)
+      ->Arg(1)->Arg(16)->Arg(64)
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Experiment P1 — microbenchmarks of the substrate layers (S1–S3): the
+// scheduler's fork-join overhead, sequence-primitive throughput, and
+// write-contention behaviour of the atomic primitives (the priority-update
+// claim of Shun et al. SPAA'13: contended priority updates stay far
+// cheaper than contended plain CAS writes because losers stop issuing
+// CAS). These support the framework's "lightweight" claim: edge_map is a
+// thin composition of these operations.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "parallel/atomics.h"
+#include "parallel/primitives.h"
+#include "parallel/scheduler.h"
+#include "parallel/sort.h"
+#include "util/rng.h"
+
+using namespace ligra;
+namespace p = ligra::parallel;
+
+namespace {
+
+void BM_ParDoOverhead(benchmark::State& state) {
+  // Fork-join of two empty closures: the floor cost of one spawn.
+  for (auto _ : state) {
+    p::par_do([] {}, [] {});
+  }
+}
+BENCHMARK(BM_ParDoOverhead);
+
+void BM_ParallelForEmptyBody(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    p::parallel_for(0, n, [](size_t i) { benchmark::DoNotOptimize(i); });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForEmptyBody)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_Reduce(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n);
+  p::parallel_for(0, n, [&](size_t i) { v[i] = hash64(i); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p::reduce_add(n, [&](size_t i) { return v[i]; }));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * sizeof(uint64_t)));
+}
+BENCHMARK(BM_Reduce)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_Scan(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p::scan_add_inplace(v.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * sizeof(uint64_t)));
+}
+BENCHMARK(BM_Scan)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_PackIndex(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> flags(n);
+  p::parallel_for(0, n, [&](size_t i) { flags[i] = hash64(i) & 1; });
+  for (auto _ : state) {
+    auto out = p::pack_index<uint32_t>(n, [&](size_t i) { return flags[i] != 0; });
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PackIndex)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_Sort(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> base(n);
+  p::parallel_for(0, n, [&](size_t i) { base[i] = hash64(i); });
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    state.ResumeTiming();
+    p::sort_inplace(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Sort)->Arg(1 << 20)->Arg(1 << 22)->Unit(benchmark::kMillisecond);
+
+// --- contention microbenches (SPAA'13 priority-update claim) -----------------
+
+void BM_ContendedWriteAdd(benchmark::State& state) {
+  // Everyone increments one location: the worst case for fetch_add.
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    uint64_t x = 0;
+    p::parallel_for(0, n, [&](size_t) { write_add(&x, uint64_t{1}); });
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ContendedWriteAdd)->Arg(1 << 20);
+
+void BM_ContendedPriorityUpdate(benchmark::State& state) {
+  // Everyone priority-updates one location: after the minimum arrives, all
+  // other writers read-and-return, so throughput stays near read speed.
+  size_t n = static_cast<size_t>(state.range(0));
+  auto higher = [](uint64_t a, uint64_t b) { return a < b; };
+  for (auto _ : state) {
+    uint64_t x = ~uint64_t{0};
+    p::parallel_for(0, n, [&](size_t i) {
+      priority_update(&x, hash64(i), higher);
+    });
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ContendedPriorityUpdate)->Arg(1 << 20);
+
+void BM_ContendedWriteMin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    uint64_t x = ~uint64_t{0};
+    p::parallel_for(0, n, [&](size_t i) {
+      write_min(&x, hash64(i));
+    });
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ContendedWriteMin)->Arg(1 << 20);
+
+void BM_UncontendedWrites(benchmark::State& state) {
+  // Baseline: everyone writes a distinct location.
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> slots(n);
+  for (auto _ : state) {
+    p::parallel_for(0, n, [&](size_t i) { write_add(&slots[i], uint64_t{1}); });
+    benchmark::DoNotOptimize(slots.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_UncontendedWrites)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment T1 — reproduces Table 1 of the paper: the input graphs with
+// their sizes. Prints the table (name, vertices, directed edge count,
+// average degree, CSR memory), then benchmarks graph construction
+// throughput (generation + CSR build), which the paper reports informally
+// as "graph loading".
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/inputs.h"
+#include "util/table.h"
+
+using namespace ligra;
+
+namespace {
+
+void print_table1() {
+  std::printf("\n=== Table 1: input graphs (scale %d; see DESIGN.md for the "
+              "paper-scale analogues) ===\n",
+              bench::bench_scale());
+  table_printer t({"Input", "Num. Vertices", "Num. Directed Edges",
+                   "Avg. Degree", "CSR MBytes"});
+  for (const auto& in : bench::table1_inputs()) {
+    t.add_row({in.name, format_count(in.g.num_vertices()),
+               format_count(in.g.num_edges()),
+               format_double(static_cast<double>(in.g.num_edges()) /
+                                 in.g.num_vertices(),
+                             1),
+               format_double(static_cast<double>(in.g.memory_bytes()) / 1e6, 1)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void BM_BuildRmat(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto g = gen::rmat_graph(scale, edge_id{16} << scale, 3);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.counters["edges"] = static_cast<double>(edge_id{16} << scale);
+}
+BENCHMARK(BM_BuildRmat)->Arg(14)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_BuildRandom(benchmark::State& state) {
+  auto n = vertex_id{1} << state.range(0);
+  for (auto _ : state) {
+    auto g = gen::random_graph(n, 10, 1);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_BuildRandom)->Arg(14)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_BuildGrid3d(benchmark::State& state) {
+  auto side = static_cast<vertex_id>(state.range(0));
+  for (auto _ : state) {
+    auto g = gen::grid3d_graph(side);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_BuildGrid3d)->Arg(25)->Arg(40)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_table1();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Experiment T2 — reproduces Table 2 of the paper: running time of every
+// application on every input, at 1 worker and at all workers, with the
+// self-relative speedup and (where one exists) an optimized sequential
+// baseline. The paper's shape claims checked here:
+//   * 1-worker Ligra times are within a small factor of the sequential
+//     baselines (the framework is "lightweight");
+//   * multi-worker runs show self-relative speedup on every app.
+//
+// Absolute numbers differ from the paper (2 cores vs 40); EXPERIMENTS.md
+// records paper-vs-measured shape.
+//
+// The table is printed first; google-benchmark then re-times the
+// all-workers configuration per (app, input) for machine-readable output.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "apps/apps.h"
+#include "baseline/serial.h"
+#include "bench/inputs.h"
+#include "parallel/scheduler.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+
+namespace {
+
+int bench_rounds() {
+  if (const char* env = std::getenv("LIGRA_BENCH_ROUNDS")) {
+    int r = std::atoi(env);
+    if (r >= 1) return r;
+  }
+  return 3;  // best-of-3: single-shot timings of the fast rows are noisy
+}
+
+struct app_row {
+  const char* name;
+  std::function<void(const graph&)> parallel_run;
+  std::function<void(const graph&)> serial_run;  // may be null
+};
+
+// The paper's Table 2 PageRank row is a single iteration.
+apps::pagerank_options one_iteration() {
+  apps::pagerank_options o;
+  o.max_iterations = 1;
+  return o;
+}
+
+const std::vector<app_row>& app_rows() {
+  static const std::vector<app_row> rows = {
+      {"BFS", [](const graph& g) { apps::bfs(g, 0); },
+       [](const graph& g) { baseline::bfs_levels(g, 0); }},
+      {"BC", [](const graph& g) { apps::bc(g, 0); },
+       [](const graph& g) { baseline::bc(g, 0); }},
+      {"Radii", [](const graph& g) { apps::radii_estimate(g, 1, 64); },
+       nullptr},
+      {"Components",
+       [](const graph& g) { apps::connected_components(g); },
+       [](const graph& g) { baseline::connected_components(g); }},
+      {"PageRank(1it)",
+       [](const graph& g) { apps::pagerank(g, one_iteration()); },
+       [](const graph& g) { baseline::pagerank(g, 0.85, 1e-7, 1); }},
+  };
+  return rows;
+}
+
+double time_run(const std::function<void()>& f) {
+  return time_best_of(bench_rounds(), f);
+}
+
+void print_table2() {
+  const int max_workers = parallel::scheduler::default_num_workers();
+  std::printf("\n=== Table 2: running times in seconds "
+              "(serial baseline, 1 worker, %d workers, self-speedup) ===\n",
+              max_workers);
+  table_printer t({"Application", "Input", "Serial", "T(1)",
+                   "T(" + std::to_string(max_workers) + ")", "Speedup"});
+  for (const auto& app : app_rows()) {
+    for (const auto& in : bench::table1_inputs()) {
+      double serial = 0;
+      if (app.serial_run) serial = time_run([&] { app.serial_run(in.g); });
+      parallel::set_num_workers(1);
+      double t1 = time_run([&] { app.parallel_run(in.g); });
+      parallel::set_num_workers(max_workers);
+      double tp = time_run([&] { app.parallel_run(in.g); });
+      t.add_row({app.name, in.name,
+                 app.serial_run ? format_double(serial, 3) : "--",
+                 format_double(t1, 3), format_double(tp, 3),
+                 format_double(t1 / tp, 2)});
+    }
+  }
+  // Bellman-Ford runs on the weighted variants (vs serial Dijkstra, the
+  // strongest sequential comparator).
+  for (const auto& [name, wg] : bench::weighted_inputs()) {
+    double serial = time_run([&] { baseline::dijkstra(wg, 0); });
+    parallel::set_num_workers(1);
+    double t1 = time_run([&] { apps::bellman_ford(wg, 0); });
+    parallel::set_num_workers(max_workers);
+    double tp = time_run([&] { apps::bellman_ford(wg, 0); });
+    t.add_row({"Bellman-Ford", name, format_double(serial, 3),
+               format_double(t1, 3), format_double(tp, 3),
+               format_double(t1 / tp, 2)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+// --- machine-readable per-app benchmarks (all workers) -----------------------
+
+void BM_App(benchmark::State& state, const char* app_name,
+            const char* input_name) {
+  const graph& g = bench::input_named(input_name);
+  const app_row* row = nullptr;
+  for (const auto& r : app_rows())
+    if (std::string(r.name) == app_name) row = &r;
+  for (auto _ : state) row->parallel_run(g);
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+
+void register_benchmarks() {
+  for (const auto& app : app_rows()) {
+    for (const auto& in : bench::table1_inputs()) {
+      std::string name = std::string(app.name) + "/" + in.name;
+      benchmark::RegisterBenchmark(name.c_str(), BM_App, app.name,
+                                   in.name.c_str())
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_table2();
+  register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

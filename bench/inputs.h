@@ -1,0 +1,80 @@
+// Shared input suite for the experiment benches — the paper's Table 1 at
+// laptop scale (DESIGN.md, substitution notes). Graphs are generated once
+// per process and cached; every bench binary draws from this table so the
+// rows of different experiments are comparable.
+//
+//   name        paper analogue           structure
+//   ----        --------------           ---------
+//   3d-grid     3d-grid (1e7 v)          torus, degree 6, large diameter
+//   random      random (1e7 v, deg 10)   uniform targets, low diameter
+//   randLocal   randLocal (1e7 v)        power-law distances on a ring
+//   rMat        rMat24/27, Twitter,      skewed power-law degrees, tiny
+//               Yahoo                    diameter (direction-opt regime)
+//
+// Scale is controlled by LIGRA_BENCH_SCALE (default 18 => 262k vertices,
+// ~4M directed edges for rMat); the shapes the paper reports are already
+// stable at this size.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace ligra::bench {
+
+inline int bench_scale() {
+  if (const char* env = std::getenv("LIGRA_BENCH_SCALE")) {
+    int s = std::atoi(env);
+    if (s >= 8 && s <= 26) return s;
+  }
+  return 18;
+}
+
+struct input {
+  std::string name;
+  graph g;
+};
+
+// The four Table 1 inputs (symmetric versions, as the paper uses for BFS,
+// BC, CC, Radii; PageRank/BF run on these too in our reduced suite).
+inline const std::vector<input>& table1_inputs() {
+  static const std::vector<input> inputs = [] {
+    int scale = bench_scale();
+    auto n = vertex_id{1} << scale;
+    vertex_id side = 1;
+    while ((side + 1) * (side + 1) * (side + 1) <= n) side++;
+    std::vector<input> v;
+    v.push_back({"3d-grid", gen::grid3d_graph(side)});
+    v.push_back({"random", gen::random_graph(n, 10, 1)});
+    v.push_back({"randLocal", gen::random_local_graph(n, 10, 2)});
+    v.push_back({"rMat", gen::rmat_graph(scale, edge_id{16} << scale, 3)});
+    return v;
+  }();
+  return inputs;
+}
+
+// Weighted variants (weights uniform in [1, log2 n] as in the paper's
+// Bellman-Ford setup).
+inline const std::vector<std::pair<std::string, wgraph>>& weighted_inputs() {
+  static const std::vector<std::pair<std::string, wgraph>> inputs = [] {
+    std::vector<std::pair<std::string, wgraph>> v;
+    for (const auto& in : table1_inputs()) {
+      v.emplace_back(in.name,
+                     gen::add_random_weights(in.g, 1, bench_scale(), 7));
+    }
+    return v;
+  }();
+  return inputs;
+}
+
+inline const graph& input_named(const std::string& name) {
+  for (const auto& in : table1_inputs())
+    if (in.name == name) return in.g;
+  std::abort();
+}
+
+}  // namespace ligra::bench

@@ -1,0 +1,118 @@
+// Social-network analysis — the workload class the paper's introduction
+// motivates (social networks, the Web graph). Generates an rMat graph
+// (the standard synthetic stand-in for such power-law networks), then
+// runs an analyst's pipeline:
+//
+//   * degree distribution summary (verify the power-law shape)
+//   * connected components and giant-component fraction
+//   * PageRank top-k influencers
+//   * single-source betweenness from the top influencer
+//   * triangle count and global clustering coefficient
+//   * k-core decomposition (community "cohesion" profile)
+//
+//   ./examples/social_network_analysis [-scale 16] [-degree 16] [-top 10]
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "ligra/ligra.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+
+int main(int argc, char** argv) {
+  command_line cl(argc, argv);
+  const int scale = static_cast<int>(cl.get_int("scale", 16));
+  const auto degree = static_cast<edge_id>(cl.get_int("degree", 16));
+  const size_t top_k = static_cast<size_t>(cl.get_int("top", 10));
+
+  timer t;
+  graph g = gen::rmat_graph(scale, degree << scale, /*seed=*/1);
+  std::printf("social graph (rMat): %s vertices, %s edges  [built in %s]\n",
+              format_count(g.num_vertices()).c_str(),
+              format_count(g.num_edges()).c_str(),
+              format_seconds(t.next_lap()).c_str());
+
+  // Degree distribution: count vertices per log2-degree bucket.
+  const vertex_id n = g.num_vertices();
+  std::vector<size_t> buckets(33, 0);
+  for (vertex_id v = 0; v < n; v++) {
+    size_t d = g.out_degree(v);
+    int b = 0;
+    while ((size_t{1} << b) < d + 1) b++;
+    buckets[static_cast<size_t>(b)]++;
+  }
+  std::printf("\ndegree histogram (log2 buckets):\n");
+  for (size_t b = 0; b < buckets.size(); b++) {
+    if (buckets[b] == 0) continue;
+    std::printf("  deg <%6lu : %s\n", (unsigned long)(1ul << b),
+                format_count(buckets[b]).c_str());
+  }
+
+  // Components: how much of the network is one connected blob?
+  auto cc = apps::connected_components(g);
+  std::vector<size_t> size_of(n, 0);
+  for (vertex_id v = 0; v < n; v++) size_of[cc.labels[v]]++;
+  size_t giant = *std::max_element(size_of.begin(), size_of.end());
+  std::printf("\ncomponents: %zu total; giant component holds %.1f%% of "
+              "vertices  [%s]\n",
+              cc.num_components, 100.0 * giant / n,
+              format_seconds(t.next_lap()).c_str());
+
+  // PageRank influencers.
+  auto pr = apps::pagerank(g);
+  std::vector<vertex_id> order(n);
+  for (vertex_id v = 0; v < n; v++) order[v] = v;
+  std::partial_sort(order.begin(), order.begin() + top_k, order.end(),
+                    [&](vertex_id a, vertex_id b) {
+                      return pr.rank[a] > pr.rank[b];
+                    });
+  std::printf("\ntop-%zu PageRank influencers  [%s, %zu iterations]\n", top_k,
+              format_seconds(t.next_lap()).c_str(), pr.num_iterations);
+  table_printer influencers({"Vertex", "PageRank", "Degree", "Coreness"});
+  auto cores = apps::kcore(g);
+  for (size_t i = 0; i < top_k && i < order.size(); i++) {
+    vertex_id v = order[i];
+    influencers.add_row({std::to_string(v), format_double(pr.rank[v], 6),
+                         std::to_string(g.out_degree(v)),
+                         std::to_string(cores.coreness[v])});
+  }
+  influencers.print();
+
+  // Betweenness from the top influencer: who brokers its reach?
+  auto bc = apps::bc(g, order[0]);
+  vertex_id broker = 0;
+  for (vertex_id v = 1; v < n; v++)
+    if (bc.dependency[v] > bc.dependency[broker]) broker = v;
+  std::printf("\nbetweenness (source %u): top broker is %u (score %.1f)  "
+              "[%s]\n",
+              order[0], broker, bc.dependency[broker],
+              format_seconds(t.next_lap()).c_str());
+
+  // Triangles / clustering.
+  auto tri = apps::triangle_count(g);
+  // Wedges = sum over v of C(deg v, 2); global clustering = 3T / wedges.
+  double wedges = parallel::reduce_add(n, [&](size_t v) {
+    double d = static_cast<double>(g.out_degree(static_cast<vertex_id>(v)));
+    return d * (d - 1) / 2.0;
+  });
+  std::printf("\ntriangles: %s; global clustering coefficient %.5f  [%s]\n",
+              format_count(tri.num_triangles).c_str(),
+              wedges == 0 ? 0.0 : 3.0 * static_cast<double>(tri.num_triangles) / wedges,
+              format_seconds(t.next_lap()).c_str());
+
+  // Core decomposition profile.
+  std::printf("\nk-core profile (max core %u):\n", cores.max_core);
+  std::vector<size_t> per_core(cores.max_core + 1, 0);
+  for (vertex_id v = 0; v < n; v++) per_core[cores.coreness[v]]++;
+  size_t cumulative = 0;
+  for (size_t k = per_core.size(); k-- > 0;) {
+    cumulative += per_core[k];
+    if (per_core[k] > 0 && (k % 4 == 0 || k + 1 == per_core.size()))
+      std::printf("  >= %2zu-core: %s vertices\n", k,
+                  format_count(cumulative).c_str());
+  }
+  return 0;
+}

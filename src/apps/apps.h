@@ -1,0 +1,20 @@
+// Umbrella header for all applications: the six from the paper (BFS, BC,
+// Radii, Components, PageRank(+Delta), Bellman-Ford) and the follow-on
+// extensions (k-core, Δ-stepping, MIS, triangle counting).
+#pragma once
+
+#include "apps/bc.h"
+#include "apps/bellman_ford.h"
+#include "apps/bfs.h"
+#include "apps/collaborative_filtering.h"
+#include "apps/components.h"
+#include "apps/components_shortcut.h"
+#include "apps/decomposition.h"
+#include "apps/delta_stepping.h"
+#include "apps/eccentricity.h"
+#include "apps/kcore.h"
+#include "apps/mis.h"
+#include "apps/pagerank.h"
+#include "apps/radii.h"
+#include "apps/set_cover.h"
+#include "apps/triangle.h"

@@ -1,0 +1,117 @@
+#include "apps/bc.h"
+
+#include <stdexcept>
+
+#include "ligra/vertex_map.h"
+#include "parallel/atomics.h"
+
+namespace ligra::apps {
+
+namespace {
+
+// Forward sweep: accumulate shortest-path counts level by level.
+struct bc_forward_f {
+  double* num_paths;
+  const uint8_t* visited;
+
+  bool update(vertex_id u, vertex_id v) const {
+    double old = num_paths[v];
+    num_paths[v] += num_paths[u];
+    return old == 0.0;
+  }
+  bool update_atomic(vertex_id u, vertex_id v) const {
+    double old = write_add(&num_paths[v], num_paths[u]);
+    return old == 0.0;
+  }
+  bool cond(vertex_id v) const { return visited[v] == 0; }
+};
+
+// Backward sweep over the transpose. With A[v] = (1 + delta[v]) / sigma[v],
+// the Brandes recurrence becomes A[v] = 1/sigma[v] + sum over successors w
+// of A[w] — a plain sum, accumulated here into `dependency`.
+struct bc_backward_f {
+  double* dependency;
+  const uint8_t* visited;
+
+  bool update(vertex_id u, vertex_id v) const {
+    double old = dependency[v];
+    dependency[v] += dependency[u];
+    return old == 0.0;
+  }
+  bool update_atomic(vertex_id u, vertex_id v) const {
+    double old = write_add(&dependency[v], dependency[u]);
+    return old == 0.0;
+  }
+  bool cond(vertex_id v) const { return visited[v] == 0; }
+};
+
+}  // namespace
+
+bc_result bc(const graph& g, vertex_id source, const edge_map_options& opts) {
+  if (source >= g.num_vertices())
+    throw std::invalid_argument("bc: source out of range");
+  const vertex_id n = g.num_vertices();
+  bc_result result;
+
+  std::vector<double> num_paths(n, 0.0);
+  std::vector<uint8_t> visited(n, 0);
+  num_paths[source] = 1.0;
+  visited[source] = 1;
+
+  // Forward phase: remember each level's frontier for the backward pass.
+  std::vector<vertex_subset> levels;
+  levels.emplace_back(n, source);
+  while (true) {
+    vertex_subset next = edge_map(g, levels.back(),
+                                  bc_forward_f{num_paths.data(), visited.data()},
+                                  opts);
+    if (next.empty()) break;
+    vertex_map(next, [&](vertex_id v) { visited[v] = 1; });
+    levels.push_back(std::move(next));
+  }
+  result.num_rounds = levels.size();
+
+  // Backward phase on the transpose (same graph when symmetric).
+  graph transposed;
+  const graph* gt = &g;
+  if (!g.symmetric()) {
+    transposed = g.transpose();
+    gt = &transposed;
+  }
+
+  std::vector<double> inv_paths(n);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    inv_paths[v] = num_paths[v] == 0.0 ? 0.0 : 1.0 / num_paths[v];
+  });
+  result.dependency.assign(n, 0.0);
+  double* dep = result.dependency.data();
+  parallel::parallel_for(0, n, [&](size_t v) { visited[v] = 0; });
+
+  // Activate the deepest level, then push A-values one level back per round.
+  auto activate = [&](const vertex_subset& level) {
+    vertex_map(level, [&](vertex_id v) {
+      visited[v] = 1;
+      dep[v] += inv_paths[v];
+    });
+  };
+  activate(levels.back());
+  for (size_t r = levels.size() - 1; r > 0; r--) {
+    edge_map_no_output(*gt, levels[r],
+                       bc_backward_f{dep, visited.data()}, opts);
+    activate(levels[r - 1]);
+  }
+
+  // Convert A-values back to dependencies: delta[v] = (A[v]*sigma[v]) - 1
+  // for reached vertices; the source and unreached vertices score 0.
+  parallel::parallel_for(0, n, [&](size_t v) {
+    if (num_paths[v] == 0.0) {
+      dep[v] = 0.0;
+    } else {
+      dep[v] = (dep[v] - inv_paths[v]) * num_paths[v];
+    }
+  });
+  dep[source] = 0.0;
+  return result;
+}
+
+}  // namespace ligra::apps

@@ -1,0 +1,28 @@
+// Betweenness centrality (paper §4.2): Brandes' algorithm from a single
+// source, expressed as a forward level-synchronous sweep accumulating path
+// counts followed by a backward sweep over the stored levels accumulating
+// dependencies. Uses the paper's inverse-path-count trick so both sweeps
+// are plain additive edge_maps.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "ligra/edge_map.h"
+
+namespace ligra::apps {
+
+struct bc_result {
+  // dependency[v] = sum over shortest s-t paths through v (t != v != s) of
+  // sigma_st(v)/sigma_st — the single-source dependency score; summing over
+  // all sources s would give exact betweenness.
+  std::vector<double> dependency;
+  size_t num_rounds = 0;
+};
+
+// Single-source BC contribution from `source`. The graph may be directed
+// (the backward sweep runs on the transpose, which graph_t carries).
+bc_result bc(const graph& g, vertex_id source,
+             const edge_map_options& opts = {});
+
+}  // namespace ligra::apps

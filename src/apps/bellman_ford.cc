@@ -1,0 +1,66 @@
+#include "apps/bellman_ford.h"
+
+#include <stdexcept>
+
+#include "ligra/vertex_map.h"
+#include "parallel/atomics.h"
+
+namespace ligra::apps {
+
+namespace {
+
+struct bf_f {
+  int64_t* dist;
+  uint8_t* visited;  // reset between rounds; dedups the output frontier
+
+  // dist[u] may be lowered concurrently (a frontier vertex can also be a
+  // relaxation target), so source reads go through atomic_load; a stale
+  // read is just a weaker relaxation, corrected in a later round.
+  bool update(vertex_id u, vertex_id v, int32_t w) const {
+    int64_t nd = atomic_load(&dist[u]) + w;
+    if (nd < atomic_load(&dist[v])) {
+      atomic_store(&dist[v], nd);
+      if (!visited[v]) {
+        visited[v] = 1;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool update_atomic(vertex_id u, vertex_id v, int32_t w) const {
+    int64_t nd = atomic_load(&dist[u]) + w;
+    if (write_min(&dist[v], nd))
+      return compare_and_swap(&visited[v], uint8_t{0}, uint8_t{1});
+    return false;
+  }
+  bool cond(vertex_id) const { return true; }
+};
+
+}  // namespace
+
+bellman_ford_result bellman_ford(const wgraph& g, vertex_id source,
+                                 const edge_map_options& opts) {
+  if (source >= g.num_vertices())
+    throw std::invalid_argument("bellman_ford: source out of range");
+  const vertex_id n = g.num_vertices();
+  bellman_ford_result result;
+  result.distances.assign(n, kInfiniteDistance);
+  result.distances[source] = 0;
+  std::vector<uint8_t> visited(n, 0);
+
+  vertex_subset frontier(n, source);
+  while (!frontier.empty()) {
+    if (result.num_rounds++ == n) {
+      result.negative_cycle = true;
+      return result;
+    }
+    vertex_subset next =
+        edge_map(g, frontier, bf_f{result.distances.data(), visited.data()},
+                 opts);
+    vertex_map(next, [&](vertex_id v) { visited[v] = 0; });
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace ligra::apps

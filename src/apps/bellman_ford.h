@@ -1,0 +1,32 @@
+// Bellman-Ford single-source shortest paths (paper §4.6): frontier-based
+// relaxation on a weighted graph. Each round relaxes the out-edges of the
+// vertices whose distance improved last round; `write_min` makes the
+// relaxation atomic, and a per-round visited flag keeps the output frontier
+// duplicate-free. Handles negative edge weights; detects negative cycles
+// after n rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ligra/edge_map.h"
+
+namespace ligra::apps {
+
+// Distances are int64 so that n * max|weight| cannot overflow.
+inline constexpr int64_t kInfiniteDistance =
+    std::numeric_limits<int64_t>::max() / 4;
+
+struct bellman_ford_result {
+  // distances[v] = shortest-path weight from source, kInfiniteDistance if
+  // unreachable. Meaningless if negative_cycle is true.
+  std::vector<int64_t> distances;
+  bool negative_cycle = false;
+  size_t num_rounds = 0;
+};
+
+bellman_ford_result bellman_ford(const wgraph& g, vertex_id source,
+                                 const edge_map_options& opts = {});
+
+}  // namespace ligra::apps

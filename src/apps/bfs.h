@@ -1,0 +1,48 @@
+// Breadth-first search (paper §4.1) — the flagship application: parent-
+// pointer BFS with direction-optimizing traversal falling out of edge_map's
+// hybrid strategy for free.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "ligra/edge_map.h"
+
+namespace ligra::apps {
+
+struct bfs_options {
+  // Forwarded to every edge_map call (lets benchmarks force sparse/dense
+  // traversal and sweep the threshold — experiments F1/F2).
+  edge_map_options edge_map;
+};
+
+// One row of the per-iteration trace (experiment F1): the frontier the
+// round started from and the traversal direction the hybrid picked.
+struct bfs_round_stats {
+  size_t frontier_size = 0;
+  edge_id frontier_edges = 0;
+  traversal used = traversal::automatic;
+};
+
+struct bfs_result {
+  // parents[v] = BFS-tree parent of v; source maps to itself; unreachable
+  // vertices map to kNoVertex.
+  std::vector<vertex_id> parents;
+  size_t num_reached = 0;   // vertices in the BFS tree (incl. source)
+  size_t num_rounds = 0;    // = eccentricity of source within its component
+  std::vector<bfs_round_stats> trace;  // filled iff options request it
+};
+
+// Runs BFS from `source`. Works on directed and undirected graphs (dense
+// traversal uses in-edges, which graph_t always carries).
+bfs_result bfs(const graph& g, vertex_id source, const bfs_options& options = {});
+
+// Convenience: just the parent array.
+std::vector<vertex_id> bfs_parents(const graph& g, vertex_id source);
+
+// BFS levels: distance in hops from source, or -1 if unreachable. Derived
+// by running bfs() with a level-stamping functor; used by tests and Radii
+// cross-checks.
+std::vector<int64_t> bfs_levels(const graph& g, vertex_id source);
+
+}  // namespace ligra::apps

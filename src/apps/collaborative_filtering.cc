@@ -1,0 +1,116 @@
+#include "apps/collaborative_filtering.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/primitives.h"
+#include "util/rng.h"
+
+namespace ligra::apps {
+
+cf_result collaborative_filtering(const wgraph& g, const cf_options& opts) {
+  if (!g.symmetric())
+    throw std::invalid_argument(
+        "collaborative_filtering: requires a symmetric graph");
+  if (opts.dimensions < 1 || opts.dimensions > 64)
+    throw std::invalid_argument(
+        "collaborative_filtering: dimensions must be in [1, 64]");
+  const vertex_id n = g.num_vertices();
+  const int K = opts.dimensions;
+
+  cf_result result;
+  result.dimensions = K;
+  result.latent.resize(static_cast<size_t>(n) * K);
+  rng r(opts.seed);
+  parallel::parallel_for(0, result.latent.size(), [&](size_t i) {
+    result.latent[i] = 0.5 * r.uniform(i);  // small positive init
+  });
+  double* x = result.latent.data();
+
+  auto rmse = [&]() {
+    if (g.num_edges() == 0) return 0.0;
+    double se = parallel::reduce_add(n, [&](size_t ui) {
+      auto u = static_cast<vertex_id>(ui);
+      auto nbrs = g.out_neighbors(u);
+      double acc = 0;
+      for (size_t j = 0; j < nbrs.size(); j++) {
+        double dot = 0;
+        for (int k = 0; k < K; k++)
+          dot += x[ui * K + static_cast<size_t>(k)] *
+                 x[static_cast<size_t>(nbrs[j]) * K + static_cast<size_t>(k)];
+        double err = static_cast<double>(g.out_weight(u, j)) - dot;
+        acc += err * err;
+      }
+      return acc;
+    });
+    return std::sqrt(se / static_cast<double>(g.num_edges()));
+  };
+  result.rmse_history.push_back(rmse());
+
+  // One sweep: every vertex walks its own ratings and descends its own
+  // latent vector (neighbors' vectors are read concurrently — the standard
+  // lock-free "Hogwild"-style tolerance the original CF app also accepts).
+  for (size_t sweep = 0; sweep < opts.sweeps; sweep++) {
+    parallel::parallel_for(
+        0, n,
+        [&](size_t ui) {
+          auto u = static_cast<vertex_id>(ui);
+          auto nbrs = g.out_neighbors(u);
+          double local[64];  // K <= 64 enforced below
+          for (size_t j = 0; j < nbrs.size(); j++) {
+            size_t vi = static_cast<size_t>(nbrs[j]);
+            double dot = 0;
+            for (int k = 0; k < K; k++)
+              dot += x[ui * K + static_cast<size_t>(k)] *
+                     x[vi * K + static_cast<size_t>(k)];
+            double err = static_cast<double>(g.out_weight(u, j)) - dot;
+            for (int k = 0; k < K; k++) {
+              auto ks = static_cast<size_t>(k);
+              local[ks] = x[ui * K + ks] +
+                          opts.learning_rate *
+                              (err * x[vi * K + ks] -
+                               opts.regularization * x[ui * K + ks]);
+            }
+            for (int k = 0; k < K; k++)
+              x[ui * K + static_cast<size_t>(k)] = local[static_cast<size_t>(k)];
+          }
+        },
+        16);
+    result.rmse_history.push_back(rmse());
+  }
+  return result;
+}
+
+wgraph synthetic_ratings(vertex_id n_users, vertex_id n_items,
+                         size_t ratings_per_user, int hidden_dim,
+                         uint64_t seed) {
+  if (hidden_dim < 1 || hidden_dim > 64)
+    throw std::invalid_argument("synthetic_ratings: hidden_dim in [1, 64]");
+  const vertex_id n = n_users + n_items;
+  rng r(seed);
+  // Hidden factors in [0, 1): ratings = <h_u, h_i> scaled to [1, 5].
+  std::vector<double> hidden(static_cast<size_t>(n) * hidden_dim);
+  parallel::parallel_for(0, hidden.size(),
+                         [&](size_t i) { hidden[i] = r.uniform(i); });
+  std::vector<weighted_edge> edges(static_cast<size_t>(n_users) *
+                                   ratings_per_user);
+  rng er(hash64(seed));
+  parallel::parallel_for(0, edges.size(), [&](size_t i) {
+    auto u = static_cast<vertex_id>(i / ratings_per_user);
+    auto item = static_cast<vertex_id>(
+        n_users + static_cast<vertex_id>(er.bounded(i, n_items)));
+    double dot = 0;
+    for (int k = 0; k < hidden_dim; k++)
+      dot += hidden[static_cast<size_t>(u) * hidden_dim + static_cast<size_t>(k)] *
+             hidden[static_cast<size_t>(item) * hidden_dim + static_cast<size_t>(k)];
+    // Scale to an integer rating 1..5 with mild noise.
+    double noisy = dot / hidden_dim * 4.0 + 1.0 + (er.uniform(i + edges.size()) - 0.5) * 0.5;
+    auto rating = static_cast<int32_t>(noisy + 0.5);
+    if (rating < 1) rating = 1;
+    if (rating > 5) rating = 5;
+    edges[i] = weighted_edge(u, item, rating);
+  });
+  return wgraph::from_edges(n, std::move(edges), {.symmetrize = true});
+}
+
+}  // namespace ligra::apps

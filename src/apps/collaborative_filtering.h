@@ -1,0 +1,57 @@
+// Collaborative filtering by stochastic gradient descent — the CF
+// application shipped with the original Ligra release. DESIGN.md S11.
+//
+// Input: a symmetric bipartite weighted graph between "users" [0, n_users)
+// and "items" [n_users, n) whose edge weights are ratings. Each vertex
+// carries a K-dimensional latent vector; SGD sweeps minimize
+//     sum over ratings (r_uv - <x_u, x_v>)^2 + lambda (|x_u|^2 + |x_v|^2).
+// Every sweep is one edge_map over all vertices: in dense (pull) form each
+// vertex updates its own latent vector from all its neighbors — a
+// Gauss-Seidel-flavored SGD like the original implementation, races
+// bounded to reads of neighbor vectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::apps {
+
+struct cf_options {
+  int dimensions = 8;        // K
+  double learning_rate = 0.01;
+  double regularization = 0.1;
+  size_t sweeps = 10;
+  uint64_t seed = 1;
+};
+
+struct cf_result {
+  // Row-major n x K latent matrix.
+  std::vector<double> latent;
+  int dimensions = 8;
+  // Root-mean-square error over all ratings after each sweep (size
+  // sweeps + 1; entry 0 is the pre-training error).
+  std::vector<double> rmse_history;
+
+  double predict(vertex_id u, vertex_id v) const {
+    double dot = 0;
+    for (int k = 0; k < dimensions; k++)
+      dot += latent[static_cast<size_t>(u) * dimensions + static_cast<size_t>(k)] *
+             latent[static_cast<size_t>(v) * dimensions + static_cast<size_t>(k)];
+    return dot;
+  }
+};
+
+// Requires a symmetric weighted graph; throws otherwise.
+cf_result collaborative_filtering(const wgraph& g, const cf_options& opts = {});
+
+// Builds a synthetic ratings graph for demos/tests: n_users x n_items,
+// each user rates `ratings_per_user` random items; ratings are generated
+// from a hidden rank-`hidden_dim` model plus noise, so SGD has real
+// structure to recover.
+wgraph synthetic_ratings(vertex_id n_users, vertex_id n_items,
+                         size_t ratings_per_user, int hidden_dim = 4,
+                         uint64_t seed = 1);
+
+}  // namespace ligra::apps

@@ -1,0 +1,66 @@
+#include "apps/components.h"
+
+#include <stdexcept>
+
+#include "ligra/vertex_map.h"
+#include "parallel/atomics.h"
+
+namespace ligra::apps {
+
+namespace {
+
+// The paper's CC update (Figure 4): push the smaller label; a vertex joins
+// the next frontier the first time its label drops in a round (the
+// prev_labels check keeps the output duplicate-free without the
+// remove_duplicates pass).
+struct cc_f {
+  vertex_id* labels;
+  const vertex_id* prev_labels;
+
+  // labels[u] is read while u's own label may be lowered by another thread
+  // (a vertex can be both source and target in a round), so source reads go
+  // through atomic_load; a stale read only delays propagation by a round.
+  bool update(vertex_id u, vertex_id v) const {
+    vertex_id incoming = atomic_load(&labels[u]);
+    vertex_id orig = atomic_load(&labels[v]);
+    if (incoming < orig) {
+      atomic_store(&labels[v], incoming);
+      return orig == prev_labels[v];
+    }
+    return false;
+  }
+  bool update_atomic(vertex_id u, vertex_id v) const {
+    vertex_id incoming = atomic_load(&labels[u]);
+    vertex_id orig = atomic_load(&labels[v]);
+    if (write_min(&labels[v], incoming)) return orig == prev_labels[v];
+    return false;
+  }
+  bool cond(vertex_id) const { return true; }
+};
+
+}  // namespace
+
+components_result connected_components(const graph& g,
+                                       const edge_map_options& opts) {
+  if (!g.symmetric())
+    throw std::invalid_argument(
+        "connected_components: requires a symmetric graph");
+  const vertex_id n = g.num_vertices();
+  components_result result;
+  result.labels = parallel::tabulate(
+      n, [](size_t v) { return static_cast<vertex_id>(v); });
+  std::vector<vertex_id> prev(result.labels);
+
+  vertex_subset frontier = vertex_subset::all(n);
+  while (!frontier.empty()) {
+    result.num_rounds++;
+    vertex_map(frontier, [&](vertex_id v) { prev[v] = result.labels[v]; });
+    frontier =
+        edge_map(g, frontier, cc_f{result.labels.data(), prev.data()}, opts);
+  }
+  result.num_components = parallel::count_if_index(
+      n, [&](size_t v) { return result.labels[v] == v; });
+  return result;
+}
+
+}  // namespace ligra::apps

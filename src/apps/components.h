@@ -1,0 +1,26 @@
+// Connected components by label propagation (paper §4.4): every vertex
+// starts with its own id as label; edge_map repeatedly propagates the
+// minimum label across edges until no label changes. On a symmetric graph
+// labels converge to the minimum vertex id of each component.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "ligra/edge_map.h"
+
+namespace ligra::apps {
+
+struct components_result {
+  // labels[v] = smallest vertex id in v's component.
+  std::vector<vertex_id> labels;
+  size_t num_components = 0;
+  size_t num_rounds = 0;
+};
+
+// Requires a symmetric graph (label propagation computes weakly-connected
+// components only when both directions are present); throws otherwise.
+components_result connected_components(const graph& g,
+                                       const edge_map_options& opts = {});
+
+}  // namespace ligra::apps

@@ -1,0 +1,70 @@
+#include "apps/components_shortcut.h"
+
+#include <stdexcept>
+
+#include "ligra/edge_map.h"
+#include "ligra/vertex_map.h"
+#include "parallel/atomics.h"
+
+namespace ligra::apps {
+
+namespace {
+
+struct sc_f {
+  vertex_id* labels;
+  uint8_t* changed;
+
+  bool propagate(vertex_id u, vertex_id v) const {
+    vertex_id incoming = atomic_load(&labels[u]);
+    if (write_min(&labels[v], incoming)) {
+      if (!atomic_load(changed)) atomic_store(changed, uint8_t{1});
+      return true;
+    }
+    return false;
+  }
+  bool update(vertex_id u, vertex_id v) const { return propagate(u, v); }
+  bool update_atomic(vertex_id u, vertex_id v) const { return propagate(u, v); }
+  bool cond(vertex_id) const { return true; }
+};
+
+}  // namespace
+
+components_result connected_components_shortcut(const graph& g,
+                                                const edge_map_options& opts) {
+  if (!g.symmetric())
+    throw std::invalid_argument(
+        "connected_components_shortcut: requires a symmetric graph");
+  const vertex_id n = g.num_vertices();
+  components_result result;
+  result.labels = parallel::tabulate(
+      n, [](size_t v) { return static_cast<vertex_id>(v); });
+  vertex_id* labels = result.labels.data();
+
+  uint8_t changed = 1;
+  while (changed) {
+    changed = 0;
+    result.num_rounds++;
+    vertex_subset all = vertex_subset::all(n);
+    edge_map_no_output(g, all, sc_f{labels, &changed}, opts);
+    // Shortcut: jump every label to its label's label until the jump is a
+    // fixed point for this round (full path compression keeps labels
+    // pointing at current roots, so round count stays logarithmic).
+    uint8_t jumped = 1;
+    while (jumped) {
+      jumped = 0;
+      parallel::parallel_for(0, n, [&](size_t v) {
+        vertex_id l = atomic_load(&labels[v]);
+        vertex_id ll = atomic_load(&labels[l]);
+        if (ll != l) {
+          atomic_store(&labels[v], ll);
+          if (!atomic_load(&jumped)) atomic_store(&jumped, uint8_t{1});
+        }
+      });
+    }
+  }
+  result.num_components = parallel::count_if_index(
+      n, [&](size_t v) { return result.labels[v] == v; });
+  return result;
+}
+
+}  // namespace ligra::apps

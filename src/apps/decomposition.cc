@@ -1,0 +1,204 @@
+#include "apps/decomposition.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ligra/edge_map.h"
+#include "ligra/vertex_map.h"
+#include "parallel/atomics.h"
+#include "util/rng.h"
+
+namespace ligra::apps {
+
+namespace {
+
+// Ball-growing update: an unclaimed vertex joins the cluster of the first
+// frontier neighbor to reach it.
+struct ldd_f {
+  vertex_id* cluster;
+
+  bool update(vertex_id u, vertex_id v) const {
+    if (cluster[v] == kNoVertex) {
+      cluster[v] = cluster[u];
+      return true;
+    }
+    return false;
+  }
+  bool update_atomic(vertex_id u, vertex_id v) const {
+    return compare_and_swap(&cluster[v], kNoVertex, cluster[u]);
+  }
+  bool cond(vertex_id v) const { return atomic_load(&cluster[v]) == kNoVertex; }
+};
+
+}  // namespace
+
+decomposition_result decompose(const graph& g, double beta, uint64_t seed) {
+  if (!g.symmetric())
+    throw std::invalid_argument("decompose: requires a symmetric graph");
+  if (!(beta > 0.0 && beta <= 1.0))
+    throw std::invalid_argument("decompose: beta must be in (0, 1]");
+  const vertex_id n = g.num_vertices();
+  decomposition_result result;
+  result.cluster.assign(n, kNoVertex);
+  if (n == 0) return result;
+
+  // Miller-Peng-Xu shifts: draw delta_v ~ Exponential(beta); vertex v's
+  // ball starts growing at time (delta_max - delta_v), i.e. the LARGEST
+  // shift wakes first. The exponential tail makes early wakers rare, so a
+  // handful of balls claim most of the graph and only ~beta of the edges
+  // end up crossing clusters.
+  rng r(seed);
+  std::vector<double> shift(n);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    double u = r.uniform(v);
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    double s = -std::log(1.0 - u) / beta;
+    // Cap pathological draws so the wake schedule spans at most n rounds.
+    shift[v] = s >= static_cast<double>(n) ? static_cast<double>(n) : s;
+  });
+  double shift_max = parallel::reduce(
+      n, [&](size_t v) { return shift[v]; }, 0.0,
+      [](double a, double b) { return a > b ? a : b; });
+  std::vector<uint32_t> wake_round(n);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    wake_round[v] = static_cast<uint32_t>(shift_max - shift[v]);
+  });
+
+  // Bucket vertices by wake round so each round adds its centers in O(1)
+  // amortized (vertices sorted once by wake_round).
+  auto order = parallel::tabulate(
+      n, [](size_t v) { return static_cast<vertex_id>(v); });
+  parallel::sort_inplace(order, [&](vertex_id a, vertex_id b) {
+    return wake_round[a] < wake_round[b];
+  });
+
+  vertex_id* cluster = result.cluster.data();
+  vertex_subset frontier(n);  // starts empty
+  size_t next_wake = 0;       // index into `order`
+  uint32_t round = 0;
+  size_t claimed = 0;
+  while (claimed < n) {
+    // Wake new centers whose delay expired and that are still unclaimed.
+    std::vector<vertex_id> new_centers;
+    while (next_wake < order.size() && wake_round[order[next_wake]] <= round) {
+      vertex_id v = order[next_wake++];
+      if (cluster[v] == kNoVertex) {
+        cluster[v] = v;
+        new_centers.push_back(v);
+      }
+    }
+    claimed += new_centers.size();
+    result.num_clusters += new_centers.size();
+    if (!new_centers.empty()) {
+      // Merge the new centers into the frontier.
+      frontier.to_sparse();
+      std::vector<vertex_id> merged = frontier.sparse();
+      merged.insert(merged.end(), new_centers.begin(), new_centers.end());
+      frontier = vertex_subset(n, std::move(merged));
+    }
+    if (frontier.empty()) {
+      round++;
+      continue;
+    }
+    vertex_subset next = edge_map(g, frontier, ldd_f{cluster});
+    claimed += next.size();
+    frontier = std::move(next);
+    round++;
+    result.num_rounds = round;
+  }
+
+  result.cut_edges = parallel::reduce_add(n, [&](size_t u) -> edge_id {
+    edge_id cut = 0;
+    for (vertex_id v : g.out_neighbors(static_cast<vertex_id>(u)))
+      if (cluster[u] != cluster[v]) cut++;
+    return cut;
+  });
+  return result;
+}
+
+namespace {
+
+// One contraction level: decompose, then build the cluster quotient graph
+// (cluster centers renumbered densely, self-loops and duplicate edges
+// removed).
+struct contraction {
+  std::vector<vertex_id> cluster_index;  // vertex -> dense cluster index
+  graph quotient;
+  size_t num_clusters = 0;
+};
+
+contraction contract(const graph& g, double beta, uint64_t seed) {
+  const vertex_id n = g.num_vertices();
+  auto decomp = decompose(g, beta, seed);
+
+  // Dense renumbering of cluster centers.
+  std::vector<uint8_t> is_center(n, 0);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    if (decomp.cluster[v] == static_cast<vertex_id>(v)) is_center[v] = 1;
+  });
+  auto centers = parallel::pack_index<vertex_id>(
+      n, [&](size_t v) { return is_center[v] != 0; });
+  std::vector<vertex_id> center_rank(n, 0);
+  parallel::parallel_for(0, centers.size(),
+                         [&](size_t i) { center_rank[centers[i]] = static_cast<vertex_id>(i); });
+
+  contraction out;
+  out.num_clusters = centers.size();
+  out.cluster_index.resize(n);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    out.cluster_index[v] = center_rank[decomp.cluster[v]];
+  });
+
+  // Quotient edges: relabel the endpoints of cut edges, drop the rest.
+  auto edges = g.to_edges();
+  std::vector<edge> cut = parallel::pack(
+      edges.size(),
+      [&](size_t i) {
+        return edge{out.cluster_index[edges[i].u], out.cluster_index[edges[i].v]};
+      },
+      [&](size_t i) {
+        return out.cluster_index[edges[i].u] != out.cluster_index[edges[i].v];
+      });
+  out.quotient = graph::from_symmetric_edges(
+      static_cast<vertex_id>(out.num_clusters), std::move(cut));
+  return out;
+}
+
+}  // namespace
+
+decomposition_cc_result connected_components_decomposition(const graph& g,
+                                                           double beta,
+                                                           uint64_t seed) {
+  if (!g.symmetric())
+    throw std::invalid_argument(
+        "connected_components_decomposition: requires a symmetric graph");
+  decomposition_cc_result result;
+  const vertex_id n = g.num_vertices();
+  result.labels = parallel::tabulate(
+      n, [](size_t v) { return static_cast<vertex_id>(v); });
+  if (g.num_edges() == 0) {
+    result.num_components = n;
+    return result;
+  }
+
+  auto level = contract(g, beta, seed);
+  result.num_levels = 1;
+  if (level.quotient.num_edges() == 0) {
+    // Each cluster is a full component.
+    parallel::parallel_for(0, n, [&](size_t v) {
+      result.labels[v] = level.cluster_index[v];
+    });
+    result.num_components = level.num_clusters;
+    return result;
+  }
+  auto rec = connected_components_decomposition(level.quotient, beta,
+                                                hash64(seed));
+  parallel::parallel_for(0, n, [&](size_t v) {
+    result.labels[v] = rec.labels[level.cluster_index[v]];
+  });
+  result.num_components = rec.num_components;
+  result.num_levels = rec.num_levels + 1;
+  return result;
+}
+
+}  // namespace ligra::apps

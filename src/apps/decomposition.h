@@ -1,0 +1,52 @@
+// Low-diameter decomposition and decomposition-based connectivity —
+// the authors' "simple and practical linear-work parallel connectivity"
+// line of work (Shun, Dhulipala, Blelloch, SPAA'14; building on
+// Miller-Peng-Xu decomposition), cited in the paper's bibliography and
+// built entirely from Ligra primitives. DESIGN.md S11.
+//
+// decompose(G, beta): partitions the vertices into clusters such that (in
+// expectation) at most a beta fraction of edges cross clusters and every
+// cluster has O(log n / beta) diameter. Mechanism: every vertex draws a
+// start delay from Exponential(beta); a staggered multi-source BFS grows
+// a ball from each vertex when its delay expires, and each vertex joins
+// the first ball to reach it (CAS-claimed, ties schedule-dependent but
+// the partition quality properties hold for any tie-break).
+//
+// connected_components_decomposition(G): contracts each cluster to a
+// super-vertex and recurses until no edges remain — expected linear work
+// overall (each level removes a constant fraction of edges), unlike label
+// propagation whose round count is diameter-bound.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::apps {
+
+struct decomposition_result {
+  // cluster[v] = id (a vertex id: the cluster's center) of v's cluster.
+  std::vector<vertex_id> cluster;
+  size_t num_clusters = 0;
+  // Directed edges (u, v) with cluster[u] != cluster[v].
+  edge_id cut_edges = 0;
+  size_t num_rounds = 0;
+};
+
+// Requires a symmetric graph and beta in (0, 1]; throws otherwise.
+decomposition_result decompose(const graph& g, double beta,
+                               uint64_t seed = 1);
+
+struct decomposition_cc_result {
+  // labels[v] identifies v's component; label values are representative
+  // vertex ids (not necessarily component minima).
+  std::vector<vertex_id> labels;
+  size_t num_components = 0;
+  size_t num_levels = 0;  // recursion depth of contract-and-recurse
+};
+
+decomposition_cc_result connected_components_decomposition(const graph& g,
+                                                           double beta = 0.2,
+                                                           uint64_t seed = 1);
+
+}  // namespace ligra::apps

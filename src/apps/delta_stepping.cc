@@ -1,0 +1,91 @@
+#include "apps/delta_stepping.h"
+
+#include <stdexcept>
+
+#include "apps/bellman_ford.h"  // kInfiniteDistance
+#include "ligra/bucket.h"
+#include "parallel/atomics.h"
+
+namespace ligra::apps {
+
+namespace {
+
+// Relaxation functor: lower dist[v]; winner (per round, via the visited
+// flag) reports v so it can be re-bucketed.
+struct ds_f {
+  int64_t* dist;
+  uint8_t* updated;
+
+  bool update(vertex_id u, vertex_id v, int32_t w) const {
+    int64_t nd = atomic_load(&dist[u]) + w;
+    if (nd < atomic_load(&dist[v])) {
+      atomic_store(&dist[v], nd);
+      if (!updated[v]) {
+        updated[v] = 1;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool update_atomic(vertex_id u, vertex_id v, int32_t w) const {
+    int64_t nd = atomic_load(&dist[u]) + w;
+    if (write_min(&dist[v], nd))
+      return compare_and_swap(&updated[v], uint8_t{0}, uint8_t{1});
+    return false;
+  }
+  bool cond(vertex_id) const { return true; }
+};
+
+}  // namespace
+
+delta_stepping_result delta_stepping(const wgraph& g, vertex_id source,
+                                     int64_t delta,
+                                     const edge_map_options& opts) {
+  if (source >= g.num_vertices())
+    throw std::invalid_argument("delta_stepping: source out of range");
+  if (delta < 1) throw std::invalid_argument("delta_stepping: delta must be >= 1");
+  for (int32_t w : g.out_weight_array())
+    if (w < 0)
+      throw std::invalid_argument("delta_stepping: negative edge weight");
+
+  const vertex_id n = g.num_vertices();
+  delta_stepping_result result;
+  result.distances.assign(n, kInfiniteDistance);
+  result.distances[source] = 0;
+  int64_t* dist = result.distances.data();
+  std::vector<uint8_t> updated(n, 0);
+
+  // settled[v]: v's bucket has been fully processed at its final distance.
+  std::vector<uint8_t> settled(n, 0);
+  auto get_bucket = [&](uint32_t v) -> uint64_t {
+    if (settled[v] || dist[v] == kInfiniteDistance) return kNullBucket;
+    return static_cast<uint64_t>(dist[v] / delta);
+  };
+  auto buckets = make_buckets(n, get_bucket, /*num_open=*/128);
+
+  while (true) {
+    auto popped = buckets.next_bucket();
+    if (!popped) break;
+    result.num_buckets_processed++;
+    // Settle this bucket: relax out-edges of its members; improved vertices
+    // re-bucket, possibly back into this same bucket (short "light" edges),
+    // in which case next_bucket returns it again.
+    vertex_subset frontier(n, std::move(popped->ids));
+    frontier.for_each([&](vertex_id v) { settled[v] = 1; });
+    result.num_relaxation_rounds++;
+    vertex_subset improved =
+        edge_map(g, frontier, ds_f{dist, updated.data()}, opts);
+    improved.to_sparse();
+    improved.for_each([&](vertex_id v) {
+      updated[v] = 0;
+      // A vertex may be improved after having been settled in an earlier
+      // (or this) bucket only if its new distance is strictly smaller; it
+      // must then be reprocessed.
+      settled[v] = 0;
+    });
+    buckets.update_buckets(improved.sparse());
+  }
+  return result;
+}
+
+}  // namespace ligra::apps

@@ -1,0 +1,39 @@
+// Δ-stepping single-source shortest paths over the Julienne bucket
+// structure (DESIGN.md S11) — the second bucketing application of the
+// authors' follow-on work, and the natural comparison point for the
+// paper's Bellman-Ford (ablation bench A4).
+//
+// Vertices are bucketed by floor(dist / delta); buckets are settled in
+// increasing order, re-processing a bucket while relaxations keep landing
+// in it. With delta ~ average edge weight this does near-Dijkstra work
+// while exposing bucket-wide parallelism. Requires non-negative weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ligra/edge_map.h"
+
+namespace ligra::apps {
+
+struct delta_stepping_result {
+  std::vector<int64_t> distances;  // kInfiniteDistance if unreachable
+  size_t num_buckets_processed = 0;
+  size_t num_relaxation_rounds = 0;
+};
+
+// Throws std::invalid_argument on negative weights or delta < 1.
+delta_stepping_result delta_stepping(const wgraph& g, vertex_id source,
+                                     int64_t delta,
+                                     const edge_map_options& opts = {});
+
+// Julienne's weighted BFS (wBFS): bucketed SSSP with one bucket per
+// distance value — exact Dijkstra ordering for small integer weights, the
+// configuration the Julienne paper evaluates on low-weight graphs.
+inline delta_stepping_result weighted_bfs(const wgraph& g, vertex_id source,
+                                          const edge_map_options& opts = {}) {
+  return delta_stepping(g, source, 1, opts);
+}
+
+}  // namespace ligra::apps

@@ -1,0 +1,37 @@
+// Two-pass eccentricity estimation — the kBFS-based estimator the author's
+// KDD'15 study ("an evaluation of parallel eccentricity estimation
+// algorithms") found to work surprisingly well, built from the same
+// multi-BFS machinery as the paper's Radii application. DESIGN.md S11.
+//
+// Pass 1 runs K simultaneous bit-parallel BFS from random sources (exactly
+// Radii) and records, for every vertex v, the furthest round at which any
+// sampled search reached it. Pass 2 re-runs K simultaneous BFS from the
+// vertices pass 1 found *furthest away* (the estimated periphery) — peaks
+// of the distance landscape are excellent witnesses, so the second pass
+// tightens per-vertex eccentricity lower bounds substantially on
+// high-diameter graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ligra/edge_map.h"
+
+namespace ligra::apps {
+
+struct eccentricity_result {
+  // ecc[v] = lower-bound estimate of v's eccentricity (-1 if untouched by
+  // every sampled search).
+  std::vector<int64_t> ecc;
+  int64_t diameter_estimate = 0;
+  size_t num_rounds = 0;  // BFS rounds across both passes
+};
+
+// `num_samples` per pass, clamped to [1, 64]. Requires a symmetric graph
+// for the eccentricity interpretation.
+eccentricity_result eccentricity_two_pass(const graph& g, uint64_t seed = 1,
+                                          int num_samples = 64,
+                                          const edge_map_options& opts = {});
+
+}  // namespace ligra::apps

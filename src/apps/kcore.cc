@@ -1,0 +1,140 @@
+#include "apps/kcore.h"
+
+#include <stdexcept>
+
+#include "ligra/bucket.h"
+#include "ligra/edge_map.h"
+#include "ligra/vertex_map.h"
+#include "parallel/atomics.h"
+
+namespace ligra::apps {
+
+namespace {
+
+void require_symmetric(const graph& g, const char* who) {
+  if (!g.symmetric())
+    throw std::invalid_argument(std::string(who) + ": requires a symmetric graph");
+}
+
+// Atomically lowers *deg by one but never below `floor` (a neighbor being
+// peeled at core k cannot push a survivor's remaining degree below k).
+// Returns the new value.
+vertex_id decrement_to_floor(vertex_id* deg, vertex_id floor) {
+  vertex_id current = atomic_load(deg);
+  while (current > floor) {
+    if (compare_and_swap(deg, current, current - 1)) return current - 1;
+    current = atomic_load(deg);
+  }
+  return current;
+}
+
+}  // namespace
+
+kcore_result kcore(const graph& g) {
+  require_symmetric(g, "kcore");
+  const vertex_id n = g.num_vertices();
+  kcore_result result;
+  result.coreness.assign(n, 0);
+  if (n == 0) return result;
+
+  std::vector<vertex_id> degree(n);
+  std::vector<uint8_t> alive(n, 1);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    degree[v] = static_cast<vertex_id>(g.out_degree(static_cast<vertex_id>(v)));
+  });
+
+  auto get_bucket = [&](uint32_t v) -> uint64_t {
+    return alive[v] ? degree[v] : kNullBucket;
+  };
+  auto buckets = make_buckets(n, get_bucket, /*num_open=*/128);
+
+  size_t finished = 0;
+  while (finished < n) {
+    auto popped = buckets.next_bucket();
+    if (!popped) break;
+    const vertex_id k = static_cast<vertex_id>(popped->bucket);
+    result.num_rounds++;
+    finished += popped->ids.size();
+    if (k > result.max_core) result.max_core = k;
+
+    // Peel: fix coreness, mark dead, decrement live neighbors (clamped at
+    // k) and collect them for re-bucketing.
+    parallel::parallel_for(0, popped->ids.size(), [&](size_t i) {
+      vertex_id v = popped->ids[i];
+      result.coreness[v] = k;
+      alive[v] = 0;
+    });
+    // Gather affected neighbors (with duplicates; the bucket structure
+    // deduplicates lazily at pop time).
+    std::vector<std::vector<uint32_t>> per_vertex(popped->ids.size());
+    parallel::parallel_for(
+        0, popped->ids.size(),
+        [&](size_t i) {
+          vertex_id v = popped->ids[i];
+          auto& out = per_vertex[i];
+          for (vertex_id u : g.out_neighbors(v)) {
+            if (!atomic_load(&alive[u])) continue;
+            vertex_id nd = decrement_to_floor(&degree[u], k);
+            if (nd >= k) out.push_back(u);
+          }
+        });
+    size_t total = 0;
+    std::vector<size_t> offset(per_vertex.size());
+    for (size_t i = 0; i < per_vertex.size(); i++) {
+      offset[i] = total;
+      total += per_vertex[i].size();
+    }
+    std::vector<uint32_t> affected(total);
+    parallel::parallel_for(0, per_vertex.size(), [&](size_t i) {
+      std::copy(per_vertex[i].begin(), per_vertex[i].end(),
+                affected.begin() + static_cast<ptrdiff_t>(offset[i]));
+    });
+    buckets.update_buckets(affected);
+  }
+  return result;
+}
+
+kcore_result kcore_rounds(const graph& g) {
+  require_symmetric(g, "kcore_rounds");
+  const vertex_id n = g.num_vertices();
+  kcore_result result;
+  result.coreness.assign(n, 0);
+  if (n == 0) return result;
+
+  std::vector<vertex_id> degree(n);
+  std::vector<uint8_t> alive(n, 1);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    degree[v] = static_cast<vertex_id>(g.out_degree(static_cast<vertex_id>(v)));
+  });
+
+  size_t remaining = n;
+  vertex_id k = 0;
+  while (remaining > 0) {
+    // Peel all vertices with remaining degree <= k; if none, raise k.
+    auto to_peel = parallel::pack_index<vertex_id>(n, [&](size_t v) {
+      return alive[v] && degree[v] <= k;
+    });
+    result.num_rounds++;
+    if (to_peel.empty()) {
+      k++;
+      continue;
+    }
+    parallel::parallel_for(0, to_peel.size(), [&](size_t i) {
+      vertex_id v = to_peel[i];
+      result.coreness[v] = k;
+      alive[v] = 0;
+    });
+    remaining -= to_peel.size();
+    parallel::parallel_for(
+        0, to_peel.size(),
+        [&](size_t i) {
+          for (vertex_id u : g.out_neighbors(to_peel[i])) {
+            if (atomic_load(&alive[u])) decrement_to_floor(&degree[u], k);
+          }
+        });
+  }
+  result.max_core = k;
+  return result;
+}
+
+}  // namespace ligra::apps

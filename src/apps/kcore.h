@@ -1,0 +1,34 @@
+// k-core decomposition (coreness) — the flagship application of the
+// Julienne extension (Dhulipala, Blelloch, Shun, SPAA'17). DESIGN.md S11.
+//
+// The coreness of v is the largest k such that v belongs to the k-core (the
+// maximal subgraph of minimum degree k). Computed by peeling: repeatedly
+// remove the vertices of minimum remaining degree.
+//
+// Two implementations, compared by ablation bench A4:
+//   * kcore          — work-efficient bucketed peeling: vertices live in a
+//                      bucket_structure keyed by remaining degree, and each
+//                      peeling step pops the minimum bucket and decrements
+//                      only the affected neighbors.
+//   * kcore_rounds   — Ligra-only baseline without bucketing: for each k,
+//                      repeatedly vertex_filter the whole active set for
+//                      degree <= k (O(n) scans per sub-round).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::apps {
+
+struct kcore_result {
+  std::vector<vertex_id> coreness;  // one value per vertex
+  vertex_id max_core = 0;
+  size_t num_rounds = 0;  // peeling steps (buckets popped / sub-rounds)
+};
+
+// Requires a symmetric graph; throws otherwise.
+kcore_result kcore(const graph& g);
+kcore_result kcore_rounds(const graph& g);
+
+}  // namespace ligra::apps

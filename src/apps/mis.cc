@@ -1,0 +1,69 @@
+#include "apps/mis.h"
+
+#include <stdexcept>
+
+#include "ligra/vertex_map.h"
+#include "ligra/vertex_subset.h"
+#include "parallel/atomics.h"
+#include "util/rng.h"
+
+namespace ligra::apps {
+
+namespace {
+
+enum : uint8_t { kUndecided = 0, kInSet = 1, kOut = 2 };
+
+}  // namespace
+
+mis_result maximal_independent_set(const graph& g, uint64_t seed) {
+  if (!g.symmetric())
+    throw std::invalid_argument(
+        "maximal_independent_set: requires a symmetric graph");
+  const vertex_id n = g.num_vertices();
+  mis_result result;
+  result.in_set.assign(n, 0);
+  if (n == 0) return result;
+
+  rng r(seed);
+  // Priority of v: hashed, with the id as tie-break so priorities are a
+  // strict total order.
+  auto priority = [&](vertex_id v) {
+    return (r[v] & ~uint64_t{0xffffffff}) | v;
+  };
+
+  std::vector<uint8_t> state(n, kUndecided);
+  vertex_subset undecided = vertex_subset::all(n);
+
+  while (!undecided.empty()) {
+    result.num_rounds++;
+    // Roots: undecided vertices beating every undecided neighbor.
+    vertex_subset roots = vertex_filter(undecided, [&](vertex_id v) -> bool {
+      uint64_t pv = priority(v);
+      for (vertex_id u : g.out_neighbors(v)) {
+        if (state[u] == kUndecided && priority(u) < pv) return false;
+      }
+      return true;
+    });
+    // Roots enter the set; their neighbors leave the game. Writing kOut is
+    // race-free in effect: two roots cannot be adjacent (both would need
+    // the smaller priority), so a root's state is never overwritten.
+    vertex_map(roots, [&](vertex_id v) { state[v] = kInSet; });
+    vertex_map(roots, [&](vertex_id v) {
+      for (vertex_id u : g.out_neighbors(v)) {
+        if (atomic_load(&state[u]) == kUndecided)
+          atomic_store(&state[u], uint8_t{kOut});
+      }
+    });
+    undecided =
+        vertex_filter(undecided, [&](vertex_id v) { return state[v] == kUndecided; });
+  }
+
+  parallel::parallel_for(0, n, [&](size_t v) {
+    result.in_set[v] = state[v] == kInSet ? 1 : 0;
+  });
+  result.set_size =
+      parallel::count_if_index(n, [&](size_t v) { return result.in_set[v] != 0; });
+  return result;
+}
+
+}  // namespace ligra::apps

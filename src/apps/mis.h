@@ -1,0 +1,29 @@
+// Maximal independent set — extension from the authors' "greedy sequential
+// MIS is parallel on average" line of work (Blelloch, Fineman, Shun,
+// SPAA'12). DESIGN.md S11.
+//
+// Deterministic rootset algorithm: give every vertex a random priority
+// (a hash of its id and the seed); each round, every undecided vertex that
+// is a local priority minimum among its undecided neighbors enters the set
+// and knocks its neighbors out. Returns the same set regardless of
+// parallel schedule, and matches the greedy sequential algorithm run in
+// priority order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::apps {
+
+struct mis_result {
+  std::vector<uint8_t> in_set;  // 1 if the vertex is in the MIS
+  size_t set_size = 0;
+  size_t num_rounds = 0;
+};
+
+// Requires a symmetric graph; throws otherwise.
+mis_result maximal_independent_set(const graph& g, uint64_t seed = 1);
+
+}  // namespace ligra::apps

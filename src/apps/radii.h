@@ -1,0 +1,33 @@
+// Graph eccentricity / radii estimation (paper §4.3): run K=64
+// breadth-first searches simultaneously from random sources, packing each
+// BFS's visited set into one bit of a 64-bit word per vertex. A vertex's
+// estimated eccentricity is the last round in which it was newly reached by
+// any of the sampled searches; the maximum over vertices estimates the
+// graph's diameter (a lower bound that is typically tight on small-diameter
+// graphs after a couple of sample rounds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ligra/edge_map.h"
+
+namespace ligra::apps {
+
+struct radii_result {
+  // radii[v] = estimated eccentricity of v (max distance to any sampled
+  // source reached); -1 for vertices no sampled search reached.
+  std::vector<int64_t> radii;
+  int64_t diameter_estimate = 0;  // max over radii
+  size_t num_rounds = 0;
+};
+
+// `num_samples` is clamped to [1, 64] (one bit per sample). Sources are
+// chosen deterministically from `seed`. Requires a symmetric graph for the
+// eccentricity interpretation; runs on any graph.
+radii_result radii_estimate(const graph& g, uint64_t seed = 1,
+                            int num_samples = 64,
+                            const edge_map_options& opts = {});
+
+}  // namespace ligra::apps

@@ -1,0 +1,49 @@
+// Approximate set cover over decreasing buckets — the fourth bucketing
+// application of Julienne (Dhulipala, Blelloch, Shun, SPAA'17).
+// DESIGN.md S11.
+//
+// Input: a symmetric bipartite graph whose left side [0, num_sets) are the
+// sets and whose right side [num_sets, n) are the elements; an edge
+// (s, e) means set s contains element e.
+//
+// Algorithm: bucketed greedy with a (1+epsilon) coverage discretization.
+// Sets are bucketed by floor(log_{1+eps}(uncovered coverage)) and buckets
+// are processed in *decreasing* order; when a set is popped its true
+// remaining coverage is recomputed — if it still belongs to the popped
+// bucket it is selected and its elements marked covered, otherwise it is
+// re-bucketed lazily. Candidates within a bucket are resolved in id order,
+// so the output is deterministic and equals the sequential
+// bucketed-greedy cover; selections are within (1+eps) of the exact
+// greedy choice at every step, giving the classical (1+eps)·(ln n + 1)
+// approximation. (Julienne additionally runs MaNIS inside a bucket to
+// select many nearly-independent sets at once; this implementation keeps
+// intra-bucket selection sequential — coverage updates and bucket
+// maintenance are the parallel work — which preserves the guarantee and
+// the bucket-order structure the experiment exercises.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::apps {
+
+struct set_cover_result {
+  std::vector<vertex_id> chosen_sets;  // in selection order
+  size_t covered_elements = 0;         // elements covered at termination
+  size_t num_buckets_processed = 0;
+};
+
+// Requires: symmetric g; every edge connects [0, num_sets) with
+// [num_sets, n) (validated; throws std::invalid_argument otherwise);
+// 0 < epsilon. Elements contained in no set remain uncovered.
+set_cover_result approximate_set_cover(const graph& g, vertex_id num_sets,
+                                       double epsilon = 0.01);
+
+// Synthetic instance for demos/tests: each element joins `sets_per_element`
+// random sets (so the instance is coverable whenever sets_per_element > 0).
+graph random_set_cover_instance(vertex_id num_sets, vertex_id num_elements,
+                                size_t sets_per_element, uint64_t seed = 1);
+
+}  // namespace ligra::apps

@@ -1,0 +1,73 @@
+#include "apps/triangle.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/primitives.h"
+
+namespace ligra::apps {
+
+triangle_result triangle_count(const graph& g) {
+  if (!g.symmetric())
+    throw std::invalid_argument("triangle_count: requires a symmetric graph");
+  const vertex_id n = g.num_vertices();
+  triangle_result result;
+  if (n == 0) return result;
+
+  // rank(u) < rank(v) iff (deg(u), u) < (deg(v), v).
+  auto rank_less = [&](vertex_id a, vertex_id b) {
+    size_t da = g.out_degree(a), db = g.out_degree(b);
+    return da != db ? da < db : a < b;
+  };
+
+  // Oriented CSR: keep only higher-ranked neighbors; lists stay sorted by
+  // id (we filter an already-sorted list).
+  std::vector<edge_id> offsets(static_cast<size_t>(n) + 1, 0);
+  parallel::parallel_for(0, n, [&](size_t vi) {
+    auto v = static_cast<vertex_id>(vi);
+    size_t cnt = 0;
+    for (vertex_id u : g.out_neighbors(v))
+      if (rank_less(v, u)) cnt++;
+    offsets[vi] = cnt;
+  });
+  edge_id total = parallel::scan_add_inplace(offsets.data(), offsets.size());
+  (void)total;
+  std::vector<vertex_id> oriented(offsets[n]);
+  parallel::parallel_for(0, n, [&](size_t vi) {
+    auto v = static_cast<vertex_id>(vi);
+    edge_id pos = offsets[vi];
+    for (vertex_id u : g.out_neighbors(v))
+      if (rank_less(v, u)) oriented[pos++] = u;
+  });
+
+  auto list_of = [&](vertex_id v) {
+    return std::span<const vertex_id>(oriented.data() + offsets[v],
+                                      static_cast<size_t>(offsets[v + 1] - offsets[v]));
+  };
+
+  // For every oriented edge (u, v): count |N+(u) ∩ N+(v)| by sorted merge.
+  result.num_triangles = parallel::reduce_add(n, [&](size_t ui) -> uint64_t {
+    auto u = static_cast<vertex_id>(ui);
+    auto lu = list_of(u);
+    uint64_t local = 0;
+    for (vertex_id v : lu) {
+      auto lv = list_of(v);
+      size_t i = 0, j = 0;
+      while (i < lu.size() && j < lv.size()) {
+        if (lu[i] == lv[j]) {
+          local++;
+          i++;
+          j++;
+        } else if (lu[i] < lv[j]) {
+          i++;
+        } else {
+          j++;
+        }
+      }
+    }
+    return local;
+  });
+  return result;
+}
+
+}  // namespace ligra::apps

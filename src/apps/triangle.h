@@ -1,0 +1,24 @@
+// Exact triangle counting — extension from Shun & Tangwongsan (ICDE'15).
+// DESIGN.md S11.
+//
+// Rank vertices by (degree, id); orient every edge from lower to higher
+// rank. The oriented out-degree is O(sqrt(m)) for any graph, and each
+// triangle appears exactly once as a wedge u->v, u->w with edge v->w.
+// Counting intersects the sorted oriented lists of u and v for every
+// oriented edge (u, v).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ligra::apps {
+
+struct triangle_result {
+  uint64_t num_triangles = 0;
+};
+
+// Requires a symmetric graph without self-loops; throws otherwise.
+triangle_result triangle_count(const graph& g);
+
+}  // namespace ligra::apps

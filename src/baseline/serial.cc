@@ -1,0 +1,299 @@
+#include "baseline/serial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "apps/bellman_ford.h"  // kInfiniteDistance
+
+namespace ligra::baseline {
+
+std::vector<int64_t> bfs_levels(const graph& g, vertex_id source) {
+  if (source >= g.num_vertices())
+    throw std::invalid_argument("baseline::bfs_levels: source out of range");
+  std::vector<int64_t> level(g.num_vertices(), -1);
+  std::deque<vertex_id> queue{source};
+  level[source] = 0;
+  while (!queue.empty()) {
+    vertex_id u = queue.front();
+    queue.pop_front();
+    for (vertex_id v : g.out_neighbors(u)) {
+      if (level[v] == -1) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<double> bc(const graph& g, vertex_id source) {
+  // Brandes (2001), single source.
+  const vertex_id n = g.num_vertices();
+  if (source >= n) throw std::invalid_argument("baseline::bc: source out of range");
+  std::vector<double> sigma(n, 0.0), delta(n, 0.0);
+  std::vector<int64_t> dist(n, -1);
+  std::vector<vertex_id> order;  // vertices in non-decreasing distance
+  order.reserve(n);
+  sigma[source] = 1.0;
+  dist[source] = 0;
+  std::deque<vertex_id> queue{source};
+  while (!queue.empty()) {
+    vertex_id u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (vertex_id v : g.out_neighbors(u)) {
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    vertex_id u = *it;
+    for (vertex_id v : g.out_neighbors(u)) {
+      if (dist[v] == dist[u] + 1) {
+        delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+  }
+  delta[source] = 0.0;
+  return delta;
+}
+
+namespace {
+
+class union_find {
+ public:
+  explicit union_find(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; i++) parent_[i] = static_cast<vertex_id>(i);
+  }
+  vertex_id find(vertex_id x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(vertex_id a, vertex_id b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Union by smaller id so roots are component minima.
+    if (a < b)
+      parent_[b] = a;
+    else
+      parent_[a] = b;
+  }
+
+ private:
+  std::vector<vertex_id> parent_;
+};
+
+}  // namespace
+
+std::vector<vertex_id> connected_components(const graph& g) {
+  if (!g.symmetric())
+    throw std::invalid_argument(
+        "baseline::connected_components: requires a symmetric graph");
+  const vertex_id n = g.num_vertices();
+  union_find uf(n);
+  for (vertex_id u = 0; u < n; u++)
+    for (vertex_id v : g.out_neighbors(u)) uf.unite(u, v);
+  std::vector<vertex_id> labels(n);
+  for (vertex_id v = 0; v < n; v++) labels[v] = uf.find(v);
+  return labels;
+}
+
+std::vector<double> pagerank(const graph& g, double damping, double tolerance,
+                             size_t max_iterations) {
+  const vertex_id n = g.num_vertices();
+  if (n == 0) return {};
+  const double one_over_n = 1.0 / static_cast<double>(n);
+  const double base = (1.0 - damping) * one_over_n;
+  std::vector<double> curr(n, one_over_n), next(n, 0.0);
+  for (size_t iter = 0; iter < max_iterations; iter++) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (vertex_id u = 0; u < n; u++) {
+      size_t d = g.out_degree(u);
+      if (d == 0) continue;
+      double share = curr[u] / static_cast<double>(d);
+      for (vertex_id v : g.out_neighbors(u)) next[v] += share;
+    }
+    double err = 0.0;
+    for (vertex_id v = 0; v < n; v++) {
+      next[v] = damping * next[v] + base;
+      err += std::fabs(next[v] - curr[v]);
+    }
+    curr.swap(next);
+    if (err < tolerance) break;
+  }
+  return curr;
+}
+
+std::vector<int64_t> dijkstra(const wgraph& g, vertex_id source) {
+  if (source >= g.num_vertices())
+    throw std::invalid_argument("baseline::dijkstra: source out of range");
+  for (int32_t w : g.out_weight_array())
+    if (w < 0) throw std::invalid_argument("baseline::dijkstra: negative weight");
+  std::vector<int64_t> dist(g.num_vertices(), apps::kInfiniteDistance);
+  using entry = std::pair<int64_t, vertex_id>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;  // stale entry
+    auto nbrs = g.out_neighbors(u);
+    for (size_t j = 0; j < nbrs.size(); j++) {
+      vertex_id v = nbrs[j];
+      int64_t nd = d + g.out_weight(u, j);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int64_t> bellman_ford(const wgraph& g, vertex_id source,
+                                  bool* negative_cycle) {
+  if (source >= g.num_vertices())
+    throw std::invalid_argument("baseline::bellman_ford: source out of range");
+  const vertex_id n = g.num_vertices();
+  std::vector<int64_t> dist(n, apps::kInfiniteDistance);
+  dist[source] = 0;
+  if (negative_cycle) *negative_cycle = false;
+  bool changed = true;
+  for (vertex_id round = 0; round < n && changed; round++) {
+    changed = false;
+    for (vertex_id u = 0; u < n; u++) {
+      if (dist[u] == apps::kInfiniteDistance) continue;
+      auto nbrs = g.out_neighbors(u);
+      for (size_t j = 0; j < nbrs.size(); j++) {
+        int64_t nd = dist[u] + g.out_weight(u, j);
+        if (nd < dist[nbrs[j]]) {
+          dist[nbrs[j]] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (changed && round == n - 1 && negative_cycle) *negative_cycle = true;
+  }
+  return dist;
+}
+
+std::vector<vertex_id> kcore(const graph& g) {
+  if (!g.symmetric())
+    throw std::invalid_argument("baseline::kcore: requires a symmetric graph");
+  // Matula-Beck bucket peeling in O(n + m).
+  const vertex_id n = g.num_vertices();
+  std::vector<vertex_id> degree(n), coreness(n, 0);
+  vertex_id max_deg = 0;
+  for (vertex_id v = 0; v < n; v++) {
+    degree[v] = static_cast<vertex_id>(g.out_degree(v));
+    max_deg = std::max(max_deg, degree[v]);
+  }
+  // bucket-sorted vertex order by current degree
+  std::vector<std::vector<vertex_id>> buckets(max_deg + 1);
+  for (vertex_id v = 0; v < n; v++) buckets[degree[v]].push_back(v);
+  std::vector<uint8_t> removed(n, 0);
+  vertex_id k = 0;
+  for (vertex_id d = 0; d <= max_deg; d++) {
+    auto& bucket = buckets[d];
+    for (size_t i = 0; i < bucket.size(); i++) {  // bucket grows during loop
+      vertex_id v = bucket[i];
+      if (removed[v] || degree[v] != d) continue;  // stale entry
+      k = std::max(k, d);
+      coreness[v] = k;
+      removed[v] = 1;
+      for (vertex_id u : g.out_neighbors(v)) {
+        if (!removed[u] && degree[u] > d) {
+          degree[u]--;
+          if (degree[u] == d)
+            bucket.push_back(u);
+          else
+            buckets[degree[u]].push_back(u);
+        }
+      }
+    }
+  }
+  return coreness;
+}
+
+std::vector<uint8_t> greedy_mis(const graph& g,
+                                const std::vector<uint64_t>& priority) {
+  if (!g.symmetric())
+    throw std::invalid_argument("baseline::greedy_mis: requires a symmetric graph");
+  const vertex_id n = g.num_vertices();
+  if (priority.size() != n)
+    throw std::invalid_argument("baseline::greedy_mis: priority size mismatch");
+  std::vector<vertex_id> order(n);
+  for (vertex_id v = 0; v < n; v++) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](vertex_id a, vertex_id b) {
+    return priority[a] < priority[b];
+  });
+  std::vector<uint8_t> state(n, 0);  // 0 undecided, 1 in, 2 out
+  for (vertex_id v : order) {
+    if (state[v] != 0) continue;
+    state[v] = 1;
+    for (vertex_id u : g.out_neighbors(v))
+      if (state[u] == 0) state[u] = 2;
+  }
+  std::vector<uint8_t> in_set(n);
+  for (vertex_id v = 0; v < n; v++) in_set[v] = state[v] == 1 ? 1 : 0;
+  return in_set;
+}
+
+uint64_t triangle_count(const graph& g) {
+  if (!g.symmetric())
+    throw std::invalid_argument("baseline::triangle_count: requires symmetric graph");
+  const vertex_id n = g.num_vertices();
+  auto rank_less = [&](vertex_id a, vertex_id b) {
+    size_t da = g.out_degree(a), db = g.out_degree(b);
+    return da != db ? da < db : a < b;
+  };
+  std::vector<std::vector<vertex_id>> oriented(n);
+  for (vertex_id v = 0; v < n; v++)
+    for (vertex_id u : g.out_neighbors(v))
+      if (rank_less(v, u)) oriented[v].push_back(u);
+  uint64_t count = 0;
+  for (vertex_id u = 0; u < n; u++) {
+    for (vertex_id v : oriented[u]) {
+      const auto& lu = oriented[u];
+      const auto& lv = oriented[v];
+      size_t i = 0, j = 0;
+      while (i < lu.size() && j < lv.size()) {
+        if (lu[i] == lv[j]) {
+          count++;
+          i++;
+          j++;
+        } else if (lu[i] < lv[j]) {
+          i++;
+        } else {
+          j++;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<int64_t> exact_eccentricity(const graph& g) {
+  const vertex_id n = g.num_vertices();
+  std::vector<int64_t> ecc(n, 0);
+  for (vertex_id v = 0; v < n; v++) {
+    auto level = bfs_levels(g, v);
+    int64_t e = 0;
+    for (int64_t l : level) e = std::max(e, l);
+    ecc[v] = e;
+  }
+  return ecc;
+}
+
+}  // namespace ligra::baseline

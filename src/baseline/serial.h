@@ -1,0 +1,64 @@
+// Optimized sequential reference implementations (DESIGN.md S10).
+//
+// These serve two roles, mirroring the paper's methodology:
+//   * correctness oracles — every parallel application is tested against
+//     the corresponding baseline on randomized instances;
+//   * the sequential comparison column in the Table 2 bench (the paper
+//     compares Ligra's 1-thread times against plain sequential code to
+//     show the framework's overhead is small).
+//
+// They are deliberately framework-free: plain loops, std containers, no
+// parallel primitives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::baseline {
+
+// BFS distances in hops from `source` (-1 if unreachable).
+std::vector<int64_t> bfs_levels(const graph& g, vertex_id source);
+
+// Brandes single-source dependency scores (matches apps::bc).
+std::vector<double> bc(const graph& g, vertex_id source);
+
+// Connected component labels: labels[v] = smallest vertex id in v's
+// component (union-find with path halving; symmetric graphs only).
+std::vector<vertex_id> connected_components(const graph& g);
+
+// Power-iteration PageRank with the same conventions as apps::pagerank
+// (no dangling redistribution). Runs until the L1 change < tolerance or
+// max_iterations.
+std::vector<double> pagerank(const graph& g, double damping = 0.85,
+                             double tolerance = 1e-7,
+                             size_t max_iterations = 100);
+
+// Dijkstra with a binary heap; requires non-negative weights. Distances
+// are kInfiniteDistance (see apps/bellman_ford.h) when unreachable.
+std::vector<int64_t> dijkstra(const wgraph& g, vertex_id source);
+
+// Textbook Bellman-Ford (edge list sweeps); sets *negative_cycle if one is
+// reachable from the source.
+std::vector<int64_t> bellman_ford(const wgraph& g, vertex_id source,
+                                  bool* negative_cycle = nullptr);
+
+// Peeling k-core decomposition (bucket queue; O(n + m)).
+std::vector<vertex_id> kcore(const graph& g);
+
+// Greedy MIS processing vertices in the order given by `priority_of`
+// (the parallel rootset algorithm with the same priorities returns exactly
+// this set).
+std::vector<uint8_t> greedy_mis(const graph& g,
+                                const std::vector<uint64_t>& priority);
+
+// Exact triangle count by node-iterator with hash-free merge.
+uint64_t triangle_count(const graph& g);
+
+// Exact eccentricity of every vertex (one BFS per vertex; small graphs
+// only). -1 for isolated/unreachable conventions: eccentricity within the
+// vertex's component.
+std::vector<int64_t> exact_eccentricity(const graph& g);
+
+}  // namespace ligra::baseline

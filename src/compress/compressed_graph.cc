@@ -1,0 +1,29 @@
+#include "compress/compressed_graph.h"
+
+namespace ligra::compress {
+
+void varint_encode(std::vector<uint8_t>& out, uint64_t x) {
+  while (x >= 0x80) {
+    out.push_back(static_cast<uint8_t>(x) | 0x80);
+    x >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(x));
+}
+
+uint64_t varint_decode(const uint8_t* data, size_t& pos) {
+  uint64_t x = 0;
+  int shift = 0;
+  while (true) {
+    uint8_t b = data[pos++];
+    x |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return x;
+    shift += 7;
+  }
+}
+
+// Explicit instantiations keep the template's heavy methods out of every
+// consumer's compile.
+template class compressed_graph_t<empty_weight>;
+template class compressed_graph_t<int32_t>;
+
+}  // namespace ligra::compress

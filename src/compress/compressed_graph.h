@@ -1,0 +1,240 @@
+// Byte-coded compressed CSR in the style of Ligra+ (Shun, Dhulipala,
+// Blelloch, DCC'15). DESIGN.md S11.
+//
+// Each vertex's sorted adjacency list is delta-encoded: the first neighbor
+// is stored as a zigzag-coded signed difference from the vertex's own id,
+// subsequent neighbors as unsigned gaps from their predecessor; all values
+// use LEB128 variable-length bytes (7 payload bits per byte, high bit =
+// continuation). Real-world and rMat adjacency lists have small gaps, so
+// this roughly halves the edge-array memory — the Ligra+ headline — while
+// decoding stays a tight sequential scan. In the weighted instantiation
+// each edge's weight follows its gap as a zigzag varint, exactly as Ligra+
+// compresses weights.
+//
+// compressed_graph_t<W> satisfies the same graph concept edge_map consumes
+// (num_vertices / num_edges / out_degree / decode_out / decode_in), so
+// every Ligra algorithm runs on it unchanged; bench A3 measures the
+// space/time trade against the plain CSR.
+//
+// The per-vertex degree and byte-offset arrays are kept uncompressed
+// (they are the O(n) part; Ligra+ likewise leaves vertex metadata plain).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "parallel/primitives.h"
+
+namespace ligra::compress {
+
+// --- varint/zigzag primitives (exposed for tests) ---------------------------
+
+// Appends x in LEB128 form.
+void varint_encode(std::vector<uint8_t>& out, uint64_t x);
+
+// Decodes one LEB128 value starting at data[pos]; advances pos.
+uint64_t varint_decode(const uint8_t* data, size_t& pos);
+
+constexpr uint64_t zigzag_encode(int64_t x) {
+  return (static_cast<uint64_t>(x) << 1) ^ static_cast<uint64_t>(x >> 63);
+}
+constexpr int64_t zigzag_decode(uint64_t x) {
+  return static_cast<int64_t>(x >> 1) ^ -static_cast<int64_t>(x & 1);
+}
+
+template <class W>
+class compressed_graph_t {
+ public:
+  using weight_type = W;
+  static constexpr bool is_weighted = graph_t<W>::is_weighted;
+
+  compressed_graph_t() = default;
+
+  // Compresses an existing graph (both CSRs when directed).
+  static compressed_graph_t from_graph(const graph_t<W>& g) {
+    compressed_graph_t cg;
+    cg.n_ = g.num_vertices();
+    cg.m_ = g.num_edges();
+    cg.symmetric_ = g.symmetric();
+    encode_csr(g.out_offsets(), g.out_edge_array(), g.out_weight_array(),
+               cg.n_, cg.out_bytes_, cg.out_byte_offsets_, cg.out_degrees_);
+    if (!cg.symmetric_) {
+      encode_csr(g.in_offsets(), g.in_edge_array(), g.in_weight_array(),
+                 cg.n_, cg.in_bytes_, cg.in_byte_offsets_, cg.in_degrees_);
+    }
+    return cg;
+  }
+
+  // Decompresses back to a plain graph (for round-trip tests).
+  graph_t<W> to_graph() const;
+
+  vertex_id num_vertices() const { return n_; }
+  edge_id num_edges() const { return m_; }
+  bool symmetric() const { return symmetric_; }
+
+  size_t out_degree(vertex_id v) const { return out_degrees_[v]; }
+  size_t in_degree(vertex_id v) const {
+    return symmetric_ ? out_degrees_[v] : in_degrees_[v];
+  }
+
+  // Streams v's neighbors in adjacency order: f(neighbor, weight, index)
+  // until f returns false. Same contract as graph_t::decode_out/in.
+  template <class F>
+  void decode_out(vertex_id v, F&& f) const {
+    decode_list(out_bytes_.data(), out_byte_offsets_[v], out_degrees_[v], v,
+                static_cast<F&&>(f));
+  }
+  template <class F>
+  void decode_in(vertex_id v, F&& f) const {
+    if (symmetric_) {
+      decode_out(v, static_cast<F&&>(f));
+    } else {
+      decode_list(in_bytes_.data(), in_byte_offsets_[v], in_degrees_[v], v,
+                  static_cast<F&&>(f));
+    }
+  }
+
+  // Heap footprint of the edge representation (bytes + offsets + degrees),
+  // comparable with graph_t::memory_bytes() — the space axis of bench A3.
+  size_t memory_bytes() const {
+    return out_bytes_.size() + in_bytes_.size() +
+           (out_byte_offsets_.size() + in_byte_offsets_.size()) *
+               sizeof(uint64_t) +
+           (out_degrees_.size() + in_degrees_.size()) * sizeof(uint32_t);
+  }
+
+  // Bytes spent on edge payload alone (the Ligra+ compression-ratio
+  // numerator).
+  size_t edge_payload_bytes() const {
+    return out_bytes_.size() + in_bytes_.size();
+  }
+
+ private:
+  static W weight_at(const std::vector<W>& weights, edge_id i) {
+    if constexpr (is_weighted) {
+      return weights[i];
+    } else {
+      (void)weights;
+      (void)i;
+      return W{};
+    }
+  }
+
+  template <class F>
+  void decode_list(const uint8_t* bytes, uint64_t pos, size_t degree,
+                   vertex_id v, F&& f) const {
+    if (degree == 0) return;
+    size_t p = pos;
+    uint64_t first = varint_decode(bytes, p);
+    auto prev = static_cast<vertex_id>(static_cast<int64_t>(v) +
+                                       zigzag_decode(first));
+    W w{};
+    if constexpr (is_weighted)
+      w = static_cast<W>(zigzag_decode(varint_decode(bytes, p)));
+    if (!f(prev, w, size_t{0})) return;
+    for (size_t j = 1; j < degree; j++) {
+      prev = static_cast<vertex_id>(prev + varint_decode(bytes, p));
+      if constexpr (is_weighted)
+        w = static_cast<W>(zigzag_decode(varint_decode(bytes, p)));
+      if (!f(prev, w, j)) return;
+    }
+  }
+
+  static void encode_csr(const std::vector<edge_id>& offsets,
+                         const std::vector<vertex_id>& targets,
+                         const std::vector<W>& weights, vertex_id n,
+                         std::vector<uint8_t>& bytes,
+                         std::vector<uint64_t>& byte_offsets,
+                         std::vector<uint32_t>& degrees) {
+    degrees.resize(n);
+    byte_offsets.assign(static_cast<size_t>(n) + 1, 0);
+    // Two passes: encode each list into a scratch buffer to learn its
+    // length (pass 1, parallel), scan the lengths, then copy into place.
+    std::vector<std::vector<uint8_t>> scratch(n);
+    parallel::parallel_for(0, n, [&](size_t vi) {
+      auto v = static_cast<vertex_id>(vi);
+      size_t deg = static_cast<size_t>(offsets[vi + 1] - offsets[vi]);
+      degrees[vi] = static_cast<uint32_t>(deg);
+      auto& buf = scratch[vi];
+      if (deg == 0) return;
+      const vertex_id* list = targets.data() + offsets[vi];
+      varint_encode(buf, zigzag_encode(static_cast<int64_t>(list[0]) -
+                                       static_cast<int64_t>(v)));
+      if constexpr (is_weighted)
+        varint_encode(buf, zigzag_encode(weight_at(weights, offsets[vi])));
+      for (size_t j = 1; j < deg; j++) {
+        varint_encode(buf, static_cast<uint64_t>(list[j]) - list[j - 1]);
+        if constexpr (is_weighted)
+          varint_encode(buf,
+                        zigzag_encode(weight_at(weights, offsets[vi] + j)));
+      }
+      byte_offsets[vi] = buf.size();
+    });
+    parallel::scan_add_inplace(byte_offsets.data(), byte_offsets.size());
+    bytes.resize(byte_offsets[n]);
+    parallel::parallel_for(0, n, [&](size_t vi) {
+      std::copy(scratch[vi].begin(), scratch[vi].end(),
+                bytes.begin() + static_cast<ptrdiff_t>(byte_offsets[vi]));
+    });
+  }
+
+  vertex_id n_ = 0;
+  edge_id m_ = 0;
+  bool symmetric_ = true;
+  std::vector<uint8_t> out_bytes_;
+  std::vector<uint64_t> out_byte_offsets_;  // n+1
+  std::vector<uint32_t> out_degrees_;       // n
+  std::vector<uint8_t> in_bytes_;           // empty when symmetric
+  std::vector<uint64_t> in_byte_offsets_;
+  std::vector<uint32_t> in_degrees_;
+};
+
+template <class W>
+graph_t<W> compressed_graph_t<W>::to_graph() const {
+  std::vector<edge_id> offsets(static_cast<size_t>(n_) + 1);
+  parallel::parallel_for(0, n_, [&](size_t v) { offsets[v] = out_degrees_[v]; });
+  offsets[n_] = 0;
+  parallel::scan_add_inplace(offsets.data(), offsets.size());
+  std::vector<vertex_id> targets(offsets[n_]);
+  std::vector<W> ws;
+  if constexpr (is_weighted) ws.resize(offsets[n_]);
+  parallel::parallel_for(0, n_, [&](size_t vi) {
+    edge_id pos = offsets[vi];
+    decode_out(static_cast<vertex_id>(vi), [&](vertex_id u, W w, size_t) {
+      targets[pos] = u;
+      if constexpr (is_weighted) ws[pos] = w;
+      pos++;
+      return true;
+    });
+  });
+  std::vector<edge_id> in_offsets;
+  std::vector<vertex_id> in_targets;
+  std::vector<W> in_ws;
+  if (!symmetric_) {
+    in_offsets.assign(static_cast<size_t>(n_) + 1, 0);
+    parallel::parallel_for(0, n_,
+                           [&](size_t v) { in_offsets[v] = in_degrees_[v]; });
+    in_offsets[n_] = 0;
+    parallel::scan_add_inplace(in_offsets.data(), in_offsets.size());
+    in_targets.resize(in_offsets[n_]);
+    if constexpr (is_weighted) in_ws.resize(in_offsets[n_]);
+    parallel::parallel_for(0, n_, [&](size_t vi) {
+      edge_id pos = in_offsets[vi];
+      decode_in(static_cast<vertex_id>(vi), [&](vertex_id u, W w, size_t) {
+        in_targets[pos] = u;
+        if constexpr (is_weighted) in_ws[pos] = w;
+        pos++;
+        return true;
+      });
+    });
+  }
+  return graph_t<W>::from_csr(n_, std::move(offsets), std::move(targets),
+                              std::move(ws), symmetric_, std::move(in_offsets),
+                              std::move(in_targets), std::move(in_ws));
+}
+
+using compressed_graph = compressed_graph_t<empty_weight>;
+using compressed_wgraph = compressed_graph_t<int32_t>;
+
+}  // namespace ligra::compress

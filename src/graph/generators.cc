@@ -1,0 +1,193 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ligra::gen {
+
+namespace {
+
+// Draws one R-MAT edge by descending `scale` levels of the recursive
+// quadrant matrix. Each level consumes one uniform double from the stream.
+edge rmat_draw(int scale, const rng& r, rmat_params p) {
+  vertex_id u = 0, v = 0;
+  double ab = p.a + p.b;
+  double abc = p.a + p.b + p.c;
+  for (int level = 0; level < scale; level++) {
+    double x = r.uniform(static_cast<uint64_t>(level));
+    u <<= 1;
+    v <<= 1;
+    if (x < p.a) {
+      // top-left quadrant: no bits set
+    } else if (x < ab) {
+      v |= 1;
+    } else if (x < abc) {
+      u |= 1;
+    } else {
+      u |= 1;
+      v |= 1;
+    }
+  }
+  return {u, v};
+}
+
+}  // namespace
+
+std::vector<edge> rmat_edges(int scale, edge_id num_edges, uint64_t seed,
+                             rmat_params params) {
+  if (scale < 1 || scale > 31)
+    throw std::invalid_argument("rmat_edges: scale must be in [1, 31]");
+  double total = params.a + params.b + params.c + params.d;
+  if (std::fabs(total - 1.0) > 1e-6)
+    throw std::invalid_argument("rmat_edges: quadrant probabilities must sum to 1");
+  std::vector<edge> edges(num_edges);
+  rng root(seed);
+  parallel::parallel_for(0, num_edges, [&](size_t i) {
+    edges[i] = rmat_draw(scale, root.fork(i), params);
+  });
+  return edges;
+}
+
+graph rmat_graph(int scale, edge_id num_edges, uint64_t seed,
+                 rmat_params params) {
+  return graph::from_edges(vertex_id{1} << scale,
+                           rmat_edges(scale, num_edges, seed, params),
+                           {.symmetrize = true});
+}
+
+graph rmat_digraph(int scale, edge_id num_edges, uint64_t seed,
+                   rmat_params params) {
+  return graph::from_edges(vertex_id{1} << scale,
+                           rmat_edges(scale, num_edges, seed, params), {});
+}
+
+std::vector<edge> random_edges(vertex_id n, size_t degree, uint64_t seed) {
+  if (n == 0) return {};
+  std::vector<edge> edges(static_cast<size_t>(n) * degree);
+  rng root(seed);
+  parallel::parallel_for(0, edges.size(), [&](size_t i) {
+    vertex_id u = static_cast<vertex_id>(i / degree);
+    edges[i] = {u, static_cast<vertex_id>(root.bounded(i, n))};
+  });
+  return edges;
+}
+
+graph random_graph(vertex_id n, size_t degree, uint64_t seed) {
+  return graph::from_edges(n, random_edges(n, degree, seed),
+                           {.symmetrize = true});
+}
+
+std::vector<edge> random_local_edges(vertex_id n, size_t degree,
+                                     uint64_t seed) {
+  if (n == 0) return {};
+  std::vector<edge> edges(static_cast<size_t>(n) * degree);
+  rng root(seed);
+  double log2n = std::log2(static_cast<double>(n));
+  parallel::parallel_for(0, edges.size(), [&](size_t i) {
+    vertex_id u = static_cast<vertex_id>(i / degree);
+    rng r = root.fork(i);
+    // Distance 2^(U * log2 n) gives Pr[distance ~ d] proportional to 1/d.
+    double dist = std::exp2(r.uniform(0) * log2n);
+    auto offset = static_cast<uint64_t>(dist);
+    if (offset >= n) offset = n - 1;
+    bool forward = (r[1] & 1) != 0;
+    uint64_t target = forward ? (u + offset) % n
+                              : (u + static_cast<uint64_t>(n) - (offset % n)) % n;
+    edges[i] = {u, static_cast<vertex_id>(target)};
+  });
+  return edges;
+}
+
+graph random_local_graph(vertex_id n, size_t degree, uint64_t seed) {
+  return graph::from_edges(n, random_local_edges(n, degree, seed),
+                           {.symmetrize = true});
+}
+
+graph grid3d_graph(vertex_id side) {
+  if (side < 2) throw std::invalid_argument("grid3d_graph: side must be >= 2");
+  uint64_t n64 = static_cast<uint64_t>(side) * side * side;
+  if (n64 > std::numeric_limits<vertex_id>::max() - 1)
+    throw std::invalid_argument("grid3d_graph: too many vertices");
+  auto n = static_cast<vertex_id>(n64);
+  auto id = [side](uint64_t x, uint64_t y, uint64_t z) {
+    return static_cast<vertex_id>((x * side + y) * side + z);
+  };
+  std::vector<edge> edges(static_cast<size_t>(n) * 3);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    uint64_t z = v % side;
+    uint64_t y = (v / side) % side;
+    uint64_t x = v / (static_cast<uint64_t>(side) * side);
+    auto u = static_cast<vertex_id>(v);
+    edges[3 * v + 0] = {u, id((x + 1) % side, y, z)};
+    edges[3 * v + 1] = {u, id(x, (y + 1) % side, z)};
+    edges[3 * v + 2] = {u, id(x, y, (z + 1) % side)};
+  });
+  return graph::from_edges(n, std::move(edges), {.symmetrize = true});
+}
+
+graph path_graph(vertex_id n) {
+  std::vector<edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_id i = 0; i + 1 < n; i++) edges.push_back({i, i + 1});
+  return graph::from_edges(n, std::move(edges), {.symmetrize = true});
+}
+
+graph cycle_graph(vertex_id n) {
+  if (n < 3) throw std::invalid_argument("cycle_graph: need n >= 3");
+  std::vector<edge> edges;
+  edges.reserve(n);
+  for (vertex_id i = 0; i < n; i++) edges.push_back({i, (i + 1) % n});
+  return graph::from_edges(n, std::move(edges), {.symmetrize = true});
+}
+
+graph star_graph(vertex_id n) {
+  if (n < 2) throw std::invalid_argument("star_graph: need n >= 2");
+  std::vector<edge> edges;
+  edges.reserve(n - 1);
+  for (vertex_id i = 1; i < n; i++) edges.push_back({0, i});
+  return graph::from_edges(n, std::move(edges), {.symmetrize = true});
+}
+
+graph complete_graph(vertex_id n) {
+  std::vector<edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (vertex_id i = 0; i < n; i++)
+    for (vertex_id j = i + 1; j < n; j++) edges.push_back({i, j});
+  return graph::from_edges(n, std::move(edges), {.symmetrize = true});
+}
+
+graph binary_tree_graph(vertex_id n) {
+  std::vector<edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_id i = 1; i < n; i++) edges.push_back({(i - 1) / 2, i});
+  return graph::from_edges(n, std::move(edges), {.symmetrize = true});
+}
+
+wgraph add_random_weights(const graph& g, int32_t lo, int32_t hi,
+                          uint64_t seed) {
+  if (hi < lo) throw std::invalid_argument("add_random_weights: hi < lo");
+  rng root(seed);
+  uint64_t range = static_cast<uint64_t>(hi) - lo + 1;
+  // Weight is a pure function of the unordered pair so (u,v) and (v,u)
+  // agree, keeping symmetric graphs consistent.
+  auto weight_of = [&](vertex_id u, vertex_id v) {
+    vertex_id a = u < v ? u : v;
+    vertex_id b = u < v ? v : u;
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    return static_cast<int32_t>(lo + static_cast<int64_t>(root.bounded(key, range)));
+  };
+  auto edges = g.to_edges();
+  std::vector<weighted_edge> wedges(edges.size());
+  parallel::parallel_for(0, edges.size(), [&](size_t i) {
+    wedges[i] = weighted_edge(edges[i].u, edges[i].v,
+                              weight_of(edges[i].u, edges[i].v));
+  });
+  if (g.symmetric()) {
+    return wgraph::from_symmetric_edges(g.num_vertices(), std::move(wedges));
+  }
+  return wgraph::from_edges(g.num_vertices(), std::move(wedges), {});
+}
+
+}  // namespace ligra::gen

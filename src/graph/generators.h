@@ -1,0 +1,84 @@
+// Synthetic graph generators (DESIGN.md S6) — the inputs of the paper's
+// Table 1, reproduced at laptop scale:
+//
+//   * rmat          — the R-MAT recursive-matrix power-law generator with the
+//                     paper's parameters (a=.5, b=c=.1, d=.3); stands in for
+//                     rMat24/rMat27 and, structurally, for the Twitter and
+//                     Yahoo graphs (skewed degrees, small diameter — the
+//                     regime where direction-optimization wins).
+//   * random_graph  — every vertex draws `degree` uniform targets ("random"
+//                     in Table 1).
+//   * random_local  — like random_graph but targets are drawn with a
+//                     power-law distance bias on a ring ("randLocal",
+//                     PBBS-style locality).
+//   * grid3d        — 3-D torus, 6 neighbors per vertex ("3d-grid": large
+//                     diameter, uniform degree — the regime where sparse
+//                     traversal wins and hybrid must not regress).
+//   * path/cycle/star/complete/binary_tree — structured graphs for tests
+//                     and edge cases.
+//
+// All generators are deterministic functions of (parameters, seed) and
+// parallelized; none mutate global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::gen {
+
+// Parameters of the R-MAT recursive quadrant distribution. Defaults are the
+// paper's. Must sum to ~1.
+struct rmat_params {
+  double a = 0.5;
+  double b = 0.1;
+  double c = 0.1;
+  double d = 0.3;
+};
+
+// Directed edge list with n = 2^scale vertices and `num_edges` edges drawn
+// from the R-MAT distribution (duplicates and self-loops possible; graph
+// builders remove them by default).
+std::vector<edge> rmat_edges(int scale, edge_id num_edges, uint64_t seed = 1,
+                             rmat_params params = {});
+
+// Symmetric rMat graph (edges symmetrized), the form used for BFS/CC/etc.
+graph rmat_graph(int scale, edge_id num_edges, uint64_t seed = 1,
+                 rmat_params params = {});
+
+// Directed rMat graph with its transpose (used for PageRank/BC on directed
+// inputs).
+graph rmat_digraph(int scale, edge_id num_edges, uint64_t seed = 1,
+                   rmat_params params = {});
+
+// Each of n vertices draws `degree` uniform-random out-neighbors.
+std::vector<edge> random_edges(vertex_id n, size_t degree, uint64_t seed = 1);
+graph random_graph(vertex_id n, size_t degree, uint64_t seed = 1);
+
+// Locality-biased random graph: target = source + sign * 2^(U * log2 n)
+// (mod n), i.e. distances follow a truncated power law on a ring.
+std::vector<edge> random_local_edges(vertex_id n, size_t degree,
+                                     uint64_t seed = 1);
+graph random_local_graph(vertex_id n, size_t degree, uint64_t seed = 1);
+
+// 3-D torus of side s (n = s^3 vertices, 3n undirected edges / 6n directed).
+graph grid3d_graph(vertex_id side);
+
+// Path 0-1-...-n-1 (symmetric).
+graph path_graph(vertex_id n);
+// Cycle over n vertices (symmetric).
+graph cycle_graph(vertex_id n);
+// Star: vertex 0 joined to all others (symmetric).
+graph star_graph(vertex_id n);
+// Complete graph on n vertices (symmetric; n kept small by callers).
+graph complete_graph(vertex_id n);
+// Complete binary tree with n vertices, parent i/2 convention (symmetric).
+graph binary_tree_graph(vertex_id n);
+
+// Weighted variants: re-draw each edge weight uniformly in [lo, hi],
+// deterministic per (u, v) pair so symmetric twins (u,v)/(v,u) match.
+wgraph add_random_weights(const graph& g, int32_t lo, int32_t hi,
+                          uint64_t seed = 1);
+
+}  // namespace ligra::gen

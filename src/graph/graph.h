@@ -1,0 +1,441 @@
+// Compressed-sparse-row graph types (DESIGN.md S4).
+//
+// `graph` is unweighted, `wgraph` carries one int32 weight per edge — the
+// two shapes the paper's applications need (Bellman-Ford is the weighted
+// one). Both are instances of `graph_t<W>`; the weight type `empty_weight`
+// erases all weight storage at compile time, so the unweighted graph pays
+// nothing.
+//
+// A directed graph stores both the out-CSR and the in-CSR (the transpose):
+// Ligra's dense ("pull") edge_map traversal iterates over in-edges, so the
+// transpose is not optional. A symmetric graph stores one CSR and serves
+// both roles. Vertex ids are uint32 and edge offsets uint64, matching the
+// paper's billions-of-edges ambitions at half the index memory of 64-bit
+// ids.
+//
+// Adjacency lists are sorted by target id — this makes graph construction
+// deterministic, enables binary-search membership tests (`has_edge`), and
+// is what the triangle-counting extension relies on.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/primitives.h"
+#include "parallel/scheduler.h"
+#include "parallel/sort.h"
+
+namespace ligra {
+
+using vertex_id = uint32_t;
+using edge_id = uint64_t;
+
+// Sentinel "no vertex" value (parent of a BFS root, unvisited marker, ...).
+inline constexpr vertex_id kNoVertex = std::numeric_limits<vertex_id>::max();
+
+// Weight type of unweighted graphs; carries no data and no storage.
+struct empty_weight {
+  friend constexpr bool operator==(empty_weight, empty_weight) { return true; }
+};
+
+// An edge for graph construction. For W = empty_weight the weight member
+// still exists (zero-size semantics are not worth the complexity) but is
+// never stored in the graph.
+template <class W>
+struct edge_t {
+  vertex_id u = 0;
+  vertex_id v = 0;
+  W weight{};
+
+  edge_t() = default;
+  edge_t(vertex_id u_, vertex_id v_) : u(u_), v(v_) {}
+  edge_t(vertex_id u_, vertex_id v_, W w_) : u(u_), v(v_), weight(w_) {}
+
+  friend bool operator==(const edge_t& a, const edge_t& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+};
+
+using edge = edge_t<empty_weight>;
+using weighted_edge = edge_t<int32_t>;
+
+// Options for building a graph from an edge list.
+struct build_options {
+  // Add the reverse of every edge, producing a symmetric graph.
+  bool symmetrize = false;
+  // Drop (u, u) edges.
+  bool remove_self_loops = true;
+  // Drop repeated (u, v) pairs (keeps the first by weight order).
+  bool remove_duplicates = true;
+};
+
+template <class W>
+class graph_t {
+ public:
+  using weight_type = W;
+  static constexpr bool is_weighted = !std::is_same_v<W, empty_weight>;
+
+  graph_t() = default;
+
+  // Builds a graph with vertices [0, n) from an edge list. Throws
+  // std::invalid_argument if any endpoint is >= n. If `opts.symmetrize` is
+  // false the graph is directed and the transpose is built as well —
+  // unless the edge list happens to be symmetric, which we do not detect
+  // (callers that know their input is symmetric should pass symmetrize or
+  // use from_symmetric_edges).
+  static graph_t from_edges(vertex_id n, std::vector<edge_t<W>> edges,
+                            build_options opts = {});
+
+  // As from_edges, but asserts the given edge list is already symmetric
+  // (every (u,v) has its (v,u) twin) and skips building a transpose.
+  // Verified in debug builds only.
+  static graph_t from_symmetric_edges(vertex_id n, std::vector<edge_t<W>> edges,
+                                      build_options opts = {});
+
+  // Assembles a graph directly from CSR arrays (used by the I/O layer and
+  // the decompression path). `in_offsets`/`in_edges` may be empty for a
+  // symmetric graph. Validates shape invariants, throws on violation.
+  static graph_t from_csr(vertex_id n, std::vector<edge_id> out_offsets,
+                          std::vector<vertex_id> out_edges,
+                          std::vector<W> out_weights, bool symmetric,
+                          std::vector<edge_id> in_offsets = {},
+                          std::vector<vertex_id> in_edges = {},
+                          std::vector<W> in_weights = {});
+
+  vertex_id num_vertices() const { return n_; }
+  edge_id num_edges() const { return m_; }
+  bool symmetric() const { return symmetric_; }
+  bool empty() const { return n_ == 0; }
+
+  size_t out_degree(vertex_id v) const {
+    assert(v < n_);
+    return static_cast<size_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  size_t in_degree(vertex_id v) const {
+    assert(v < n_);
+    const auto& off = symmetric_ ? out_offsets_ : in_offsets_;
+    return static_cast<size_t>(off[v + 1] - off[v]);
+  }
+
+  std::span<const vertex_id> out_neighbors(vertex_id v) const {
+    assert(v < n_);
+    return {out_edges_.data() + out_offsets_[v], out_degree(v)};
+  }
+  std::span<const vertex_id> in_neighbors(vertex_id v) const {
+    assert(v < n_);
+    if (symmetric_) return out_neighbors(v);
+    return {in_edges_.data() + in_offsets_[v], in_degree(v)};
+  }
+
+  // Weight of the j-th out-edge (resp. in-edge) of v. For unweighted graphs
+  // returns empty_weight{}.
+  W out_weight(vertex_id v, size_t j) const {
+    if constexpr (is_weighted) {
+      return out_weights_[out_offsets_[v] + j];
+    } else {
+      (void)v; (void)j;
+      return W{};
+    }
+  }
+  W in_weight(vertex_id v, size_t j) const {
+    if constexpr (is_weighted) {
+      if (symmetric_) return out_weights_[out_offsets_[v] + j];
+      return in_weights_[in_offsets_[v] + j];
+    } else {
+      (void)v; (void)j;
+      return W{};
+    }
+  }
+
+  // Edge iteration in the form edge_map consumes (shared with the
+  // compressed graph, which cannot expose spans). Calls
+  // f(neighbor, weight, index) for each out-edge (resp. in-edge) of v in
+  // adjacency order until f returns false.
+  template <class F>
+  void decode_out(vertex_id v, F&& f) const {
+    auto nbrs = out_neighbors(v);
+    for (size_t j = 0; j < nbrs.size(); j++) {
+      if (!f(nbrs[j], out_weight(v, j), j)) return;
+    }
+  }
+  template <class F>
+  void decode_in(vertex_id v, F&& f) const {
+    auto nbrs = in_neighbors(v);
+    for (size_t j = 0; j < nbrs.size(); j++) {
+      if (!f(nbrs[j], in_weight(v, j), j)) return;
+    }
+  }
+
+  // True iff edge (u, v) exists (binary search over u's sorted list).
+  bool has_edge(vertex_id u, vertex_id v) const {
+    auto nbrs = out_neighbors(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  }
+
+  // Raw CSR access for the compression layer and I/O.
+  const std::vector<edge_id>& out_offsets() const { return out_offsets_; }
+  const std::vector<vertex_id>& out_edge_array() const { return out_edges_; }
+  const std::vector<W>& out_weight_array() const { return out_weights_; }
+  const std::vector<edge_id>& in_offsets() const {
+    return symmetric_ ? out_offsets_ : in_offsets_;
+  }
+  const std::vector<vertex_id>& in_edge_array() const {
+    return symmetric_ ? out_edges_ : in_edges_;
+  }
+  const std::vector<W>& in_weight_array() const {
+    return symmetric_ ? out_weights_ : in_weights_;
+  }
+
+  // Returns the transposed graph (out- and in-CSR swapped). For a symmetric
+  // graph this is a copy.
+  graph_t transpose() const;
+
+  // Recovers the edge list (u, v[, w]) in CSR order.
+  std::vector<edge_t<W>> to_edges() const;
+
+  // Sum over vertices of out_degree — equals num_edges; kept as a checked
+  // invariant helper for tests.
+  edge_id computed_num_edges() const;
+
+  // Approximate heap footprint in bytes (offsets + edges + weights).
+  size_t memory_bytes() const;
+
+  friend bool operator==(const graph_t& a, const graph_t& b) {
+    return a.n_ == b.n_ && a.m_ == b.m_ && a.symmetric_ == b.symmetric_ &&
+           a.out_offsets_ == b.out_offsets_ && a.out_edges_ == b.out_edges_ &&
+           a.out_weights_ == b.out_weights_ && a.in_offsets_ == b.in_offsets_ &&
+           a.in_edges_ == b.in_edges_ && a.in_weights_ == b.in_weights_;
+  }
+
+ private:
+  // Sorts/dedups `edges` and fills a CSR (offsets, targets, weights).
+  static void build_csr(vertex_id n, std::vector<edge_t<W>>& edges,
+                        const build_options& opts,
+                        std::vector<edge_id>& offsets,
+                        std::vector<vertex_id>& targets,
+                        std::vector<W>& weights);
+
+  vertex_id n_ = 0;
+  edge_id m_ = 0;
+  bool symmetric_ = true;
+  std::vector<edge_id> out_offsets_{0};  // n_+1 entries
+  std::vector<vertex_id> out_edges_;
+  std::vector<W> out_weights_;           // empty when unweighted
+  std::vector<edge_id> in_offsets_;      // empty when symmetric
+  std::vector<vertex_id> in_edges_;
+  std::vector<W> in_weights_;
+};
+
+using graph = graph_t<empty_weight>;
+using wgraph = graph_t<int32_t>;
+
+// ---- implementation --------------------------------------------------------
+
+template <class W>
+void graph_t<W>::build_csr(vertex_id n, std::vector<edge_t<W>>& edges,
+                           const build_options& opts,
+                           std::vector<edge_id>& offsets,
+                           std::vector<vertex_id>& targets,
+                           std::vector<W>& weights) {
+  // Stable sort by (u, v): weights of duplicate edges keep input order, so
+  // dedup keeps the first occurrence deterministically.
+  parallel::sort_inplace(edges, [](const edge_t<W>& a, const edge_t<W>& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  if (opts.remove_duplicates || opts.remove_self_loops) {
+    edges = parallel::pack(
+        edges.size(), [&](size_t i) { return edges[i]; },
+        [&](size_t i) {
+          if (opts.remove_self_loops && edges[i].u == edges[i].v) return false;
+          if (opts.remove_duplicates && i > 0 && edges[i] == edges[i - 1])
+            return false;
+          return true;
+        });
+  }
+  const size_t m = edges.size();
+  offsets.assign(static_cast<size_t>(n) + 1, 0);
+  // offsets[v] = index of first edge with u >= v. For each boundary between
+  // distinct sources, fill the offset range in parallel over edges.
+  parallel::parallel_for(0, m, [&](size_t i) {
+    vertex_id u = edges[i].u;
+    vertex_id prev = (i == 0) ? 0 : edges[i - 1].u + 1;
+    if (i == 0) {
+      for (vertex_id v = 0; v <= u; v++) offsets[v] = 0;
+    } else if (edges[i - 1].u != u) {
+      for (vertex_id v = prev; v <= u; v++) offsets[v] = i;
+    }
+  });
+  vertex_id last = m == 0 ? 0 : edges[m - 1].u + 1;
+  parallel::parallel_for(last, static_cast<size_t>(n) + 1,
+                         [&](size_t v) { offsets[v] = m; });
+  if (m == 0) offsets[0] = 0;
+
+  targets.resize(m);
+  parallel::parallel_for(0, m, [&](size_t i) { targets[i] = edges[i].v; });
+  if constexpr (is_weighted) {
+    weights.resize(m);
+    parallel::parallel_for(0, m, [&](size_t i) { weights[i] = edges[i].weight; });
+  } else {
+    (void)weights;
+  }
+}
+
+template <class W>
+graph_t<W> graph_t<W>::from_edges(vertex_id n, std::vector<edge_t<W>> edges,
+                                  build_options opts) {
+  for (const auto& e : edges) {
+    if (e.u >= n || e.v >= n)
+      throw std::invalid_argument("graph_t::from_edges: endpoint out of range");
+  }
+  graph_t g;
+  g.n_ = n;
+  g.symmetric_ = opts.symmetrize;
+  if (opts.symmetrize) {
+    size_t m0 = edges.size();
+    edges.resize(2 * m0);
+    parallel::parallel_for(0, m0, [&](size_t i) {
+      edges[m0 + i] = edge_t<W>(edges[i].v, edges[i].u, edges[i].weight);
+    });
+  } else {
+    // Build the transpose CSR from the reversed edge list first (build_csr
+    // mutates its input, so copy).
+    std::vector<edge_t<W>> rev(edges.size());
+    parallel::parallel_for(0, edges.size(), [&](size_t i) {
+      rev[i] = edge_t<W>(edges[i].v, edges[i].u, edges[i].weight);
+    });
+    build_csr(n, rev, opts, g.in_offsets_, g.in_edges_, g.in_weights_);
+  }
+  build_csr(n, edges, opts, g.out_offsets_, g.out_edges_, g.out_weights_);
+  g.m_ = g.out_edges_.size();
+  if (!opts.symmetrize && g.in_edges_.size() != g.out_edges_.size())
+    throw std::logic_error("graph_t::from_edges: transpose size mismatch");
+  return g;
+}
+
+template <class W>
+graph_t<W> graph_t<W>::from_symmetric_edges(vertex_id n,
+                                            std::vector<edge_t<W>> edges,
+                                            build_options opts) {
+  opts.symmetrize = false;
+  for (const auto& e : edges) {
+    if (e.u >= n || e.v >= n)
+      throw std::invalid_argument(
+          "graph_t::from_symmetric_edges: endpoint out of range");
+  }
+  graph_t g;
+  g.n_ = n;
+  g.symmetric_ = true;
+  build_csr(n, edges, opts, g.out_offsets_, g.out_edges_, g.out_weights_);
+  g.m_ = g.out_edges_.size();
+#ifndef NDEBUG
+  for (vertex_id v = 0; v < n; v++)
+    for (vertex_id u : g.out_neighbors(v))
+      assert(g.has_edge(u, v) && "from_symmetric_edges: input not symmetric");
+#endif
+  return g;
+}
+
+template <class W>
+graph_t<W> graph_t<W>::from_csr(vertex_id n, std::vector<edge_id> out_offsets,
+                                std::vector<vertex_id> out_edges,
+                                std::vector<W> out_weights, bool symmetric,
+                                std::vector<edge_id> in_offsets,
+                                std::vector<vertex_id> in_edges,
+                                std::vector<W> in_weights) {
+  auto check = [n](const std::vector<edge_id>& off,
+                   const std::vector<vertex_id>& edges_,
+                   const std::vector<W>& w, const char* what) {
+    if (off.size() != static_cast<size_t>(n) + 1)
+      throw std::invalid_argument(std::string("graph_t::from_csr: bad ") + what +
+                                  " offsets size");
+    if (off.front() != 0 || off.back() != edges_.size())
+      throw std::invalid_argument(std::string("graph_t::from_csr: bad ") + what +
+                                  " offset endpoints");
+    for (size_t i = 0; i + 1 < off.size(); i++)
+      if (off[i] > off[i + 1])
+        throw std::invalid_argument(std::string("graph_t::from_csr: ") + what +
+                                    " offsets not monotone");
+    for (vertex_id t : edges_)
+      if (t >= n)
+        throw std::invalid_argument(std::string("graph_t::from_csr: ") + what +
+                                    " target out of range");
+    if (is_weighted && w.size() != edges_.size())
+      throw std::invalid_argument(std::string("graph_t::from_csr: ") + what +
+                                  " weights size mismatch");
+  };
+  check(out_offsets, out_edges, out_weights, "out");
+  graph_t g;
+  g.n_ = n;
+  g.m_ = out_edges.size();
+  g.symmetric_ = symmetric;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_edges_ = std::move(out_edges);
+  g.out_weights_ = std::move(out_weights);
+  if (!symmetric) {
+    check(in_offsets, in_edges, in_weights, "in");
+    if (in_edges.size() != g.out_edges_.size())
+      throw std::invalid_argument("graph_t::from_csr: in/out edge count differ");
+    g.in_offsets_ = std::move(in_offsets);
+    g.in_edges_ = std::move(in_edges);
+    g.in_weights_ = std::move(in_weights);
+  }
+  return g;
+}
+
+template <class W>
+graph_t<W> graph_t<W>::transpose() const {
+  graph_t g;
+  g.n_ = n_;
+  g.m_ = m_;
+  g.symmetric_ = symmetric_;
+  if (symmetric_) {
+    g.out_offsets_ = out_offsets_;
+    g.out_edges_ = out_edges_;
+    g.out_weights_ = out_weights_;
+  } else {
+    g.out_offsets_ = in_offsets_;
+    g.out_edges_ = in_edges_;
+    g.out_weights_ = in_weights_;
+    g.in_offsets_ = out_offsets_;
+    g.in_edges_ = out_edges_;
+    g.in_weights_ = out_weights_;
+  }
+  return g;
+}
+
+template <class W>
+std::vector<edge_t<W>> graph_t<W>::to_edges() const {
+  std::vector<edge_t<W>> out(m_);
+  parallel::parallel_for(0, n_, [&](size_t v) {
+    auto nbrs = out_neighbors(static_cast<vertex_id>(v));
+    edge_id base = out_offsets_[v];
+    for (size_t j = 0; j < nbrs.size(); j++) {
+      out[base + j] = edge_t<W>(static_cast<vertex_id>(v), nbrs[j],
+                                out_weight(static_cast<vertex_id>(v), j));
+    }
+  });
+  return out;
+}
+
+template <class W>
+edge_id graph_t<W>::computed_num_edges() const {
+  return parallel::reduce_add(
+      n_, [&](size_t v) { return static_cast<edge_id>(out_degree(static_cast<vertex_id>(v))); });
+}
+
+template <class W>
+size_t graph_t<W>::memory_bytes() const {
+  size_t b = out_offsets_.size() * sizeof(edge_id) +
+             out_edges_.size() * sizeof(vertex_id) +
+             in_offsets_.size() * sizeof(edge_id) +
+             in_edges_.size() * sizeof(vertex_id);
+  if constexpr (is_weighted)
+    b += (out_weights_.size() + in_weights_.size()) * sizeof(W);
+  return b;
+}
+
+}  // namespace ligra

@@ -1,0 +1,306 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace ligra::io {
+
+namespace {
+
+// Reads an entire file into a string; throws on failure.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  in.seekg(0, std::ios::end);
+  auto size = in.tellg();
+  if (size < 0) throw std::runtime_error("cannot stat file: " + path);
+  std::string data(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(data.data(), size);
+  if (!in) throw std::runtime_error("short read: " + path);
+  return data;
+}
+
+// Incremental whitespace-separated token scanner over a slurped buffer.
+class token_scanner {
+ public:
+  explicit token_scanner(const std::string& data) : p_(data.data()), end_(p_ + data.size()) {}
+
+  bool next_token(const char** tok, size_t* len) {
+    while (p_ < end_ && is_space(*p_)) p_++;
+    if (p_ >= end_) return false;
+    const char* start = p_;
+    while (p_ < end_ && !is_space(*p_)) p_++;
+    *tok = start;
+    *len = static_cast<size_t>(p_ - start);
+    return true;
+  }
+
+  // Next token parsed as an integer; throws if absent or non-numeric.
+  int64_t next_int(const char* what) {
+    const char* tok;
+    size_t len;
+    if (!next_token(&tok, &len))
+      throw std::runtime_error(std::string("unexpected end of file reading ") + what);
+    bool neg = false;
+    size_t i = 0;
+    if (tok[0] == '-') {
+      neg = true;
+      i = 1;
+    }
+    if (i >= len) throw std::runtime_error(std::string("bad integer for ") + what);
+    int64_t v = 0;
+    for (; i < len; i++) {
+      if (tok[i] < '0' || tok[i] > '9')
+        throw std::runtime_error(std::string("bad integer for ") + what);
+      v = v * 10 + (tok[i] - '0');
+    }
+    return neg ? -v : v;
+  }
+
+  // Advances past whitespace, then returns the next character without
+  // consuming it ('\0' at end of input).
+  char peek_nonspace() {
+    while (p_ < end_ && is_space(*p_)) p_++;
+    return p_ < end_ ? *p_ : '\0';
+  }
+
+  // Skips the rest of the current line including its newline (for comment
+  // handling).
+  void skip_line() {
+    while (p_ < end_ && *p_ != '\n') p_++;
+    if (p_ < end_) p_++;
+  }
+
+ private:
+  static bool is_space(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+  const char* p_;
+  const char* end_;
+};
+
+template <class W>
+void write_adjacency_impl(const std::string& path, const graph_t<W>& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create file: " + path);
+  constexpr bool weighted = graph_t<W>::is_weighted;
+  out << (weighted ? "WeightedAdjacencyGraph" : "AdjacencyGraph") << '\n';
+  out << g.num_vertices() << '\n' << g.num_edges() << '\n';
+  const auto& off = g.out_offsets();
+  for (vertex_id v = 0; v < g.num_vertices(); v++) out << off[v] << '\n';
+  for (vertex_id t : g.out_edge_array()) out << t << '\n';
+  if constexpr (weighted) {
+    for (W w : g.out_weight_array()) out << w << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+template <class W>
+graph_t<W> read_adjacency_impl(const std::string& path, bool symmetric) {
+  std::string data = slurp(path);
+  token_scanner scan(data);
+  const char* tok;
+  size_t len;
+  if (!scan.next_token(&tok, &len))
+    throw std::runtime_error("empty graph file: " + path);
+  constexpr bool weighted = graph_t<W>::is_weighted;
+  std::string header(tok, len);
+  const char* expect = weighted ? "WeightedAdjacencyGraph" : "AdjacencyGraph";
+  if (header != expect)
+    throw std::runtime_error("bad header in " + path + ": got '" + header +
+                             "', expected '" + expect + "'");
+  int64_t n64 = scan.next_int("n");
+  int64_t m64 = scan.next_int("m");
+  // n == 2^32-1 is rejected too: that value is the kNoVertex sentinel.
+  if (n64 < 0 || m64 < 0 ||
+      n64 >= static_cast<int64_t>(std::numeric_limits<vertex_id>::max()))
+    throw std::runtime_error("bad n/m in " + path);
+  auto n = static_cast<vertex_id>(n64);
+  auto m = static_cast<edge_id>(m64);
+  std::vector<edge_id> offsets(static_cast<size_t>(n) + 1);
+  for (vertex_id v = 0; v < n; v++) {
+    int64_t o = scan.next_int("offset");
+    if (o < 0 || static_cast<edge_id>(o) > m)
+      throw std::runtime_error("offset out of range in " + path);
+    offsets[v] = static_cast<edge_id>(o);
+  }
+  offsets[n] = m;
+  std::vector<edge_t<W>> edges(m);
+  {
+    // Recover sources from offsets while reading targets.
+    vertex_id u = 0;
+    for (edge_id i = 0; i < m; i++) {
+      while (u + 1 <= n - 1 && offsets[u + 1] <= i) u++;
+      int64_t t = scan.next_int("edge target");
+      if (t < 0 || t >= n64)
+        throw std::runtime_error("edge target out of range in " + path);
+      edges[i].u = u;
+      edges[i].v = static_cast<vertex_id>(t);
+    }
+  }
+  if constexpr (weighted) {
+    for (edge_id i = 0; i < m; i++) {
+      int64_t w = scan.next_int("weight");
+      edges[i].weight = static_cast<W>(w);
+    }
+  }
+  // Preserve the file's multiplicity exactly; only (re)build the transpose.
+  build_options opts{.symmetrize = false,
+                     .remove_self_loops = false,
+                     .remove_duplicates = false};
+  if (symmetric) return graph_t<W>::from_symmetric_edges(n, std::move(edges), opts);
+  return graph_t<W>::from_edges(n, std::move(edges), opts);
+}
+
+constexpr char kBinaryMagic[4] = {'L', 'G', 'R', 'B'};
+constexpr uint32_t kBinaryVersion = 1;
+
+struct binary_header {
+  char magic[4];
+  uint32_t version;
+  uint32_t flags;  // bit 0: weighted, bit 1: symmetric
+  uint32_t n;
+  uint64_t m;
+};
+
+template <class T>
+void write_pod_array(std::ofstream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <class T>
+void read_pod_array(std::ifstream& in, std::vector<T>& v, size_t count) {
+  v.resize(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("binary graph: short read");
+}
+
+template <class W>
+void write_binary_impl(const std::string& path, const graph_t<W>& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot create file: " + path);
+  binary_header h{};
+  std::memcpy(h.magic, kBinaryMagic, 4);
+  h.version = kBinaryVersion;
+  h.flags = (graph_t<W>::is_weighted ? 1u : 0u) | (g.symmetric() ? 2u : 0u);
+  h.n = g.num_vertices();
+  h.m = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  write_pod_array(out, g.out_offsets());
+  write_pod_array(out, g.out_edge_array());
+  if constexpr (graph_t<W>::is_weighted) write_pod_array(out, g.out_weight_array());
+  if (!g.symmetric()) {
+    write_pod_array(out, g.in_offsets());
+    write_pod_array(out, g.in_edge_array());
+    if constexpr (graph_t<W>::is_weighted) write_pod_array(out, g.in_weight_array());
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+template <class W>
+graph_t<W> read_binary_impl(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  binary_header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || std::memcmp(h.magic, kBinaryMagic, 4) != 0)
+    throw std::runtime_error("not a binary graph file: " + path);
+  if (h.version != kBinaryVersion)
+    throw std::runtime_error("unsupported binary graph version in " + path);
+  bool weighted = (h.flags & 1u) != 0;
+  bool symmetric = (h.flags & 2u) != 0;
+  if (weighted != graph_t<W>::is_weighted)
+    throw std::runtime_error("weighted/unweighted mismatch reading " + path);
+  std::vector<edge_id> out_off;
+  std::vector<vertex_id> out_edges;
+  std::vector<W> out_w;
+  read_pod_array(in, out_off, static_cast<size_t>(h.n) + 1);
+  read_pod_array(in, out_edges, h.m);
+  if constexpr (graph_t<W>::is_weighted) read_pod_array(in, out_w, h.m);
+  std::vector<edge_id> in_off;
+  std::vector<vertex_id> in_edges;
+  std::vector<W> in_w;
+  if (!symmetric) {
+    read_pod_array(in, in_off, static_cast<size_t>(h.n) + 1);
+    read_pod_array(in, in_edges, h.m);
+    if constexpr (graph_t<W>::is_weighted) read_pod_array(in, in_w, h.m);
+  }
+  return graph_t<W>::from_csr(h.n, std::move(out_off), std::move(out_edges),
+                              std::move(out_w), symmetric, std::move(in_off),
+                              std::move(in_edges), std::move(in_w));
+}
+
+template <class W>
+graph_t<W> read_edge_list_impl(const std::string& path, bool symmetrize,
+                               vertex_id n) {
+  std::string data = slurp(path);
+  token_scanner scan(data);
+  std::vector<edge_t<W>> edges;
+  vertex_id max_id = 0;
+  while (true) {
+    char c = scan.peek_nonspace();
+    if (c == '\0') break;
+    if (c == '#' || c == '%') {
+      scan.skip_line();
+      continue;
+    }
+    int64_t u = scan.next_int("edge source");
+    int64_t v = scan.next_int("edge target");
+    if (u < 0 || v < 0) throw std::runtime_error("negative vertex id in " + path);
+    edge_t<W> e;
+    e.u = static_cast<vertex_id>(u);
+    e.v = static_cast<vertex_id>(v);
+    if constexpr (graph_t<W>::is_weighted) {
+      e.weight = static_cast<W>(scan.next_int("edge weight"));
+    }
+    max_id = std::max({max_id, e.u, e.v});
+    edges.push_back(e);
+  }
+  if (n == 0) n = edges.empty() ? 0 : max_id + 1;
+  return graph_t<W>::from_edges(n, std::move(edges), {.symmetrize = symmetrize});
+}
+
+}  // namespace
+
+void write_adjacency_graph(const std::string& path, const graph& g) {
+  write_adjacency_impl(path, g);
+}
+void write_adjacency_graph(const std::string& path, const wgraph& g) {
+  write_adjacency_impl(path, g);
+}
+graph read_adjacency_graph(const std::string& path, bool symmetric) {
+  return read_adjacency_impl<empty_weight>(path, symmetric);
+}
+wgraph read_weighted_adjacency_graph(const std::string& path, bool symmetric) {
+  return read_adjacency_impl<int32_t>(path, symmetric);
+}
+
+void write_binary_graph(const std::string& path, const graph& g) {
+  write_binary_impl(path, g);
+}
+void write_binary_graph(const std::string& path, const wgraph& g) {
+  write_binary_impl(path, g);
+}
+graph read_binary_graph(const std::string& path) {
+  return read_binary_impl<empty_weight>(path);
+}
+wgraph read_weighted_binary_graph(const std::string& path) {
+  return read_binary_impl<int32_t>(path);
+}
+
+graph read_edge_list(const std::string& path, bool symmetrize, vertex_id n) {
+  return read_edge_list_impl<empty_weight>(path, symmetrize, n);
+}
+wgraph read_weighted_edge_list(const std::string& path, bool symmetrize,
+                               vertex_id n) {
+  return read_edge_list_impl<int32_t>(path, symmetrize, n);
+}
+
+}  // namespace ligra::io

@@ -1,0 +1,57 @@
+// Graph serialization (DESIGN.md S5).
+//
+// Two formats:
+//  * The Ligra/PBBS "AdjacencyGraph" text format, for interoperability with
+//    the original system's inputs:
+//
+//        AdjacencyGraph          (or WeightedAdjacencyGraph)
+//        <n>
+//        <m>
+//        <n offsets>
+//        <m edge targets>
+//        [<m weights>]           (weighted form only)
+//
+//    The text format stores only the out-CSR; whether the graph is
+//    symmetric is supplied by the caller (Ligra's `-s` flag). Directed
+//    graphs get their transpose rebuilt on load.
+//  * A binary format ("LGRB") that stores flags (weighted/symmetric), both
+//    CSRs, and loads without parsing — used by the examples to cache
+//    generated inputs.
+//
+// All readers validate and throw std::runtime_error on malformed input —
+// failures happen before any parallel region starts.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ligra::io {
+
+// --- AdjacencyGraph text format ---------------------------------------------
+
+void write_adjacency_graph(const std::string& path, const graph& g);
+void write_adjacency_graph(const std::string& path, const wgraph& g);
+
+// `symmetric`: treat the file's edges as already containing both directions.
+graph read_adjacency_graph(const std::string& path, bool symmetric);
+wgraph read_weighted_adjacency_graph(const std::string& path, bool symmetric);
+
+// --- binary format ------------------------------------------------------------
+
+void write_binary_graph(const std::string& path, const graph& g);
+void write_binary_graph(const std::string& path, const wgraph& g);
+
+graph read_binary_graph(const std::string& path);
+wgraph read_weighted_binary_graph(const std::string& path);
+
+// --- edge-list ingest -----------------------------------------------------------
+
+// Reads whitespace-separated "u v" (or "u v w") lines; '#' or '%' comment
+// lines are skipped. n defaults to max id + 1 when 0.
+graph read_edge_list(const std::string& path, bool symmetrize,
+                     vertex_id n = 0);
+wgraph read_weighted_edge_list(const std::string& path, bool symmetrize,
+                               vertex_id n = 0);
+
+}  // namespace ligra::io

@@ -1,0 +1,95 @@
+// Graph statistics and validation helpers — the reporting layer used by
+// Table 1, the examples, and graph_tool's `stats` mode.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "parallel/primitives.h"
+
+namespace ligra {
+
+struct degree_stats {
+  size_t min_degree = 0;
+  size_t max_degree = 0;
+  double avg_degree = 0.0;
+  size_t isolated_vertices = 0;  // out-degree 0
+};
+
+template <class W>
+degree_stats compute_degree_stats(const graph_t<W>& g) {
+  degree_stats s;
+  const vertex_id n = g.num_vertices();
+  if (n == 0) return s;
+  s.max_degree = parallel::reduce(
+      n, [&](size_t v) { return g.out_degree(static_cast<vertex_id>(v)); },
+      size_t{0}, [](size_t a, size_t b) { return a > b ? a : b; });
+  s.min_degree = parallel::reduce(
+      n, [&](size_t v) { return g.out_degree(static_cast<vertex_id>(v)); },
+      std::numeric_limits<size_t>::max(),
+      [](size_t a, size_t b) { return a < b ? a : b; });
+  s.avg_degree = static_cast<double>(g.num_edges()) / n;
+  s.isolated_vertices = parallel::count_if_index(
+      n, [&](size_t v) { return g.out_degree(static_cast<vertex_id>(v)) == 0; });
+  return s;
+}
+
+// True iff every edge (u, v) has its reverse (v, u) — whether or not the
+// graph was *built* as symmetric. O(m log d) via binary searches.
+template <class W>
+bool edges_are_symmetric(const graph_t<W>& g) {
+  const vertex_id n = g.num_vertices();
+  return parallel::reduce(
+      n,
+      [&](size_t ui) {
+        auto u = static_cast<vertex_id>(ui);
+        for (vertex_id v : g.out_neighbors(u))
+          if (!g.has_edge(v, u)) return false;
+        return true;
+      },
+      true, [](bool a, bool b) { return a && b; });
+}
+
+// True iff no vertex has an edge to itself.
+template <class W>
+bool has_no_self_loops(const graph_t<W>& g) {
+  return parallel::count_if_index(g.num_vertices(), [&](size_t v) {
+           return g.has_edge(static_cast<vertex_id>(v),
+                             static_cast<vertex_id>(v));
+         }) == 0;
+}
+
+// Structural integrity check: offsets monotone and bounded, adjacency
+// lists sorted, in/out edge counts consistent. Cheap enough to run on
+// loaded graphs in tools; returns false rather than throwing so callers
+// can report.
+template <class W>
+bool validate_graph(const graph_t<W>& g) {
+  const vertex_id n = g.num_vertices();
+  const auto& off = g.out_offsets();
+  if (off.size() != static_cast<size_t>(n) + 1) return false;
+  if (off.front() != 0 || off.back() != g.num_edges()) return false;
+  bool ok = parallel::reduce(
+      n,
+      [&](size_t vi) {
+        auto v = static_cast<vertex_id>(vi);
+        if (off[vi] > off[vi + 1]) return false;
+        auto nbrs = g.out_neighbors(v);
+        for (size_t j = 0; j < nbrs.size(); j++) {
+          if (nbrs[j] >= n) return false;
+          if (j > 0 && nbrs[j] < nbrs[j - 1]) return false;
+        }
+        return true;
+      },
+      true, [](bool a, bool b) { return a && b; });
+  if (!ok) return false;
+  if (!g.symmetric()) {
+    edge_id in_total = parallel::reduce_add(n, [&](size_t v) -> edge_id {
+      return g.in_degree(static_cast<vertex_id>(v));
+    });
+    if (in_total != g.num_edges()) return false;
+  }
+  return true;
+}
+
+}  // namespace ligra

@@ -1,0 +1,247 @@
+// Bucketing structure in the style of Julienne (Dhulipala, Blelloch, Shun,
+// SPAA'17) — the authors' extension of Ligra for bucketing-based algorithms
+// (k-core peeling, Δ-stepping SSSP, approximate set cover). DESIGN.md S11.
+//
+// Maintains identifiers [0, n) partitioned into ordered buckets given by a
+// user functor `get_bucket(i)` (which must always report the *current*
+// bucket of i — typically it reads the algorithm's state, e.g. a vertex's
+// remaining degree or tentative distance). The structure materializes a
+// window of `num_open` consecutive buckets; identifiers beyond the window
+// go to an overflow pool that is re-distributed when the window advances.
+//
+// Both processing orders are supported: increasing (peeling, Δ-stepping)
+// and decreasing (set cover, which repeatedly takes the sets of maximum
+// remaining coverage).
+//
+// Deletion is lazy: when an identifier moves buckets, the caller re-inserts
+// it via update_buckets and the stale copy is discarded when its bucket is
+// popped (membership is re-checked against get_bucket at pop time). This is
+// the standard practical realization of Julienne's interface.
+//
+// `kNullBucket` marks identifiers that should never be returned again
+// (e.g. finished vertices / fully-covered sets).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "parallel/primitives.h"
+#include "parallel/semisort.h"
+#include "parallel/sort.h"
+
+namespace ligra {
+
+inline constexpr uint64_t kNullBucket = ~uint64_t{0};
+
+enum class bucket_order : uint8_t { increasing, decreasing };
+
+template <class GetBucket>
+class bucket_structure {
+ public:
+  // Inserts every i in [0, n) whose get_bucket(i) != kNullBucket.
+  bucket_structure(size_t n, GetBucket get_bucket, size_t num_open = 128,
+                   bucket_order order = bucket_order::increasing)
+      : get_bucket_(std::move(get_bucket)),
+        window_(num_open == 0 ? 1 : num_open),
+        order_(order) {
+    auto ids = parallel::tabulate(n, [](size_t i) { return static_cast<uint32_t>(i); });
+    distribute(ids);
+  }
+
+  struct popped {
+    uint64_t bucket;             // bucket id
+    std::vector<uint32_t> ids;   // its current members (nonempty, sorted)
+  };
+
+  // Removes and returns the next nonempty bucket in processing order, or
+  // nullopt when no identifiers remain.
+  std::optional<popped> next_bucket() {
+    while (true) {
+      if (initialized_) {
+        for (size_t slot = cursor_; slot < window_.size(); slot++) {
+          if (window_[slot].empty()) continue;
+          std::vector<uint32_t> members = std::move(window_[slot]);
+          window_[slot].clear();
+          uint64_t bid = bucket_of_slot(slot);
+          // Drop stale entries (moved or finished since insertion) and
+          // duplicates (an id re-inserted several times appears several
+          // times; membership check passes for all copies, so dedup).
+          auto valid = parallel::pack(
+              members.size(), [&](size_t i) { return members[i]; },
+              [&](size_t i) { return get_bucket_(members[i]) == bid; });
+          if (valid.empty()) {
+            if (slot == cursor_) cursor_ = slot + 1;
+            continue;
+          }
+          parallel::sort_inplace(valid);
+          auto unique = parallel::pack(
+              valid.size(), [&](size_t i) { return valid[i]; },
+              [&](size_t i) { return i == 0 || valid[i] != valid[i - 1]; });
+          cursor_ = slot;  // bucket may receive new ids; stay on it
+          return popped{bid, std::move(unique)};
+        }
+      }
+      // Window exhausted (or never opened): advance to the extreme
+      // remaining bucket among the overflow pool.
+      if (overflow_.empty()) return std::nullopt;
+      std::vector<uint32_t> pool = std::move(overflow_);
+      overflow_.clear();
+      // Keep only live entries that genuinely lie beyond the just-closed
+      // window.
+      pool = parallel::pack(
+          pool.size(), [&](size_t i) { return pool[i]; },
+          [&](size_t i) {
+            uint64_t b = get_bucket_(pool[i]);
+            if (b == kNullBucket) return false;
+            if (!initialized_) return true;
+            return beyond_window(b);
+          });
+      if (pool.empty()) return std::nullopt;
+      uint64_t extreme =
+          order_ == bucket_order::increasing
+              ? parallel::reduce(
+                    pool.size(), [&](size_t i) { return get_bucket_(pool[i]); },
+                    kNullBucket,
+                    [](uint64_t a, uint64_t b) { return a < b ? a : b; })
+              : parallel::reduce(
+                    pool.size(), [&](size_t i) { return get_bucket_(pool[i]); },
+                    uint64_t{0},
+                    [](uint64_t a, uint64_t b) { return a > b ? a : b; });
+      window_start_ = extreme;
+      cursor_ = 0;
+      initialized_ = true;
+      distribute(pool);
+    }
+  }
+
+  // Re-files identifiers whose bucket may have changed. Identifiers mapping
+  // to kNullBucket are dropped; identifiers mapping to already-popped
+  // buckets (behind the cursor in processing order) are clamped into the
+  // current bucket — monotone algorithms never do this, but the clamp keeps
+  // the structure safe. Duplicates are deduplicated at pop time.
+  void update_buckets(const std::vector<uint32_t>& ids) { distribute(ids); }
+
+  // Total live identifiers (including stale copies; for tests/diagnostics).
+  size_t approx_size() const {
+    size_t s = overflow_.size();
+    for (const auto& b : window_) s += b.size();
+    return s;
+  }
+
+  bucket_order order() const { return order_; }
+
+ private:
+  uint64_t bucket_of_slot(size_t slot) const {
+    return order_ == bucket_order::increasing ? window_start_ + slot
+                                              : window_start_ - slot;
+  }
+
+  // Slot of bucket b within the current window, or SIZE_MAX if outside.
+  size_t slot_of(uint64_t b) const {
+    if (order_ == bucket_order::increasing) {
+      if (b < window_start_) return SIZE_MAX;
+      uint64_t s = b - window_start_;
+      return s < window_.size() ? static_cast<size_t>(s) : SIZE_MAX;
+    }
+    if (b > window_start_) return SIZE_MAX;
+    uint64_t s = window_start_ - b;
+    return s < window_.size() ? static_cast<size_t>(s) : SIZE_MAX;
+  }
+
+  // True iff bucket b lies strictly beyond the window in processing order
+  // (i.e. still to be reached after the window is exhausted).
+  bool beyond_window(uint64_t b) const {
+    if (order_ == bucket_order::increasing)
+      return b >= window_start_ + window_.size();
+    return window_start_ >= window_.size() &&
+           b <= window_start_ - window_.size();
+  }
+
+  // True iff bucket b was already passed by the cursor (processing order).
+  bool behind_cursor(uint64_t b) const {
+    if (order_ == bucket_order::increasing)
+      return b < window_start_ + cursor_;
+    return b > window_start_ - cursor_;
+  }
+
+  void distribute(const std::vector<uint32_t>& ids) {
+    if (ids.empty()) return;
+    struct entry {
+      uint64_t bucket;
+      uint32_t id;
+    };
+    std::vector<entry> entries(ids.size());
+    parallel::parallel_for(0, ids.size(), [&](size_t i) {
+      entries[i] = {get_bucket_(ids[i]), ids[i]};
+    });
+    auto live = parallel::pack(
+        entries.size(), [&](size_t i) { return entries[i]; },
+        [&](size_t i) { return entries[i].bucket != kNullBucket; });
+    if (live.empty()) return;
+    if (!initialized_) {
+      // No window yet: everything pools in the overflow; the first
+      // next_bucket() opens the window at the extreme bucket.
+      overflow_.reserve(overflow_.size() + live.size());
+      for (const entry& e : live) overflow_.push_back(e.id);
+      return;
+    }
+    // Group equal buckets contiguously — semisort (SPAA'15) rather than a
+    // full comparison sort; group order is irrelevant here.
+    parallel::semisort_inplace(live, [](const entry& e) { return e.bucket; });
+    // Group boundaries, then append each group to its destination (groups
+    // target distinct vectors; shared destinations serialize on the lock).
+    auto starts = parallel::group_starts(live, [](const entry& e) { return e.bucket; });
+    parallel::parallel_for(
+        0, starts.size(),
+        [&](size_t gi) {
+          size_t lo = starts[gi];
+          size_t hi = gi + 1 < starts.size() ? starts[gi + 1] : live.size();
+          uint64_t bucket = live[lo].bucket;
+          std::vector<uint32_t>* dest;
+          if (behind_cursor(bucket)) {
+            // Clamp already-passed insertions into the current bucket.
+            dest = &window_[cursor_ < window_.size() ? cursor_ : window_.size() - 1];
+          } else if (size_t slot = slot_of(bucket); slot != SIZE_MAX) {
+            dest = &window_[slot];
+          } else {
+            dest = &overflow_;
+          }
+          append_locked(*dest, live, lo, hi);
+        },
+        1);
+  }
+
+  // Appends live[lo..hi) ids to dest. Groups target distinct buckets, but
+  // the overflow pool (and the clamped current bucket) can be shared by
+  // several groups, so serialize with a small spinlock.
+  template <class Vec>
+  void append_locked(std::vector<uint32_t>& dest, const Vec& live, size_t lo,
+                     size_t hi) {
+    while (lock_.exchange(true, std::memory_order_acquire)) {
+    }
+    dest.reserve(dest.size() + (hi - lo));
+    for (size_t i = lo; i < hi; i++) dest.push_back(live[i].id);
+    lock_.store(false, std::memory_order_release);
+  }
+
+  GetBucket get_bucket_;
+  std::vector<std::vector<uint32_t>> window_;
+  std::vector<uint32_t> overflow_;  // buckets beyond the window
+  uint64_t window_start_ = 0;       // bucket id of slot 0 (once initialized)
+  size_t cursor_ = 0;               // first unpopped slot within the window
+  bool initialized_ = false;        // window opened by the first next_bucket
+  bucket_order order_;
+  std::atomic<bool> lock_{false};
+};
+
+// Deduction-friendly factory.
+template <class GetBucket>
+bucket_structure<GetBucket> make_buckets(
+    size_t n, GetBucket get_bucket, size_t num_open = 128,
+    bucket_order order = bucket_order::increasing) {
+  return bucket_structure<GetBucket>(n, std::move(get_bucket), num_open,
+                                     order);
+}
+
+}  // namespace ligra

@@ -1,0 +1,315 @@
+// edge_map — Ligra's central operation (paper §3, DESIGN.md S8).
+//
+//   edge_map(G, U, F) applies F to the out-edges (u, v) of the frontier U
+//   whose targets satisfy F.cond(v), and returns the subset of targets for
+//   which F's update returned true.
+//
+// Three traversal strategies, selected automatically by the paper's
+// threshold |U| + outdeg(U) > m / 20:
+//
+//   * sparse ("push", edgeMapSparse): iterate the out-edges of frontier
+//     members; updates race on targets, so F::update_atomic is used and the
+//     output is compacted from per-edge slots. Work O(|U| + outdeg(U)).
+//   * dense ("pull", edgeMapDense): for every vertex v with cond(v),
+//     scan v's in-edges for frontier members; only one thread touches v, so
+//     the plain F::update runs and the scan breaks as soon as cond(v)
+//     flips false (the early exit that makes BFS bottom-up cheap).
+//     Work O(n + m) worst case but with no atomics and early exit.
+//   * dense_forward (edgeMapDenseForward): push over the out-edges of a
+//     dense frontier — avoids the sparse output compaction at large
+//     frontiers but needs atomics and has no early exit. Offered as an
+//     explicit mode and exercised by ablation A1.
+//
+// The update functor F provides:
+//     bool update(vertex_id u, vertex_id v [, W w])         // non-racing
+//     bool update_atomic(vertex_id u, vertex_id v [, W w])  // racing
+//     bool cond(vertex_id v)
+// The weight parameter is optional — unweighted algorithms keep the paper's
+// two-argument signature; detection is by overload resolution.
+//
+// edge_map is generic over any graph type G exposing
+//     num_vertices(), num_edges(), out_degree(v),
+//     decode_out(v, f), decode_in(v, f), weight_type
+// — satisfied by graph_t<W> and by compress::compressed_graph (Ligra+).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ligra/vertex_subset.h"
+#include "parallel/atomics.h"
+#include "parallel/primitives.h"
+
+namespace ligra {
+
+// Which traversal edge_map used / should use.
+enum class traversal : uint8_t { automatic, sparse, dense, dense_forward };
+
+// Human-readable traversal name (benches, traces).
+inline const char* traversal_name(traversal t) {
+  switch (t) {
+    case traversal::automatic: return "auto";
+    case traversal::sparse: return "sparse";
+    case traversal::dense: return "dense";
+    case traversal::dense_forward: return "dense-fwd";
+  }
+  return "?";
+}
+
+// Per-call statistics, filled when edge_map_options::stats is set. The
+// frontier-trace experiment (F1) records one entry per BFS iteration.
+struct edge_map_stats {
+  size_t frontier_size = 0;    // |U|
+  edge_id frontier_edges = 0;  // outdeg(U)
+  traversal used = traversal::automatic;
+};
+
+struct edge_map_options {
+  traversal strategy = traversal::automatic;
+  // Dense when |U| + outdeg(U) > m / threshold_denominator (paper: 20).
+  uint64_t threshold_denominator = 20;
+  // When `automatic` picks a dense traversal, use dense_forward instead of
+  // the pull-based dense (Ligra's per-graph option).
+  bool prefer_dense_forward = false;
+  // Deduplicate the sparse output (needed when update_atomic may return
+  // true more than once per target). Costs an O(n) scratch array.
+  bool remove_duplicates = false;
+  // When false, edge_map skips building the output subset (Ligra's
+  // edgeMap with no output — e.g. PageRank, which writes into dense
+  // arrays and never looks at the returned frontier).
+  bool produce_output = true;
+  edge_map_stats* stats = nullptr;
+};
+
+// Sentinel "no edge index" value (slot not claimed).
+inline constexpr edge_id kNoEdge = std::numeric_limits<edge_id>::max();
+
+namespace detail {
+
+template <class F, class W>
+bool call_update(F& f, vertex_id u, vertex_id v, W w) {
+  if constexpr (requires(F& g) { g.update(u, v, w); }) {
+    return f.update(u, v, w);
+  } else {
+    (void)w;
+    return f.update(u, v);
+  }
+}
+
+template <class F, class W>
+bool call_update_atomic(F& f, vertex_id u, vertex_id v, W w) {
+  if constexpr (requires(F& g) { g.update_atomic(u, v, w); }) {
+    return f.update_atomic(u, v, w);
+  } else {
+    (void)w;
+    return f.update_atomic(u, v);
+  }
+}
+
+// Sparse (push) traversal over the out-edges of the frontier ids.
+template <class G, class F>
+vertex_subset edge_map_sparse(const G& g,
+                              const std::vector<vertex_id>& frontier, F& f,
+                              const edge_map_options& opts) {
+  using W = typename G::weight_type;
+  const size_t k = frontier.size();
+  // Granularity: auto (chunked). One-task-per-vertex would swamp the
+  // scheduler on high-diameter graphs whose frontiers are thousands of
+  // low-degree vertices; chunking costs little on skewed graphs because
+  // the dense path handles the hub-heavy rounds.
+  if (!opts.produce_output) {
+    parallel::parallel_for(0, k, [&](size_t i) {
+      vertex_id u = frontier[i];
+      g.decode_out(u, [&](vertex_id v, W w, size_t) {
+        if (f.cond(v)) call_update_atomic(f, u, v, w);
+        return true;
+      });
+    });
+    return vertex_subset(g.num_vertices());
+  }
+  // Slot layout: one output cell per traversed edge, compacted at the end.
+  std::vector<edge_id> offsets(k + 1);
+  parallel::parallel_for(0, k, [&](size_t i) {
+    offsets[i] = g.out_degree(frontier[i]);
+  });
+  offsets[k] = 0;
+  parallel::scan_add_inplace(offsets.data(), k + 1);
+  std::vector<vertex_id> slots(offsets[k], kNoVertex);
+  parallel::parallel_for(0, k, [&](size_t i) {
+    vertex_id u = frontier[i];
+    edge_id base = offsets[i];
+    g.decode_out(u, [&](vertex_id v, W w, size_t j) {
+      if (f.cond(v) && call_update_atomic(f, u, v, w))
+        slots[base + j] = v;
+      return true;
+    });
+  });
+  if (opts.remove_duplicates) {
+    // Keep one slot per distinct target: winner chosen by CAS on a scratch
+    // array holding the slot index.
+    std::vector<edge_id> winner(g.num_vertices(), kNoEdge);
+    parallel::parallel_for(0, slots.size(), [&](size_t s) {
+      vertex_id v = slots[s];
+      if (v == kNoVertex) return;
+      if (!compare_and_swap(&winner[v], kNoEdge, static_cast<edge_id>(s)))
+        slots[s] = kNoVertex;  // someone else claimed v
+    });
+  }
+  auto out = parallel::pack(
+      slots.size(), [&](size_t s) { return slots[s]; },
+      [&](size_t s) { return slots[s] != kNoVertex; });
+  return vertex_subset(g.num_vertices(), std::move(out));
+}
+
+// Dense (pull) traversal: scan in-edges of every vertex passing cond.
+template <class G, class F>
+vertex_subset edge_map_dense(const G& g, const std::vector<uint8_t>& frontier,
+                             F& f, const edge_map_options& opts) {
+  using W = typename G::weight_type;
+  const vertex_id n = g.num_vertices();
+  std::vector<uint8_t> next;
+  if (opts.produce_output) next.assign(n, 0);
+  parallel::parallel_for(0, n, [&](size_t vi) {
+    auto v = static_cast<vertex_id>(vi);
+    if (!f.cond(v)) return;
+    g.decode_in(v, [&](vertex_id u, W w, size_t) {
+      if (frontier[u] && call_update(f, u, v, w)) {
+        if (opts.produce_output) next[vi] = 1;
+      }
+      return f.cond(v);  // early exit: stop once v's state is settled
+    });
+  });
+  if (!opts.produce_output) return vertex_subset(n);
+  return vertex_subset::from_dense(n, std::move(next));
+}
+
+// Dense-forward traversal: push over out-edges of a dense frontier.
+template <class G, class F>
+vertex_subset edge_map_dense_forward(const G& g,
+                                     const std::vector<uint8_t>& frontier,
+                                     F& f, const edge_map_options& opts) {
+  using W = typename G::weight_type;
+  const vertex_id n = g.num_vertices();
+  std::vector<uint8_t> next;
+  if (opts.produce_output) next.assign(n, 0);
+  parallel::parallel_for(0, n, [&](size_t ui) {
+    if (!frontier[ui]) return;
+    auto u = static_cast<vertex_id>(ui);
+    g.decode_out(u, [&](vertex_id v, W w, size_t) {
+      if (f.cond(v) && call_update_atomic(f, u, v, w)) {
+        // Racing byte stores of the same value are fine via atomic_ref.
+        if (opts.produce_output) atomic_store(&next[v], uint8_t{1});
+      }
+      return true;
+    });
+  });
+  if (!opts.produce_output) return vertex_subset(n);
+  return vertex_subset::from_dense(n, std::move(next));
+}
+
+}  // namespace detail
+
+// Applies F over the out-edges of `frontier` and returns the new frontier.
+// `frontier` is taken by mutable reference because the chosen traversal may
+// convert its physical representation (sparse<->dense) in place; membership
+// is never changed.
+template <class G, class F>
+vertex_subset edge_map(const G& g, vertex_subset& frontier, F f,
+                       const edge_map_options& opts = {}) {
+  if (frontier.universe_size() != g.num_vertices())
+    throw std::invalid_argument("edge_map: frontier universe != graph size");
+  traversal mode = opts.strategy;
+  edge_id out_degrees = 0;
+  if (mode == traversal::automatic || opts.stats != nullptr) {
+    out_degrees = frontier.out_degree_sum(g);
+  }
+  if (mode == traversal::automatic) {
+    uint64_t threshold =
+        g.num_edges() / std::max<uint64_t>(1, opts.threshold_denominator);
+    bool dense = frontier.size() + out_degrees > threshold;
+    mode = dense ? (opts.prefer_dense_forward ? traversal::dense_forward
+                                              : traversal::dense)
+                 : traversal::sparse;
+  }
+  if (opts.stats != nullptr) {
+    opts.stats->frontier_size = frontier.size();
+    opts.stats->frontier_edges = out_degrees;
+    opts.stats->used = mode;
+  }
+  switch (mode) {
+    case traversal::sparse:
+      frontier.to_sparse();
+      return detail::edge_map_sparse(g, frontier.sparse(), f, opts);
+    case traversal::dense:
+      frontier.to_dense();
+      return detail::edge_map_dense(g, frontier.dense(), f, opts);
+    case traversal::dense_forward:
+      frontier.to_dense();
+      return detail::edge_map_dense_forward(g, frontier.dense(), f, opts);
+    case traversal::automatic:
+      break;
+  }
+  throw std::logic_error("edge_map: unreachable");
+}
+
+// Ligra's "edgeMap with no output": applies updates but skips constructing
+// the result subset.
+template <class G, class F>
+void edge_map_no_output(const G& g, vertex_subset& frontier, F f,
+                        edge_map_options opts = {}) {
+  opts.produce_output = false;
+  edge_map(g, frontier, std::move(f), opts);
+}
+
+// Reduction over the out-edges of the frontier: returns
+//   identity ⊕ f(u, v, w) for every edge (u, v) with u in `frontier`.
+// A read-only companion to edge_map for analytics that aggregate over a
+// frontier's edges (e.g. counting cut edges, summing weights) without
+// mutating vertex state. `op` must be associative and commutative — edge
+// visit order is unspecified.
+template <class G, class T, class F, class Op>
+T edge_map_reduce(const G& g, const vertex_subset& frontier, F&& f,
+                  T identity, Op&& op) {
+  using W = typename G::weight_type;
+  if (frontier.universe_size() != g.num_vertices())
+    throw std::invalid_argument(
+        "edge_map_reduce: frontier universe != graph size");
+  auto per_vertex = [&](vertex_id u) {
+    T acc = identity;
+    g.decode_out(u, [&](vertex_id v, W w, size_t) {
+      acc = op(acc, f(u, v, w));
+      return true;
+    });
+    return acc;
+  };
+  if (frontier.is_dense()) {
+    const auto& flags = frontier.dense();
+    return parallel::reduce(
+        g.num_vertices(),
+        [&](size_t u) {
+          return flags[u] ? per_vertex(static_cast<vertex_id>(u)) : identity;
+        },
+        identity, op);
+  }
+  const auto& ids = frontier.sparse();
+  return parallel::reduce(
+      ids.size(), [&](size_t i) { return per_vertex(ids[i]); }, identity, op);
+}
+
+// Counts frontier out-edges satisfying `pred(u, v, w)`.
+template <class G, class Pred>
+edge_id edge_map_count(const G& g, const vertex_subset& frontier,
+                       Pred&& pred) {
+  using W = typename G::weight_type;
+  return edge_map_reduce(
+      g, frontier,
+      [&](vertex_id u, vertex_id v, W w) -> edge_id {
+        return pred(u, v, w) ? 1 : 0;
+      },
+      edge_id{0}, [](edge_id a, edge_id b) { return a + b; });
+}
+
+}  // namespace ligra

@@ -1,0 +1,95 @@
+#include "ligra/vertex_subset.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "parallel/primitives.h"
+
+namespace ligra {
+
+vertex_subset::vertex_subset(vertex_id n) : n_(n), m_(0) {}
+
+vertex_subset::vertex_subset(vertex_id n, vertex_id v) : n_(n), m_(1) {
+  if (v >= n) throw std::invalid_argument("vertex_subset: vertex out of range");
+  sparse_.push_back(v);
+}
+
+vertex_subset::vertex_subset(vertex_id n, std::vector<vertex_id> ids)
+    : n_(n), m_(ids.size()), sparse_(std::move(ids)) {
+#ifndef NDEBUG
+  std::vector<uint8_t> seen(n, 0);
+  for (vertex_id v : sparse_) {
+    assert(v < n && "vertex_subset: vertex out of range");
+    assert(!seen[v] && "vertex_subset: duplicate vertex");
+    seen[v] = 1;
+  }
+#endif
+}
+
+vertex_subset vertex_subset::from_dense(vertex_id n,
+                                        std::vector<uint8_t> flags) {
+  if (flags.size() != n)
+    throw std::invalid_argument("vertex_subset::from_dense: flags size != n");
+  vertex_subset vs(n);
+  vs.dense_ = std::move(flags);
+  vs.dense_valid_ = true;
+  vs.m_ = parallel::count_if_index(n, [&](size_t v) { return vs.dense_[v] != 0; });
+  return vs;
+}
+
+vertex_subset vertex_subset::all(vertex_id n) {
+  vertex_subset vs(n);
+  vs.dense_.assign(n, 1);
+  vs.dense_valid_ = true;
+  vs.m_ = n;
+  return vs;
+}
+
+bool vertex_subset::contains(vertex_id v) const {
+  assert(v < n_);
+  if (dense_valid_) return dense_[v] != 0;
+  for (vertex_id u : sparse_)
+    if (u == v) return true;
+  return false;
+}
+
+void vertex_subset::to_dense() {
+  if (dense_valid_) return;
+  dense_.assign(n_, 0);
+  parallel::parallel_for(0, sparse_.size(),
+                         [&](size_t i) { dense_[sparse_[i]] = 1; });
+  dense_valid_ = true;
+  sparse_.clear();
+  sparse_.shrink_to_fit();
+}
+
+void vertex_subset::to_sparse() {
+  if (!dense_valid_) return;
+  sparse_ = parallel::pack_index<vertex_id>(
+      n_, [&](size_t v) { return dense_[v] != 0; });
+  dense_valid_ = false;
+  dense_.clear();
+  dense_.shrink_to_fit();
+}
+
+const std::vector<vertex_id>& vertex_subset::sparse() const {
+  assert(!dense_valid_ && "vertex_subset: call to_sparse() first");
+  return sparse_;
+}
+
+const std::vector<uint8_t>& vertex_subset::dense() const {
+  assert(dense_valid_ && "vertex_subset: call to_dense() first");
+  return dense_;
+}
+
+std::vector<vertex_id> vertex_subset::to_sorted_vector() const {
+  if (dense_valid_) {
+    return parallel::pack_index<vertex_id>(
+        n_, [&](size_t v) { return dense_[v] != 0; });
+  }
+  std::vector<vertex_id> ids = sparse_;
+  parallel::sort_inplace(ids);
+  return ids;
+}
+
+}  // namespace ligra

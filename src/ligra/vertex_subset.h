@@ -1,0 +1,97 @@
+// vertex_subset — one of Ligra's two core abstractions (DESIGN.md S7).
+//
+// A subset U of the vertices [0, n) with two physical representations:
+//   * sparse — an array of the member ids (order unspecified), good when
+//     |U| << n; this is what push-style traversal consumes.
+//   * dense  — a byte per vertex (1 = member), good when |U| is large;
+//     this is what pull-style traversal consumes.
+//
+// The representation converts lazily: edge_map densifies or sparsifies its
+// input as its traversal strategy requires, and both conversions are
+// parallel (pack / scatter). The member count |U| is maintained eagerly so
+// `size()` is O(1) — the hybrid traversal decision depends on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra {
+
+class vertex_subset {
+ public:
+  // Empty subset over universe [0, n).
+  explicit vertex_subset(vertex_id n = 0);
+
+  // Singleton {v}; sparse representation.
+  vertex_subset(vertex_id n, vertex_id v);
+
+  // From an id list (must all be < n, no duplicates — callers from edge_map
+  // guarantee this; validated in debug builds).
+  vertex_subset(vertex_id n, std::vector<vertex_id> ids);
+
+  // From dense flags; flags.size() must equal n.
+  static vertex_subset from_dense(vertex_id n, std::vector<uint8_t> flags);
+
+  // The full subset [0, n), dense.
+  static vertex_subset all(vertex_id n);
+
+  vertex_id universe_size() const { return n_; }
+  size_t size() const { return m_; }
+  bool empty() const { return m_ == 0; }
+  bool is_dense() const { return dense_valid_; }
+
+  // Membership test: O(1) dense, O(|U|) sparse (kept for tests/assertions;
+  // hot paths convert representation instead).
+  bool contains(vertex_id v) const;
+
+  // Representation conversions (no-ops when already in the target form).
+  void to_dense();
+  void to_sparse();
+
+  // Direct access; the requested representation must be materialized
+  // (call to_dense()/to_sparse() first). Debug-checked.
+  const std::vector<vertex_id>& sparse() const;
+  const std::vector<uint8_t>& dense() const;
+
+  // Member ids in increasing order (always a fresh copy; for tests and
+  // output, not hot paths).
+  std::vector<vertex_id> to_sorted_vector() const;
+
+  // Applies f(v) to every member in parallel.
+  template <class F>
+  void for_each(F&& f) const {
+    if (dense_valid_) {
+      parallel::parallel_for(0, n_, [&](size_t v) {
+        if (dense_[v]) f(static_cast<vertex_id>(v));
+      });
+    } else {
+      parallel::parallel_for(0, sparse_.size(),
+                             [&](size_t i) { f(sparse_[i]); });
+    }
+  }
+
+  // Sum of out-degrees of the members — the quantity the hybrid edge_map
+  // threshold compares against (paper: |U| + outdeg(U) > m / 20).
+  template <class G>
+  edge_id out_degree_sum(const G& g) const {
+    if (dense_valid_) {
+      return parallel::reduce_add(n_, [&](size_t v) -> edge_id {
+        return dense_[v] ? g.out_degree(static_cast<vertex_id>(v)) : 0;
+      });
+    }
+    return parallel::reduce_add(sparse_.size(), [&](size_t i) -> edge_id {
+      return g.out_degree(sparse_[i]);
+    });
+  }
+
+ private:
+  vertex_id n_ = 0;
+  size_t m_ = 0;  // |U|
+  bool dense_valid_ = false;
+  std::vector<vertex_id> sparse_;  // valid iff !dense_valid_
+  std::vector<uint8_t> dense_;     // valid iff dense_valid_
+};
+
+}  // namespace ligra

@@ -1,0 +1,113 @@
+// Atomic read-modify-write primitives used throughout the framework — the
+// `CAS` / `writeMin` / `writeAdd` idioms from Ligra's utils.h plus the
+// `priority_update` operation of Shun et al. (SPAA'13), which reduces write
+// contention when many threads race to improve the same location.
+//
+// All operations act on plain (non-std::atomic) objects via std::atomic_ref,
+// so the framework's arrays stay ordinary contiguous vectors and sequential
+// code can read them directly. Types must be lock-free-capable (integers,
+// pointers, float/double); callers must keep objects naturally aligned,
+// which vector allocation guarantees.
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+namespace ligra {
+
+// Single compare-and-swap: if *location == expected, store desired and
+// return true; otherwise return false. (Unlike std::atomic's CAS, does not
+// report the witnessed value — Ligra's update functions never need it.)
+template <class T>
+bool compare_and_swap(T* location, T expected, T desired) {
+  return std::atomic_ref<T>(*location).compare_exchange_strong(
+      expected, desired, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+// Atomically sets *location = min(*location, value). Returns true iff this
+// call strictly lowered the stored value (i.e. this thread's write "won").
+template <class T>
+bool write_min(T* location, T value) {
+  std::atomic_ref<T> ref(*location);
+  T current = ref.load(std::memory_order_acquire);
+  while (value < current) {
+    if (ref.compare_exchange_weak(current, value, std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Atomically sets *location = max(*location, value); true iff it raised it.
+template <class T>
+bool write_max(T* location, T value) {
+  std::atomic_ref<T> ref(*location);
+  T current = ref.load(std::memory_order_acquire);
+  while (current < value) {
+    if (ref.compare_exchange_weak(current, value, std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Atomic fetch-add for integral and floating types (CAS loop for floats,
+// native fetch_add for integers). Returns the previous value.
+template <class T>
+T write_add(T* location, T delta) {
+  if constexpr (std::is_integral_v<T>) {
+    return std::atomic_ref<T>(*location).fetch_add(delta,
+                                                   std::memory_order_acq_rel);
+  } else {
+    std::atomic_ref<T> ref(*location);
+    T current = ref.load(std::memory_order_acquire);
+    while (!ref.compare_exchange_weak(current, current + delta,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+    }
+    return current;
+  }
+}
+
+// Atomic bitwise OR; returns true iff the stored value changed (some bit in
+// `bits` was newly set). Used by the multi-BFS bit-vector in Radii.
+template <class T>
+bool write_or(T* location, T bits) {
+  static_assert(std::is_integral_v<T>);
+  T old = std::atomic_ref<T>(*location).fetch_or(bits, std::memory_order_acq_rel);
+  return (old | bits) != old;
+}
+
+// Priority update (Shun, Blelloch, Fineman, Gibbons, SPAA'13): write `value`
+// into *location only if it has higher priority under `higher` (a strict
+// partial order: higher(a, b) means a supersedes b). The key property is
+// that once the location holds a high-priority value, racing low-priority
+// writers read-and-return without issuing a CAS, eliminating most
+// contention. Returns true iff this call's value was installed.
+template <class T, class Higher>
+bool priority_update(T* location, T value, Higher higher) {
+  std::atomic_ref<T> ref(*location);
+  T current = ref.load(std::memory_order_acquire);
+  while (higher(value, current)) {
+    if (ref.compare_exchange_weak(current, value, std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Atomic load/store helpers for symmetric access to the same plain objects.
+template <class T>
+T atomic_load(const T* location) {
+  return std::atomic_ref<const T>(*location).load(std::memory_order_acquire);
+}
+
+template <class T>
+void atomic_store(T* location, T value) {
+  std::atomic_ref<T>(*location).store(value, std::memory_order_release);
+}
+
+}  // namespace ligra

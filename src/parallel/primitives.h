@@ -1,0 +1,219 @@
+// Parallel sequence primitives — the PBBS-style layer (DESIGN.md S2) that
+// Ligra's edge_map and the applications are written against: map, reduce,
+// scan (prefix sums), pack/filter, and pack_index.
+//
+// All primitives are deterministic: outputs are identical regardless of the
+// number of workers or scheduling, because combination trees are shaped by
+// index arithmetic only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace ligra::parallel {
+
+namespace internal {
+
+// Block decomposition used by the two-pass primitives. Deliberately a
+// function of n only — NOT of the worker count — so that results (in
+// particular floating-point reduction orders) are bit-identical for any
+// number of workers. 512 blocks saturates any realistic core count while
+// the min block size keeps tiny inputs sequential.
+inline size_t num_blocks(size_t n, size_t min_block_size = 2048) {
+  if (n == 0) return 0;
+  constexpr size_t kMaxBlocks = 512;
+  size_t blocks = (n + min_block_size - 1) / min_block_size;
+  if (blocks > kMaxBlocks) blocks = kMaxBlocks;
+  if (blocks < 1) blocks = 1;
+  return blocks;
+}
+
+inline std::pair<size_t, size_t> block_range(size_t n, size_t nblocks, size_t b) {
+  size_t lo = n * b / nblocks;
+  size_t hi = n * (b + 1) / nblocks;
+  return {lo, hi};
+}
+
+}  // namespace internal
+
+// ---- reduce ---------------------------------------------------------------
+
+// Returns identity ⊕ get(0) ⊕ ... ⊕ get(n-1). `op` must be associative;
+// `identity` its unit. Blocked two-level reduction (sequential within a
+// block, sequential over per-block partials) — deterministic for any op,
+// including floating-point sums.
+template <class T, class Get, class Op>
+T reduce(size_t n, Get&& get, T identity, Op&& op) {
+  size_t nblocks = internal::num_blocks(n);
+  if (nblocks <= 1) {
+    T acc = identity;
+    for (size_t i = 0; i < n; i++) acc = op(acc, get(i));
+    return acc;
+  }
+  std::vector<T> partial(nblocks, identity);
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        auto [lo, hi] = internal::block_range(n, nblocks, b);
+        T acc = identity;
+        for (size_t i = lo; i < hi; i++) acc = op(acc, get(i));
+        partial[b] = acc;
+      },
+      1);
+  T acc = identity;
+  for (size_t b = 0; b < nblocks; b++) acc = op(acc, partial[b]);
+  return acc;
+}
+
+template <class Get>
+auto reduce_add(size_t n, Get&& get) {
+  using T = decltype(get(size_t{0}));
+  return reduce(
+      n, get, T{}, [](T a, T b) { return a + b; });
+}
+
+template <class Get>
+auto reduce_max(size_t n, Get&& get, decltype(get(size_t{0})) identity) {
+  using T = decltype(get(size_t{0}));
+  return reduce(n, get, identity, [](T a, T b) { return a < b ? b : a; });
+}
+
+// Counts indices in [0, n) satisfying pred.
+template <class Pred>
+size_t count_if_index(size_t n, Pred&& pred) {
+  return reduce_add(n, [&](size_t i) -> size_t { return pred(i) ? 1 : 0; });
+}
+
+// ---- scan (exclusive prefix sums) ------------------------------------------
+
+// In-place exclusive scan over data[0..n): data[i] becomes
+// identity ⊕ data[0] ⊕ ... ⊕ data[i-1]; returns the grand total.
+// Classic three-phase blocked algorithm (per-block reduce, sequential scan
+// of block sums, per-block local scan).
+template <class T, class Op>
+T scan_inplace(T* data, size_t n, T identity, Op&& op) {
+  size_t nblocks = internal::num_blocks(n);
+  if (nblocks <= 1) {
+    T acc = identity;
+    for (size_t i = 0; i < n; i++) {
+      T next = op(acc, data[i]);
+      data[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+  std::vector<T> block_sum(nblocks);
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        auto [lo, hi] = internal::block_range(n, nblocks, b);
+        T acc = identity;
+        for (size_t i = lo; i < hi; i++) acc = op(acc, data[i]);
+        block_sum[b] = acc;
+      },
+      1);
+  T total = identity;
+  for (size_t b = 0; b < nblocks; b++) {
+    T next = op(total, block_sum[b]);
+    block_sum[b] = total;
+    total = next;
+  }
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        auto [lo, hi] = internal::block_range(n, nblocks, b);
+        T acc = block_sum[b];
+        for (size_t i = lo; i < hi; i++) {
+          T next = op(acc, data[i]);
+          data[i] = acc;
+          acc = next;
+        }
+      },
+      1);
+  return total;
+}
+
+template <class T>
+T scan_add_inplace(T* data, size_t n) {
+  return scan_inplace(data, n, T{}, [](T a, T b) { return a + b; });
+}
+
+template <class T>
+T scan_add_inplace(std::vector<T>& data) {
+  return scan_add_inplace(data.data(), data.size());
+}
+
+// ---- pack / filter ----------------------------------------------------------
+
+// Returns get(i) for each i in [0, n) with pred(i), preserving index order.
+// Two-pass: per-block count, scan, per-block write at the right offset.
+template <class Get, class Pred>
+auto pack(size_t n, Get&& get, Pred&& pred)
+    -> std::vector<std::decay_t<decltype(get(size_t{0}))>> {
+  using T = std::decay_t<decltype(get(size_t{0}))>;
+  size_t nblocks = internal::num_blocks(n);
+  if (nblocks <= 1) {
+    std::vector<T> out;
+    for (size_t i = 0; i < n; i++)
+      if (pred(i)) out.push_back(get(i));
+    return out;
+  }
+  std::vector<size_t> offset(nblocks);
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        auto [lo, hi] = internal::block_range(n, nblocks, b);
+        size_t cnt = 0;
+        for (size_t i = lo; i < hi; i++) cnt += pred(i) ? 1 : 0;
+        offset[b] = cnt;
+      },
+      1);
+  size_t total = scan_add_inplace(offset);
+  std::vector<T> out(total);
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        auto [lo, hi] = internal::block_range(n, nblocks, b);
+        size_t pos = offset[b];
+        for (size_t i = lo; i < hi; i++)
+          if (pred(i)) out[pos++] = get(i);
+      },
+      1);
+  return out;
+}
+
+// Indices in [0, n) where pred holds, in increasing order, as type Id.
+template <class Id, class Pred>
+std::vector<Id> pack_index(size_t n, Pred&& pred) {
+  return pack(
+      n, [](size_t i) { return static_cast<Id>(i); },
+      static_cast<Pred&&>(pred));
+}
+
+// Elements of `in` satisfying pred, order-preserving.
+template <class T, class Pred>
+std::vector<T> filter(const std::vector<T>& in, Pred&& pred) {
+  return pack(
+      in.size(), [&](size_t i) { return in[i]; },
+      [&](size_t i) { return pred(in[i]); });
+}
+
+// ---- map -------------------------------------------------------------------
+
+template <class F>
+auto tabulate(size_t n, F&& f) -> std::vector<std::decay_t<decltype(f(size_t{0}))>> {
+  using T = std::decay_t<decltype(f(size_t{0}))>;
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](size_t i) { out[i] = f(i); });
+  return out;
+}
+
+template <class T, class F>
+auto map(const std::vector<T>& in, F&& f)
+    -> std::vector<std::decay_t<decltype(f(in[0]))>> {
+  return tabulate(in.size(), [&](size_t i) { return f(in[i]); });
+}
+
+}  // namespace ligra::parallel

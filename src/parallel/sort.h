@@ -1,0 +1,90 @@
+// Parallel stable merge sort with a parallel merge (binary-search split).
+// Used by the graph builder (sorting edge lists), triangle counting (degree
+// ranking), and tests/benches. O(n log n) work, O(log^3 n) span.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace ligra::parallel {
+
+namespace internal {
+
+constexpr size_t kSortBase = 1 << 12;   // below this, std::stable_sort
+constexpr size_t kMergeBase = 1 << 12;  // below this, std::merge
+
+// Merges [a, a+na) and [b, b+nb) into out. Splits the larger input at its
+// midpoint and binary-searches the split key in the other input, recursing
+// on both halves in parallel.
+template <class T, class Less>
+void parallel_merge(const T* a, size_t na, const T* b, size_t nb, T* out,
+                    const Less& less) {
+  if (na + nb <= kMergeBase) {
+    std::merge(a, a + na, b, b + nb, out, less);
+    return;
+  }
+  if (na < nb) {
+    // Keep `a` the larger side so the split is balanced. Stability: elements
+    // of the original left run must precede equal elements of the right run;
+    // the lower/upper bound asymmetry below preserves that under swapping.
+    size_t mb = nb / 2;
+    // Elements of a strictly less than b[mb] go left; equal ones too
+    // (a-run precedes b-run), hence upper_bound.
+    size_t ma = static_cast<size_t>(
+        std::upper_bound(a, a + na, b[mb], less) - a);
+    par_do(
+        [&] { parallel_merge(a, ma, b, mb, out, less); },
+        [&] { parallel_merge(a + ma, na - ma, b + mb, nb - mb, out + ma + mb, less); });
+  } else {
+    size_t ma = na / 2;
+    size_t mb = static_cast<size_t>(
+        std::lower_bound(b, b + nb, a[ma], less) - b);
+    par_do(
+        [&] { parallel_merge(a, ma, b, mb, out, less); },
+        [&] { parallel_merge(a + ma, na - ma, b + mb, nb - mb, out + ma + mb, less); });
+  }
+}
+
+// Sorts [in, in+n); result lands in `in` if inplace, else in `buf`.
+template <class T, class Less>
+void merge_sort_rec(T* in, T* buf, size_t n, bool inplace, const Less& less) {
+  if (n <= kSortBase) {
+    std::stable_sort(in, in + n, less);
+    if (!inplace) std::copy(in, in + n, buf);
+    return;
+  }
+  size_t mid = n / 2;
+  par_do([&] { merge_sort_rec(in, buf, mid, !inplace, less); },
+         [&] { merge_sort_rec(in + mid, buf + mid, n - mid, !inplace, less); });
+  if (inplace) {
+    parallel_merge(buf, mid, buf + mid, n - mid, in, less);
+  } else {
+    parallel_merge(in, mid, in + mid, n - mid, buf, less);
+  }
+}
+
+}  // namespace internal
+
+// Stable parallel sort of `data` in place.
+template <class T, class Less = std::less<T>>
+void sort_inplace(std::vector<T>& data, Less less = Less{}) {
+  if (data.size() <= internal::kSortBase) {
+    std::stable_sort(data.begin(), data.end(), less);
+    return;
+  }
+  std::vector<T> buffer(data.size());
+  internal::merge_sort_rec(data.data(), buffer.data(), data.size(),
+                           /*inplace=*/true, less);
+}
+
+// Stable parallel sort returning a new vector.
+template <class T, class Less = std::less<T>>
+std::vector<T> sorted(std::vector<T> data, Less less = Less{}) {
+  sort_inplace(data, less);
+  return data;
+}
+
+}  // namespace ligra::parallel

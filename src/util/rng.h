@@ -1,0 +1,79 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Graph generators and randomized tests need randomness that is (a) stable
+// across runs and platforms for reproducibility, and (b) indexable — the
+// value for element i must be computable independently of element j so
+// parallel loops stay deterministic regardless of scheduling. We therefore
+// use counter-based hashing (splitmix64 finalizer) rather than stateful
+// engines inside parallel regions.
+#pragma once
+
+#include <cstdint>
+
+namespace ligra {
+
+// splitmix64 finalizer: a high-quality 64-bit mixing function.
+// Passes the usual avalanche tests; identical to the constant set used in
+// the reference splitmix64 implementation.
+constexpr inline uint64_t hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// A stateless, indexable RNG: `rng(seed)[i]` is a deterministic function of
+// (seed, i). `fork(i)` derives an independent stream, which is how generators
+// give each vertex or edge its own stream.
+class rng {
+ public:
+  explicit constexpr rng(uint64_t seed = 0) : seed_(hash64(seed + 1)) {}
+
+  constexpr uint64_t operator[](uint64_t i) const { return hash64(seed_ ^ hash64(i)); }
+
+  constexpr rng fork(uint64_t i) const { return rng(operator[](i)); }
+
+  // Uniform in [0, bound). Uses 128-bit multiply to avoid modulo bias for
+  // practical bounds (bias < 2^-64 * bound, negligible for any graph size).
+  constexpr uint64_t bounded(uint64_t i, uint64_t bound) const {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(operator[](i)) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double uniform(uint64_t i) const {
+    return static_cast<double>(operator[](i) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+// A small stateful engine for strictly sequential contexts (tests, serial
+// baselines). xorshift128+ seeded via splitmix64.
+class sequential_rng {
+ public:
+  explicit sequential_rng(uint64_t seed = 0) {
+    s0_ = hash64(seed + 1);
+    s1_ = hash64(s0_);
+  }
+
+  uint64_t next() {
+    uint64_t x = s0_, y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  uint64_t bounded(uint64_t bound) {
+    return static_cast<uint64_t>((static_cast<__uint128_t>(next()) * bound) >> 64);
+  }
+
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace ligra

@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdint>
+
+namespace ligra {
+
+table_printer::table_printer(std::vector<std::string> columns)
+    : header_(std::move(columns)) {}
+
+void table_printer::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table_printer::to_string() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); c++) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); c++)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < row.size(); c++) {
+      out += row[c];
+      if (c + 1 < row.size()) out.append(width[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); c++) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void table_printer::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format_count(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (size_t i = 0; i < digits.size(); i++) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace ligra

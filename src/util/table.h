@@ -1,0 +1,37 @@
+// Minimal aligned-column table printer for the benchmark harnesses.
+// The experiment binaries print paper-shaped tables (Table 1, Table 2, the
+// figure series) to stdout in addition to google-benchmark's own output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ligra {
+
+class table_printer {
+ public:
+  // `columns` are header labels; column count is fixed afterwards.
+  explicit table_printer(std::vector<std::string> columns);
+
+  // Appends one row. Must have exactly as many cells as there are columns.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with each column padded to its widest cell, a header rule, and
+  // two-space gutters. Ends with a newline.
+  std::string to_string() const;
+
+  // Convenience: render and write to stdout.
+  void print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers shared by benches.
+std::string format_count(uint64_t v);     // 1234567 -> "1,234,567"
+std::string format_double(double v, int precision = 3);
+
+}  // namespace ligra

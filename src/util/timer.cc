@@ -1,0 +1,58 @@
+#include "util/timer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ligra {
+
+timer::timer(bool start_now) {
+  if (start_now) start();
+}
+
+void timer::start() {
+  if (running_) return;
+  start_ = clock::now();
+  running_ = true;
+}
+
+void timer::stop() {
+  if (!running_) return;
+  total_ += std::chrono::duration<double>(clock::now() - start_).count();
+  running_ = false;
+}
+
+void timer::reset() {
+  total_ = 0.0;
+  if (running_) start_ = clock::now();
+}
+
+double timer::elapsed() const {
+  double t = total_;
+  if (running_) t += std::chrono::duration<double>(clock::now() - start_).count();
+  return t;
+}
+
+double timer::next_lap() {
+  double t = elapsed();
+  total_ = 0.0;
+  start_ = clock::now();
+  running_ = true;
+  return t;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  double a = std::fabs(seconds);
+  if (a >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace ligra

@@ -1,0 +1,69 @@
+// Wall-clock timing utilities used by benchmarks, examples, and the
+// experiment harnesses. Monotonic clock; resolution is that of
+// std::chrono::steady_clock (nanoseconds on Linux).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace ligra {
+
+// A stopwatch that can be stopped and restarted; `elapsed()` accumulates
+// across start/stop pairs. Construction starts the timer unless
+// `start_now` is false.
+class timer {
+ public:
+  explicit timer(bool start_now = true);
+
+  // Starts (or restarts) the clock. No-op if already running.
+  void start();
+
+  // Stops the clock and folds the elapsed interval into the total.
+  // No-op if not running.
+  void stop();
+
+  // Resets the accumulated total to zero; keeps running state.
+  void reset();
+
+  // Accumulated seconds (includes the in-flight interval if running).
+  double elapsed() const;
+
+  // Convenience: stop, return total, reset, start again. Useful for
+  // timing successive phases with one timer.
+  double next_lap();
+
+  bool running() const { return running_; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_{};
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+// Formats a duration in seconds with engineering-friendly units
+// ("312 ms", "4.21 s", "7.5 us").
+std::string format_seconds(double seconds);
+
+// Runs `f` once and returns elapsed seconds.
+template <class F>
+double time_it(F&& f) {
+  timer t;
+  f();
+  t.stop();
+  return t.elapsed();
+}
+
+// Runs `f` `rounds` times and returns the minimum elapsed seconds —
+// the conventional "best of k" estimator used by the paper's tables.
+template <class F>
+double time_best_of(int rounds, F&& f) {
+  double best = 0;
+  for (int i = 0; i < rounds; i++) {
+    double t = time_it(f);
+    if (i == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace ligra

@@ -1,0 +1,129 @@
+// Tests for the atomic primitives (DESIGN.md S3): semantics when
+// sequential, linearizability effects under real contention.
+#include "parallel/atomics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "parallel/scheduler.h"
+#include "util/rng.h"
+
+using namespace ligra;
+
+TEST(Atomics, CompareAndSwapBasics) {
+  int x = 5;
+  EXPECT_TRUE(compare_and_swap(&x, 5, 7));
+  EXPECT_EQ(x, 7);
+  EXPECT_FALSE(compare_and_swap(&x, 5, 9));
+  EXPECT_EQ(x, 7);
+}
+
+TEST(Atomics, WriteMinSequential) {
+  int64_t x = 10;
+  EXPECT_TRUE(write_min(&x, int64_t{3}));
+  EXPECT_EQ(x, 3);
+  EXPECT_FALSE(write_min(&x, int64_t{3}));  // equal does not lower
+  EXPECT_FALSE(write_min(&x, int64_t{5}));
+  EXPECT_EQ(x, 3);
+}
+
+TEST(Atomics, WriteMaxSequential) {
+  uint32_t x = 10;
+  EXPECT_TRUE(write_max(&x, 20u));
+  EXPECT_FALSE(write_max(&x, 20u));
+  EXPECT_FALSE(write_max(&x, 15u));
+  EXPECT_EQ(x, 20u);
+}
+
+TEST(Atomics, WriteMinConcurrentConvergesToGlobalMin) {
+  const size_t n = 200000;
+  int64_t x = 1 << 30;
+  parallel::parallel_for(0, n, [&](size_t i) {
+    write_min(&x, static_cast<int64_t>(hash64(i) % 1000000));
+  });
+  // Recompute the expected minimum.
+  int64_t expect = 1 << 30;
+  for (size_t i = 0; i < n; i++)
+    expect = std::min(expect, static_cast<int64_t>(hash64(i) % 1000000));
+  EXPECT_EQ(x, expect);
+}
+
+TEST(Atomics, WriteMinExactlyOneWinnerPerValueChange) {
+  // Writers all propose the same value: exactly one sees `true`.
+  const size_t n = 100000;
+  int64_t x = 100;
+  std::vector<uint8_t> won(n, 0);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    if (write_min(&x, int64_t{1})) won[i] = 1;
+  });
+  size_t winners = 0;
+  for (auto w : won) winners += w;
+  EXPECT_EQ(winners, 1u);
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Atomics, WriteAddIntegerConcurrent) {
+  const size_t n = 1 << 20;
+  uint64_t sum = 0;
+  parallel::parallel_for(0, n, [&](size_t) { write_add(&sum, uint64_t{1}); });
+  EXPECT_EQ(sum, n);
+}
+
+TEST(Atomics, WriteAddDoubleConcurrent) {
+  const size_t n = 1 << 16;
+  double sum = 0.0;
+  parallel::parallel_for(0, n, [&](size_t) { write_add(&sum, 0.5); });
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(n) * 0.5);
+}
+
+TEST(Atomics, WriteAddReturnsPreviousValue) {
+  int x = 10;
+  EXPECT_EQ(write_add(&x, 5), 10);
+  EXPECT_EQ(x, 15);
+}
+
+TEST(Atomics, WriteOrSetsBitsReportsChange) {
+  uint64_t x = 0b0011;
+  EXPECT_TRUE(write_or(&x, uint64_t{0b0100}));
+  EXPECT_EQ(x, 0b0111u);
+  EXPECT_FALSE(write_or(&x, uint64_t{0b0110}));  // no new bits
+}
+
+TEST(Atomics, WriteOrConcurrentUnion) {
+  uint64_t x = 0;
+  parallel::parallel_for(0, 64, [&](size_t i) {
+    write_or(&x, uint64_t{1} << i);
+  });
+  EXPECT_EQ(x, ~uint64_t{0});
+}
+
+TEST(Atomics, PriorityUpdateInstallsHigherPriorityOnly) {
+  // Priority: smaller value wins (like Ligra's vertex-id tie-breaks).
+  uint32_t x = 50;
+  auto higher = [](uint32_t a, uint32_t b) { return a < b; };
+  EXPECT_TRUE(priority_update(&x, 20u, higher));
+  EXPECT_FALSE(priority_update(&x, 30u, higher));
+  EXPECT_EQ(x, 20u);
+}
+
+TEST(Atomics, PriorityUpdateConcurrentInstallsGlobalBest) {
+  const size_t n = 100000;
+  uint64_t x = ~uint64_t{0};
+  auto higher = [](uint64_t a, uint64_t b) { return a < b; };
+  parallel::parallel_for(0, n, [&](size_t i) {
+    priority_update(&x, hash64(i), higher);
+  });
+  uint64_t expect = ~uint64_t{0};
+  for (size_t i = 0; i < n; i++) expect = std::min(expect, hash64(i));
+  EXPECT_EQ(x, expect);
+}
+
+TEST(Atomics, AtomicLoadStoreRoundTrip) {
+  double d = 0;
+  atomic_store(&d, 3.25);
+  EXPECT_EQ(atomic_load(&d), 3.25);
+  uint8_t b = 0;
+  atomic_store(&b, uint8_t{1});
+  EXPECT_EQ(atomic_load(&b), 1);
+}

@@ -1,0 +1,103 @@
+// Tests for betweenness centrality (paper §4.2): agreement with serial
+// Brandes on random graphs (parameterized seeds), hand-computed small
+// cases, and directed-graph handling.
+#include "apps/bc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/serial.h"
+#include "graph/generators.h"
+
+using namespace ligra;
+
+namespace {
+
+void expect_scores_match(const std::vector<double>& got,
+                         const std::vector<double>& expect) {
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t v = 0; v < got.size(); v++) {
+    EXPECT_NEAR(got[v], expect[v], 1e-6 * (1.0 + std::fabs(expect[v])))
+        << "vertex " << v;
+  }
+}
+
+}  // namespace
+
+class BcGraphs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BcGraphs, MatchesBrandesOnRmat) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(9, 1 << 12, seed);
+  auto src = static_cast<vertex_id>((seed * 97) % g.num_vertices());
+  expect_scores_match(apps::bc(g, src).dependency, baseline::bc(g, src));
+}
+
+TEST_P(BcGraphs, MatchesBrandesOnRandom) {
+  uint64_t seed = GetParam();
+  auto g = gen::random_graph(1500, 5, seed + 50);
+  expect_scores_match(apps::bc(g, 3).dependency, baseline::bc(g, 3));
+}
+
+TEST_P(BcGraphs, MatchesBrandesOnDirected) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_digraph(9, 1 << 11, seed + 200);
+  expect_scores_match(apps::bc(g, 0).dependency, baseline::bc(g, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BcGraphs, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Bc, PathGraphHandComputed) {
+  // Path 0-1-2-3, source 0: delta(1) = 2 (paths to 2 and 3 pass through),
+  // delta(2) = 1, delta(3) = 0.
+  auto g = gen::path_graph(4);
+  auto result = apps::bc(g, 0);
+  EXPECT_DOUBLE_EQ(result.dependency[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.dependency[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.dependency[2], 1.0);
+  EXPECT_DOUBLE_EQ(result.dependency[3], 0.0);
+}
+
+TEST(Bc, DiamondSplitsCredit) {
+  // 0 -> {1, 2} -> 3 (two equal shortest paths): each middle vertex gets
+  // half the dependency for reaching 3.
+  auto g = graph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+                             {.symmetrize = true});
+  auto result = apps::bc(g, 0);
+  EXPECT_DOUBLE_EQ(result.dependency[1], 0.5);
+  EXPECT_DOUBLE_EQ(result.dependency[2], 0.5);
+  EXPECT_DOUBLE_EQ(result.dependency[3], 0.0);
+}
+
+TEST(Bc, StarCenterCarriesEverything) {
+  auto g = gen::star_graph(10);
+  auto from_leaf = apps::bc(g, 1);
+  // From a leaf, the center lies on the path to all 8 other leaves.
+  EXPECT_DOUBLE_EQ(from_leaf.dependency[0], 8.0);
+  for (vertex_id v = 1; v < 10; v++)
+    EXPECT_DOUBLE_EQ(from_leaf.dependency[v], 0.0);
+}
+
+TEST(Bc, SourceAndUnreachedScoreZero) {
+  auto g = graph::from_edges(5, {{0, 1}, {1, 2}}, {.symmetrize = true});
+  auto result = apps::bc(g, 0);
+  EXPECT_DOUBLE_EQ(result.dependency[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.dependency[3], 0.0);  // unreachable
+  EXPECT_DOUBLE_EQ(result.dependency[4], 0.0);
+}
+
+TEST(Bc, ForcedStrategiesAgree) {
+  auto g = gen::rmat_graph(9, 1 << 12, 11);
+  auto expect = baseline::bc(g, 0);
+  for (traversal t : {traversal::sparse, traversal::dense}) {
+    edge_map_options opts;
+    opts.strategy = t;
+    expect_scores_match(apps::bc(g, 0, opts).dependency, expect);
+  }
+}
+
+TEST(Bc, OutOfRangeSourceThrows) {
+  auto g = gen::path_graph(4);
+  EXPECT_THROW(apps::bc(g, 4), std::invalid_argument);
+}

@@ -1,0 +1,152 @@
+// Tests for BFS (paper §4.1): parent-array validity, level agreement with
+// the serial baseline across graph families and seeds, traversal-strategy
+// equivalence, and the direction-switching trace (the premise of
+// experiments F1/F2).
+#include "apps/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/serial.h"
+#include "graph/generators.h"
+
+using namespace ligra;
+
+namespace {
+
+// A parent array is a valid BFS tree iff: parents[src] == src; every other
+// reached vertex v has an edge (parents[v], v) and level exactly one more
+// than its parent's; reachability matches the baseline.
+void expect_valid_bfs_tree(const graph& g, vertex_id src,
+                           const std::vector<vertex_id>& parents) {
+  auto level = baseline::bfs_levels(g, src);
+  ASSERT_EQ(parents.size(), g.num_vertices());
+  EXPECT_EQ(parents[src], src);
+  for (vertex_id v = 0; v < g.num_vertices(); v++) {
+    if (level[v] == -1) {
+      EXPECT_EQ(parents[v], kNoVertex) << "vertex " << v;
+    } else {
+      ASSERT_NE(parents[v], kNoVertex) << "vertex " << v;
+      if (v != src) {
+        EXPECT_TRUE(g.has_edge(parents[v], v))
+            << parents[v] << "->" << v << " not an edge";
+        EXPECT_EQ(level[v], level[parents[v]] + 1) << "vertex " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+class BfsGraphs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BfsGraphs, RmatTreeValid) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(10, 1 << 13, seed);
+  auto result = apps::bfs(g, 0);
+  expect_valid_bfs_tree(g, 0, result.parents);
+}
+
+TEST_P(BfsGraphs, RandomGraphLevelsMatchBaseline) {
+  uint64_t seed = GetParam();
+  auto g = gen::random_graph(3000, 4, seed);
+  auto src = static_cast<vertex_id>(seed % g.num_vertices());
+  EXPECT_EQ(apps::bfs_levels(g, src), baseline::bfs_levels(g, src));
+}
+
+TEST_P(BfsGraphs, DirectedGraphLevelsMatchBaseline) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_digraph(10, 1 << 12, seed);
+  EXPECT_EQ(apps::bfs_levels(g, 0), baseline::bfs_levels(g, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsGraphs, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Bfs, PathGraphHasLinearLevels) {
+  auto g = gen::path_graph(100);
+  auto result = apps::bfs(g, 0);
+  EXPECT_EQ(result.num_reached, 100u);
+  EXPECT_EQ(result.num_rounds, 100u);  // 99 frontier rounds + final empty
+  auto level = apps::bfs_levels(g, 0);
+  for (vertex_id v = 0; v < 100; v++) EXPECT_EQ(level[v], v);
+}
+
+TEST(Bfs, DisconnectedComponentUnreached) {
+  // Two disjoint paths: 0-1-2 and 3-4.
+  auto g = graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}}, {.symmetrize = true});
+  auto result = apps::bfs(g, 0);
+  EXPECT_EQ(result.num_reached, 3u);
+  EXPECT_EQ(result.parents[3], kNoVertex);
+  EXPECT_EQ(result.parents[4], kNoVertex);
+}
+
+TEST(Bfs, SingleVertexGraph) {
+  auto g = graph::from_edges(1, {}, {.symmetrize = true});
+  auto result = apps::bfs(g, 0);
+  EXPECT_EQ(result.num_reached, 1u);
+  EXPECT_EQ(result.num_rounds, 1u);  // one edge_map on {0}, empty output
+}
+
+TEST(Bfs, OutOfRangeSourceThrows) {
+  auto g = gen::path_graph(10);
+  EXPECT_THROW(apps::bfs(g, 10), std::invalid_argument);
+  EXPECT_THROW(apps::bfs_levels(g, 99), std::invalid_argument);
+}
+
+TEST(Bfs, AllStrategiesGiveSameLevels) {
+  auto g = gen::rmat_graph(11, 1 << 14, 7);
+  auto automatic = apps::bfs_levels(g, 0);
+  for (traversal t : {traversal::sparse, traversal::dense,
+                      traversal::dense_forward}) {
+    // bfs_levels uses the default options; emulate forced strategies via
+    // the bfs() trace API instead and compare reach + rounds.
+    apps::bfs_options opts;
+    opts.edge_map.strategy = t;
+    auto result = apps::bfs(g, 0, opts);
+    size_t reached_auto = 0;
+    for (auto l : automatic)
+      if (l >= 0) reached_auto++;
+    EXPECT_EQ(result.num_reached, reached_auto) << traversal_name(t);
+    expect_valid_bfs_tree(g, 0, result.parents);
+  }
+}
+
+TEST(Bfs, HybridSwitchesDirectionOnRmat) {
+  // On a low-diameter skewed graph the hybrid must use sparse for the tiny
+  // first frontier and dense for the bulge — the paper's Figure 2 story.
+  auto g = gen::rmat_graph(13, 16u << 13, 1);
+  edge_map_stats stats;  // enables tracing
+  apps::bfs_options opts;
+  opts.edge_map.stats = &stats;
+  auto result = apps::bfs(g, 0, opts);
+  ASSERT_GE(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace.front().used, traversal::sparse);
+  bool used_dense = false, sparse_after_dense = false, seen_dense = false;
+  for (const auto& row : result.trace) {
+    if (row.used == traversal::dense) {
+      used_dense = true;
+      seen_dense = true;
+    }
+    if (seen_dense && row.used == traversal::sparse) sparse_after_dense = true;
+  }
+  EXPECT_TRUE(used_dense);
+  EXPECT_TRUE(sparse_after_dense);  // tail frontiers shrink again
+}
+
+TEST(Bfs, TraceFrontierSizesSumToReached) {
+  auto g = gen::random_graph(4096, 8, 3);
+  edge_map_stats stats;
+  apps::bfs_options opts;
+  opts.edge_map.stats = &stats;
+  auto result = apps::bfs(g, 5, opts);
+  size_t sum = 0;
+  for (const auto& row : result.trace) sum += row.frontier_size;
+  EXPECT_EQ(sum, result.num_reached);  // every frontier counted once
+}
+
+TEST(Bfs, NumRoundsIsSourceEccentricity) {
+  auto g = gen::grid3d_graph(6);
+  auto result = apps::bfs(g, 0);
+  auto level = baseline::bfs_levels(g, 0);
+  int64_t ecc = *std::max_element(level.begin(), level.end());
+  EXPECT_EQ(result.num_rounds, static_cast<size_t>(ecc) + 1);
+}

@@ -1,0 +1,101 @@
+// Tests for collaborative filtering (Ligra-release CF app): SGD must
+// monotonically-ish reduce RMSE on synthetic low-rank ratings, recover
+// enough structure to beat the trivial predictor, and validate inputs.
+#include "apps/collaborative_filtering.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+using namespace ligra;
+
+TEST(CollaborativeFiltering, SyntheticRatingsShape) {
+  auto g = apps::synthetic_ratings(200, 100, 20, 4, 1);
+  EXPECT_EQ(g.num_vertices(), 300u);
+  EXPECT_TRUE(g.symmetric());
+  // A user may draw the same item twice; duplicates are removed by the
+  // builder, so the count is bounded by (and close to) the nominal total.
+  EXPECT_LE(g.num_edges(), 2u * 200 * 20);
+  EXPECT_GE(g.num_edges(), 2u * 200 * 20 * 8 / 10);
+  // Users only rate items (bipartite): every edge crosses the split.
+  for (vertex_id u = 0; u < 200; u++)
+    for (vertex_id v : g.out_neighbors(u)) ASSERT_GE(v, 200u);
+  // Ratings in [1, 5].
+  for (vertex_id u = 0; u < 200; u++) {
+    auto nbrs = g.out_neighbors(u);
+    for (size_t j = 0; j < nbrs.size(); j++) {
+      ASSERT_GE(g.out_weight(u, j), 1);
+      ASSERT_LE(g.out_weight(u, j), 5);
+    }
+  }
+}
+
+TEST(CollaborativeFiltering, RmseDecreasesSubstantially) {
+  auto g = apps::synthetic_ratings(300, 150, 25, 4, 2);
+  apps::cf_options opts;
+  opts.dimensions = 8;
+  opts.sweeps = 20;
+  auto result = apps::collaborative_filtering(g, opts);
+  ASSERT_EQ(result.rmse_history.size(), opts.sweeps + 1);
+  double initial = result.rmse_history.front();
+  double final = result.rmse_history.back();
+  EXPECT_LT(final, initial * 0.5);
+  EXPECT_LT(final, 1.0);  // ratings span 1..5; < 1.0 RMSE means real signal
+}
+
+TEST(CollaborativeFiltering, PredictionsLandNearRatings) {
+  auto g = apps::synthetic_ratings(200, 100, 30, 3, 3);
+  apps::cf_options opts;
+  opts.dimensions = 8;
+  opts.sweeps = 30;
+  auto result = apps::collaborative_filtering(g, opts);
+  // Mean absolute error over the training ratings.
+  double abs_err = 0;
+  size_t count = 0;
+  for (vertex_id u = 0; u < 200; u++) {
+    auto nbrs = g.out_neighbors(u);
+    for (size_t j = 0; j < nbrs.size(); j++) {
+      abs_err += std::abs(result.predict(u, nbrs[j]) -
+                          static_cast<double>(g.out_weight(u, j)));
+      count++;
+    }
+  }
+  EXPECT_LT(abs_err / static_cast<double>(count), 0.8);
+}
+
+TEST(CollaborativeFiltering, DeterministicForSeedWithOneWorker) {
+  // SGD sweeps race on neighbor vectors (Hogwild-style); with one worker
+  // the computation is fully deterministic.
+  int before = parallel::num_workers();
+  parallel::set_num_workers(1);
+  auto g = apps::synthetic_ratings(100, 50, 10, 3, 4);
+  apps::cf_options opts;
+  opts.sweeps = 5;
+  auto a = apps::collaborative_filtering(g, opts);
+  auto b = apps::collaborative_filtering(g, opts);
+  EXPECT_EQ(a.latent, b.latent);
+  parallel::set_num_workers(before);
+}
+
+TEST(CollaborativeFiltering, ValidatesArguments) {
+  auto g = apps::synthetic_ratings(50, 25, 5, 2, 5);
+  apps::cf_options opts;
+  opts.dimensions = 0;
+  EXPECT_THROW(apps::collaborative_filtering(g, opts), std::invalid_argument);
+  opts.dimensions = 65;
+  EXPECT_THROW(apps::collaborative_filtering(g, opts), std::invalid_argument);
+  auto dir = gen::rmat_digraph(6, 1 << 7, 1);
+  auto wdir = gen::add_random_weights(dir, 1, 5, 1);
+  apps::cf_options ok;
+  EXPECT_THROW(apps::collaborative_filtering(wdir, ok), std::invalid_argument);
+  EXPECT_THROW(apps::synthetic_ratings(10, 10, 2, 0), std::invalid_argument);
+}
+
+TEST(CollaborativeFiltering, ZeroSweepsReturnsInitialError) {
+  auto g = apps::synthetic_ratings(50, 25, 5, 2, 6);
+  apps::cf_options opts;
+  opts.sweeps = 0;
+  auto result = apps::collaborative_filtering(g, opts);
+  ASSERT_EQ(result.rmse_history.size(), 1u);
+  EXPECT_GT(result.rmse_history[0], 0.0);
+}

@@ -1,0 +1,151 @@
+// Tests for connected components (paper §4.4): agreement with union-find
+// across graph families and seeds, component counting, and strategy
+// equivalence.
+#include "apps/components.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/components_shortcut.h"
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/serial.h"
+#include "graph/generators.h"
+
+using namespace ligra;
+
+class CcGraphs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CcGraphs, MatchesUnionFindOnRmat) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(10, 1 << 12, seed);  // sparse: many components
+  EXPECT_EQ(apps::connected_components(g).labels,
+            baseline::connected_components(g));
+}
+
+TEST_P(CcGraphs, MatchesUnionFindOnSparseRandom) {
+  uint64_t seed = GetParam();
+  // Average degree ~1: heavily fragmented, stresses many components.
+  auto g = graph::from_edges(
+      5000, gen::random_edges(5000, 1, seed), {.symmetrize = true});
+  EXPECT_EQ(apps::connected_components(g).labels,
+            baseline::connected_components(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CcGraphs, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Components, LabelsAreComponentMinima) {
+  // Two triangles {0,1,2} and {5,4,3}.
+  auto g = graph::from_edges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}, {.symmetrize = true});
+  auto result = apps::connected_components(g);
+  EXPECT_EQ(result.num_components, 2u);
+  for (vertex_id v : {0u, 1u, 2u}) EXPECT_EQ(result.labels[v], 0u);
+  for (vertex_id v : {3u, 4u, 5u}) EXPECT_EQ(result.labels[v], 3u);
+}
+
+TEST(Components, IsolatedVerticesAreOwnComponents) {
+  auto g = graph::from_edges(4, {{1, 2}}, {.symmetrize = true});
+  auto result = apps::connected_components(g);
+  EXPECT_EQ(result.num_components, 3u);  // {0}, {1,2}, {3}
+  EXPECT_EQ(result.labels[0], 0u);
+  EXPECT_EQ(result.labels[3], 3u);
+}
+
+TEST(Components, ConnectedGraphIsOneComponent) {
+  auto g = gen::grid3d_graph(5);
+  auto result = apps::connected_components(g);
+  EXPECT_EQ(result.num_components, 1u);
+  for (vertex_id v = 0; v < g.num_vertices(); v++)
+    EXPECT_EQ(result.labels[v], 0u);
+}
+
+TEST(Components, PathGraphConvergesCorrectly) {
+  // Label propagation round counts are diameter-bound in the worst case,
+  // but dense rounds propagate labels within the round (the update reads
+  // the live label array — same Gauss-Seidel effect as the original
+  // Ligra), so a path can converge in very few rounds. Correctness, not
+  // round count, is the contract.
+  auto g = gen::path_graph(64);
+  auto result = apps::connected_components(g);
+  EXPECT_EQ(result.num_components, 1u);
+  EXPECT_GE(result.num_rounds, 2u);
+  for (vertex_id v = 0; v < 64; v++) EXPECT_EQ(result.labels[v], 0u);
+}
+
+TEST(Components, RequiresSymmetricGraph) {
+  auto g = gen::rmat_digraph(8, 1 << 9, 1);
+  EXPECT_THROW(apps::connected_components(g), std::invalid_argument);
+}
+
+TEST(Components, ForcedStrategiesAgree) {
+  auto g = gen::rmat_graph(9, 1 << 11, 9);
+  auto expect = baseline::connected_components(g);
+  for (traversal t : {traversal::sparse, traversal::dense,
+                      traversal::dense_forward}) {
+    edge_map_options opts;
+    opts.strategy = t;
+    EXPECT_EQ(apps::connected_components(g, opts).labels, expect)
+        << traversal_name(t);
+  }
+}
+
+TEST(Components, ComponentSizesMatchBaseline) {
+  auto g = gen::rmat_graph(11, 1 << 12, 12);
+  auto par = apps::connected_components(g).labels;
+  auto ser = baseline::connected_components(g);
+  // Same partition: count label multiplicities.
+  std::set<vertex_id> roots_par(par.begin(), par.end());
+  std::set<vertex_id> roots_ser(ser.begin(), ser.end());
+  EXPECT_EQ(roots_par, roots_ser);
+}
+
+TEST(Components, EmptyGraph) {
+  auto g = graph::from_edges(0, {}, {.symmetrize = true});
+  auto result = apps::connected_components(g);
+  EXPECT_EQ(result.num_components, 0u);
+}
+
+// --- Components-Shortcut (the Ligra release's pointer-jumping variant) -------
+
+class ShortcutSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShortcutSeeds, MatchesUnionFind) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(10, 1 << 12, seed);
+  EXPECT_EQ(apps::connected_components_shortcut(g).labels,
+            baseline::connected_components(g));
+}
+
+TEST_P(ShortcutSeeds, MatchesPlainPropagation) {
+  uint64_t seed = GetParam();
+  auto g = graph::from_edges(
+      4000, gen::random_edges(4000, 1, seed + 7), {.symmetrize = true});
+  EXPECT_EQ(apps::connected_components_shortcut(g).labels,
+            apps::connected_components(g).labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortcutSeeds, ::testing::Values(1, 2, 3, 4));
+
+TEST(ComponentsShortcut, FewRoundsOnPath) {
+  // Pointer jumping collapses the path's dependence chain logarithmically;
+  // the round count must be far below the diameter.
+  auto g = gen::path_graph(4096);
+  auto result = apps::connected_components_shortcut(g);
+  EXPECT_EQ(result.num_components, 1u);
+  EXPECT_LE(result.num_rounds, 24u);  // ~log n rounds + slack, not ~n
+  for (vertex_id v = 0; v < g.num_vertices(); v++)
+    EXPECT_EQ(result.labels[v], 0u);
+}
+
+TEST(ComponentsShortcut, RequiresSymmetric) {
+  auto g = gen::rmat_digraph(8, 1 << 9, 1);
+  EXPECT_THROW(apps::connected_components_shortcut(g), std::invalid_argument);
+}
+
+TEST(ComponentsShortcut, IsolatedAndEmpty) {
+  auto g = graph::from_edges(3, {}, {.symmetrize = true});
+  auto result = apps::connected_components_shortcut(g);
+  EXPECT_EQ(result.num_components, 3u);
+}

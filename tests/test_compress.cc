@@ -1,0 +1,238 @@
+// Tests for the Ligra+-style compressed graph (DESIGN.md S11): varint and
+// zigzag primitives, compression round-trips, decode equivalence with the
+// plain CSR, space savings, and edge_map interchangeability.
+#include "compress/compressed_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "ligra/edge_map.h"
+#include "parallel/atomics.h"
+
+using namespace ligra;
+using compress::compressed_graph;
+
+TEST(Varint, EncodeDecodeRoundTrip) {
+  std::vector<uint64_t> values = {0,   1,    127,        128,
+                                  300, 16383, 16384,     (1ull << 32) - 1,
+                                  1ull << 32, ~uint64_t{0}};
+  std::vector<uint8_t> buf;
+  for (uint64_t v : values) compress::varint_encode(buf, v);
+  size_t pos = 0;
+  for (uint64_t v : values)
+    EXPECT_EQ(compress::varint_decode(buf.data(), pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  std::vector<uint8_t> buf;
+  compress::varint_encode(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  compress::varint_encode(buf, 128);
+  EXPECT_EQ(buf.size(), 3u);  // second value took two bytes
+}
+
+TEST(Zigzag, RoundTripsSignedValues) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{12345},
+                    int64_t{-12345}, std::numeric_limits<int64_t>::max(),
+                    std::numeric_limits<int64_t>::min()}) {
+    EXPECT_EQ(compress::zigzag_decode(compress::zigzag_encode(v)), v);
+  }
+  // Small magnitudes map to small codes (the property that makes the
+  // first-neighbor delta cheap).
+  EXPECT_LE(compress::zigzag_encode(-3), 6u);
+}
+
+TEST(Compress, RoundTripSymmetric) {
+  auto g = gen::rmat_graph(10, 1 << 13, 3);
+  auto cg = compressed_graph::from_graph(g);
+  EXPECT_EQ(cg.num_vertices(), g.num_vertices());
+  EXPECT_EQ(cg.num_edges(), g.num_edges());
+  EXPECT_TRUE(cg.symmetric());
+  EXPECT_EQ(cg.to_graph(), g);
+}
+
+TEST(Compress, RoundTripDirected) {
+  auto g = gen::rmat_digraph(10, 1 << 13, 4);
+  auto cg = compressed_graph::from_graph(g);
+  EXPECT_FALSE(cg.symmetric());
+  EXPECT_EQ(cg.to_graph(), g);
+}
+
+TEST(Compress, DegreesMatch) {
+  auto g = gen::random_graph(2000, 8, 5);
+  auto cg = compressed_graph::from_graph(g);
+  for (vertex_id v = 0; v < g.num_vertices(); v++) {
+    ASSERT_EQ(cg.out_degree(v), g.out_degree(v));
+    ASSERT_EQ(cg.in_degree(v), g.in_degree(v));
+  }
+}
+
+TEST(Compress, DecodeOutMatchesPlainAdjacency) {
+  auto g = gen::rmat_graph(9, 1 << 12, 6);
+  auto cg = compressed_graph::from_graph(g);
+  for (vertex_id v = 0; v < g.num_vertices(); v++) {
+    auto expect = g.out_neighbors(v);
+    std::vector<vertex_id> got;
+    cg.decode_out(v, [&](vertex_id u, empty_weight, size_t j) {
+      EXPECT_EQ(j, got.size());
+      got.push_back(u);
+      return true;
+    });
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t j = 0; j < got.size(); j++) ASSERT_EQ(got[j], expect[j]);
+  }
+}
+
+TEST(Compress, DecodeEarlyExitStops) {
+  auto g = gen::star_graph(100);
+  auto cg = compressed_graph::from_graph(g);
+  size_t calls = 0;
+  cg.decode_out(0, [&](vertex_id, empty_weight, size_t) {
+    calls++;
+    return calls < 5;
+  });
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST(Compress, SavesSpaceOnLocalGraphs) {
+  // randLocal has short gaps: payload must be well under the 4 bytes/edge
+  // of the uncompressed edge array (the Ligra+ headline).
+  auto g = gen::random_local_graph(1 << 15, 10, 7);
+  auto cg = compressed_graph::from_graph(g);
+  double bytes_per_edge =
+      static_cast<double>(cg.edge_payload_bytes()) / g.num_edges();
+  EXPECT_LT(bytes_per_edge, 3.0);
+  EXPECT_LT(cg.memory_bytes(), g.memory_bytes());
+}
+
+TEST(Compress, EmptyAndSingletonGraphs) {
+  auto g0 = graph::from_edges(0, {}, {.symmetrize = true});
+  auto cg0 = compressed_graph::from_graph(g0);
+  EXPECT_EQ(cg0.num_vertices(), 0u);
+  EXPECT_EQ(cg0.to_graph(), g0);
+
+  auto g1 = graph::from_edges(5, {}, {.symmetrize = true});
+  auto cg1 = compressed_graph::from_graph(g1);
+  EXPECT_EQ(cg1.to_graph(), g1);
+}
+
+namespace {
+
+struct mark_f {
+  uint8_t* marked;
+  bool update(vertex_id, vertex_id v) const {
+    if (!marked[v]) {
+      marked[v] = 1;
+      return true;
+    }
+    return false;
+  }
+  bool update_atomic(vertex_id, vertex_id v) const {
+    return compare_and_swap(&marked[v], uint8_t{0}, uint8_t{1});
+  }
+  bool cond(vertex_id v) const { return atomic_load(&marked[v]) == 0; }
+};
+
+}  // namespace
+
+TEST(CompressWeighted, RoundTripSymmetric) {
+  auto g = gen::add_random_weights(gen::rmat_graph(9, 1 << 12, 3), 1, 1000, 5);
+  auto cg = compress::compressed_wgraph::from_graph(g);
+  EXPECT_EQ(cg.num_edges(), g.num_edges());
+  EXPECT_EQ(cg.to_graph(), g);
+}
+
+TEST(CompressWeighted, RoundTripDirectedWithNegativeWeights) {
+  auto base = gen::rmat_digraph(9, 1 << 12, 4);
+  auto g = gen::add_random_weights(base, -50, 50, 6);
+  auto cg = compress::compressed_wgraph::from_graph(g);
+  EXPECT_FALSE(cg.symmetric());
+  EXPECT_EQ(cg.to_graph(), g);
+}
+
+TEST(CompressWeighted, DecodePassesWeights) {
+  std::vector<weighted_edge> edges = {{0, 1, 7}, {0, 3, -2}, {2, 0, 9}};
+  auto g = wgraph::from_edges(4, edges, {});
+  auto cg = compress::compressed_wgraph::from_graph(g);
+  std::vector<std::pair<vertex_id, int32_t>> got;
+  cg.decode_out(0, [&](vertex_id v, int32_t w, size_t) {
+    got.emplace_back(v, w);
+    return true;
+  });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::pair<vertex_id, int32_t>{1, 7}));
+  EXPECT_EQ(got[1], (std::pair<vertex_id, int32_t>{3, -2}));
+  // In-edge of 0 carries weight 9 from source 2.
+  std::vector<std::pair<vertex_id, int32_t>> in;
+  cg.decode_in(0, [&](vertex_id v, int32_t w, size_t) {
+    in.emplace_back(v, w);
+    return true;
+  });
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0], (std::pair<vertex_id, int32_t>{2, 9}));
+}
+
+TEST(CompressWeighted, EdgeMapBellmanFordMatchesPlain) {
+  // Frontier relaxation over the compressed weighted graph must produce
+  // the same distances as over the plain CSR.
+  auto g = gen::add_random_weights(gen::rmat_graph(10, 1 << 13, 8), 1, 20, 9);
+  auto cg = compress::compressed_wgraph::from_graph(g);
+  struct bf_f {
+    int64_t* dist;
+    uint8_t* visited;
+    bool relax(vertex_id u, vertex_id v, int32_t w) const {
+      int64_t nd = atomic_load(&dist[u]) + w;
+      if (write_min(&dist[v], nd))
+        return compare_and_swap(&visited[v], uint8_t{0}, uint8_t{1});
+      return false;
+    }
+    bool update(vertex_id u, vertex_id v, int32_t w) const {
+      return relax(u, v, w);
+    }
+    bool update_atomic(vertex_id u, vertex_id v, int32_t w) const {
+      return relax(u, v, w);
+    }
+    bool cond(vertex_id) const { return true; }
+  };
+  auto run = [&](const auto& graph_like) {
+    const vertex_id n = graph_like.num_vertices();
+    std::vector<int64_t> dist(n, std::numeric_limits<int64_t>::max() / 4);
+    std::vector<uint8_t> visited(n, 0);
+    dist[0] = 0;
+    vertex_subset frontier(n, vertex_id{0});
+    while (!frontier.empty()) {
+      vertex_subset next =
+          edge_map(graph_like, frontier, bf_f{dist.data(), visited.data()});
+      next.for_each([&](vertex_id v) { visited[v] = 0; });
+      frontier = std::move(next);
+    }
+    return dist;
+  };
+  EXPECT_EQ(run(g), run(cg));
+}
+
+TEST(Compress, EdgeMapBfsMatchesUncompressed) {
+  // Full BFS via edge_map on plain vs compressed graphs: identical
+  // frontier sizes every round, across strategies.
+  auto g = gen::rmat_graph(11, 1 << 14, 8);
+  auto cg = compressed_graph::from_graph(g);
+  for (traversal t : {traversal::sparse, traversal::dense,
+                      traversal::automatic}) {
+    std::vector<uint8_t> m1(g.num_vertices(), 0), m2(g.num_vertices(), 0);
+    m1[0] = m2[0] = 1;
+    vertex_subset f1(g.num_vertices(), vertex_id{0});
+    vertex_subset f2(g.num_vertices(), vertex_id{0});
+    edge_map_options opts;
+    opts.strategy = t;
+    while (!f1.empty() || !f2.empty()) {
+      f1 = edge_map(g, f1, mark_f{m1.data()}, opts);
+      f2 = edge_map(cg, f2, mark_f{m2.data()}, opts);
+      ASSERT_EQ(f1.size(), f2.size()) << traversal_name(t);
+      ASSERT_EQ(f1.to_sorted_vector(), f2.to_sorted_vector());
+    }
+    EXPECT_EQ(m1, m2);
+  }
+}

@@ -1,0 +1,148 @@
+// Tests for low-diameter decomposition and decomposition-based
+// connectivity (SPAA'14 extension): partition validity (clusters are
+// connected, every vertex assigned), the beta cut-fraction property
+// (statistical), and CC agreement with union-find.
+#include "apps/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/serial.h"
+#include "graph/generators.h"
+
+using namespace ligra;
+
+namespace {
+
+// Every cluster must induce a connected subgraph containing its center.
+void expect_clusters_connected(const graph& g,
+                               const std::vector<vertex_id>& cluster) {
+  const vertex_id n = g.num_vertices();
+  // BFS within each cluster from its center.
+  std::vector<uint8_t> reached(n, 0);
+  std::vector<vertex_id> stack;
+  for (vertex_id c = 0; c < n; c++) {
+    if (cluster[c] != c) continue;  // not a center
+    stack.assign(1, c);
+    reached[c] = 1;
+    while (!stack.empty()) {
+      vertex_id u = stack.back();
+      stack.pop_back();
+      for (vertex_id v : g.out_neighbors(u)) {
+        if (!reached[v] && cluster[v] == cluster[u]) {
+          reached[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  for (vertex_id v = 0; v < n; v++)
+    ASSERT_TRUE(reached[v]) << "vertex " << v
+                            << " disconnected from its cluster center "
+                            << cluster[v];
+}
+
+}  // namespace
+
+class DecompSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecompSeeds, EveryVertexAssignedAndCentersValid) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(10, 1 << 13, seed);
+  auto d = apps::decompose(g, 0.2, seed);
+  size_t centers = 0;
+  for (vertex_id v = 0; v < g.num_vertices(); v++) {
+    ASSERT_NE(d.cluster[v], kNoVertex) << "vertex " << v << " unassigned";
+    ASSERT_LT(d.cluster[v], g.num_vertices());
+    // A cluster id must itself be a center (cluster[c] == c).
+    ASSERT_EQ(d.cluster[d.cluster[v]], d.cluster[v]);
+    if (d.cluster[v] == v) centers++;
+  }
+  EXPECT_EQ(centers, d.num_clusters);
+}
+
+TEST_P(DecompSeeds, ClustersAreConnected) {
+  uint64_t seed = GetParam();
+  auto g = gen::random_graph(2000, 5, seed);
+  auto d = apps::decompose(g, 0.3, seed + 1);
+  expect_clusters_connected(g, d.cluster);
+}
+
+TEST_P(DecompSeeds, CcMatchesUnionFind) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(10, 1 << 12, seed);  // sparse: many components
+  auto result = apps::connected_components_decomposition(g, 0.2, seed);
+  auto expect = baseline::connected_components(g);
+  // Labels are representatives, not minima: compare the partitions.
+  std::map<vertex_id, vertex_id> canon;
+  for (vertex_id v = 0; v < g.num_vertices(); v++) {
+    auto [it, inserted] = canon.emplace(result.labels[v], expect[v]);
+    ASSERT_EQ(it->second, expect[v]) << "partition mismatch at " << v;
+  }
+  // Counts agree too.
+  std::set<vertex_id> expected_roots(expect.begin(), expect.end());
+  EXPECT_EQ(result.num_components, expected_roots.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompSeeds, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Decomposition, SmallBetaCutsFewEdges) {
+  // Cut fraction concentrates around beta; assert a generous upper bound.
+  auto g = gen::random_graph(1 << 14, 10, 3);
+  auto d = apps::decompose(g, 0.1, 1);
+  double cut_fraction =
+      static_cast<double>(d.cut_edges) / static_cast<double>(g.num_edges());
+  EXPECT_LT(cut_fraction, 0.3);
+  EXPECT_GT(d.num_clusters, 1u);
+}
+
+TEST(Decomposition, LargerBetaGivesMoreClusters) {
+  auto g = gen::random_graph(1 << 13, 10, 4);
+  auto small = apps::decompose(g, 0.05, 2);
+  auto large = apps::decompose(g, 0.8, 2);
+  EXPECT_GT(large.num_clusters, small.num_clusters);
+}
+
+TEST(Decomposition, BetaOneIsFine) {
+  auto g = gen::cycle_graph(100);
+  auto d = apps::decompose(g, 1.0, 1);
+  for (vertex_id v = 0; v < 100; v++) ASSERT_NE(d.cluster[v], kNoVertex);
+}
+
+TEST(Decomposition, RejectsBadArguments) {
+  auto sym = gen::cycle_graph(10);
+  EXPECT_THROW(apps::decompose(sym, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(apps::decompose(sym, 1.5, 1), std::invalid_argument);
+  auto dir = gen::rmat_digraph(8, 1 << 9, 1);
+  EXPECT_THROW(apps::decompose(dir, 0.2, 1), std::invalid_argument);
+  EXPECT_THROW(apps::connected_components_decomposition(dir), std::invalid_argument);
+}
+
+TEST(Decomposition, EmptyAndEdgelessGraphs) {
+  auto g0 = graph::from_edges(0, {}, {.symmetrize = true});
+  EXPECT_EQ(apps::decompose(g0, 0.5).num_clusters, 0u);
+  auto g5 = graph::from_edges(5, {}, {.symmetrize = true});
+  auto cc = apps::connected_components_decomposition(g5);
+  EXPECT_EQ(cc.num_components, 5u);
+}
+
+TEST(Decomposition, ConnectedGraphOneComponent) {
+  auto g = gen::grid3d_graph(6);
+  auto cc = apps::connected_components_decomposition(g, 0.2, 9);
+  EXPECT_EQ(cc.num_components, 1u);
+  for (vertex_id v = 0; v < g.num_vertices(); v++)
+    EXPECT_EQ(cc.labels[v], cc.labels[0]);
+  EXPECT_GE(cc.num_levels, 1u);
+}
+
+TEST(Decomposition, DeterministicForSeed) {
+  auto g = gen::rmat_graph(9, 1 << 11, 7);
+  auto a = apps::decompose(g, 0.2, 42);
+  auto b = apps::decompose(g, 0.2, 42);
+  // Number of clusters and the cut are functions of (graph, seed) only up
+  // to CAS races on claims; cluster counts must match (wake schedule is
+  // deterministic), and every claimed id must be a valid center in both.
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+}

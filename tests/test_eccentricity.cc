@@ -1,0 +1,72 @@
+// Tests for two-pass eccentricity estimation (KDD'15 extension): the
+// estimate is a valid lower bound, never worse than the single-pass Radii
+// estimate from the same seed budget, and exact on paths (whose endpoints
+// pass 1 always discovers as periphery).
+#include "apps/eccentricity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/radii.h"
+#include "baseline/serial.h"
+#include "graph/generators.h"
+
+using namespace ligra;
+
+class EccSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EccSeeds, LowerBoundOnTrueEccentricity) {
+  uint64_t seed = GetParam();
+  auto g = gen::random_graph(400, 4, seed);
+  auto est = apps::eccentricity_two_pass(g, seed, 16);
+  auto exact = baseline::exact_eccentricity(g);
+  for (vertex_id v = 0; v < g.num_vertices(); v++) {
+    if (est.ecc[v] >= 0) EXPECT_LE(est.ecc[v], exact[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EccSeeds, SecondPassNeverHurtsDiameterEstimate) {
+  uint64_t seed = GetParam();
+  auto g = gen::random_graph(1000, 3, seed + 9);
+  auto one_pass = apps::radii_estimate(g, seed, 16);
+  auto two_pass = apps::eccentricity_two_pass(g, seed, 16);
+  EXPECT_GE(two_pass.diameter_estimate, one_pass.diameter_estimate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EccSeeds, ::testing::Values(1, 2, 3, 4));
+
+TEST(Eccentricity, ExactOnPathViaPeripheryPass) {
+  // Pass 1 finds some vertex far along the path; pass 2 runs from the
+  // extremes, making the diameter estimate exact.
+  auto g = gen::path_graph(200);
+  auto est = apps::eccentricity_two_pass(g, 3, 8);
+  EXPECT_EQ(est.diameter_estimate, 199);
+}
+
+TEST(Eccentricity, TightOnGridWhereOnePassIsLoose) {
+  auto g = gen::grid3d_graph(10);  // diameter 15
+  auto two_pass = apps::eccentricity_two_pass(g, 1, 32);
+  EXPECT_GE(two_pass.diameter_estimate, 13);
+  EXPECT_LE(two_pass.diameter_estimate, 15);
+}
+
+TEST(Eccentricity, EmptyGraph) {
+  graph g;
+  auto est = apps::eccentricity_two_pass(g);
+  EXPECT_TRUE(est.ecc.empty());
+  EXPECT_EQ(est.diameter_estimate, 0);
+}
+
+TEST(Eccentricity, SingleVertex) {
+  auto g = graph::from_edges(1, {}, {.symmetrize = true});
+  auto est = apps::eccentricity_two_pass(g, 1, 4);
+  EXPECT_EQ(est.ecc[0], 0);
+}
+
+TEST(Eccentricity, EstimatesMatchExactWhenSamplingEverything) {
+  auto g = gen::cycle_graph(32);
+  auto est = apps::eccentricity_two_pass(g, 5, 64);  // clamped to n=32
+  auto exact = baseline::exact_eccentricity(g);
+  for (vertex_id v = 0; v < 32; v++) EXPECT_EQ(est.ecc[v], exact[v]);
+}

@@ -1,0 +1,290 @@
+// Tests for edge_map (DESIGN.md S8) — the paper's core contribution.
+//
+// The central property: all three traversal strategies (sparse, dense,
+// dense_forward) and the hybrid must produce identical results for
+// commutative/idempotent update functions. Verified on parameterized
+// random graphs against a sequential oracle, plus targeted tests for the
+// threshold rule, early exit, duplicate removal, weights, and no-output.
+#include "ligra/edge_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+#include "ligra/vertex_subset.h"
+#include "parallel/atomics.h"
+#include "util/rng.h"
+
+using namespace ligra;
+
+namespace {
+
+// Mark functor: marks targets not yet marked; output = newly marked.
+struct mark_f {
+  uint8_t* marked;
+  bool update(vertex_id, vertex_id v) const {
+    if (!marked[v]) {
+      marked[v] = 1;
+      return true;
+    }
+    return false;
+  }
+  bool update_atomic(vertex_id, vertex_id v) const {
+    return compare_and_swap(&marked[v], uint8_t{0}, uint8_t{1});
+  }
+  bool cond(vertex_id v) const { return atomic_load(&marked[v]) == 0; }
+};
+
+// Sequential oracle for one mark step: the set of unmarked out-neighbors
+// of the frontier.
+std::vector<vertex_id> oracle_step(const graph& g,
+                                   const std::vector<vertex_id>& frontier,
+                                   const std::vector<uint8_t>& marked) {
+  std::set<vertex_id> out;
+  for (vertex_id u : frontier)
+    for (vertex_id v : g.out_neighbors(u))
+      if (!marked[v]) out.insert(v);
+  return {out.begin(), out.end()};
+}
+
+std::vector<vertex_id> run_mark_step(const graph& g,
+                                     const std::vector<vertex_id>& frontier,
+                                     std::vector<uint8_t> marked,
+                                     traversal strategy) {
+  vertex_subset vs(g.num_vertices(), frontier);
+  edge_map_options opts;
+  opts.strategy = strategy;
+  auto out = edge_map(g, vs, mark_f{marked.data()}, opts);
+  return out.to_sorted_vector();
+}
+
+}  // namespace
+
+class EdgeMapRandomGraphs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EdgeMapRandomGraphs, AllStrategiesMatchOracle) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(9, 1 << 12, seed);
+  const vertex_id n = g.num_vertices();
+  rng r(seed * 31 + 1);
+
+  // Random initial marking and random frontier drawn from marked vertices.
+  std::vector<uint8_t> marked(n, 0);
+  std::vector<vertex_id> frontier;
+  for (vertex_id v = 0; v < n; v++) {
+    if (r.uniform(v) < 0.1) {
+      marked[v] = 1;
+      if (r.uniform(v + n) < 0.5) frontier.push_back(v);
+    }
+  }
+  auto expect = oracle_step(g, frontier, marked);
+  for (traversal t : {traversal::sparse, traversal::dense,
+                      traversal::dense_forward, traversal::automatic}) {
+    EXPECT_EQ(run_mark_step(g, frontier, marked, t), expect)
+        << "strategy " << traversal_name(t);
+  }
+}
+
+TEST_P(EdgeMapRandomGraphs, DirectedGraphStrategiesAgree) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_digraph(9, 1 << 12, seed + 100);
+  std::vector<uint8_t> marked(g.num_vertices(), 0);
+  std::vector<vertex_id> frontier;
+  for (vertex_id v = 0; v < g.num_vertices(); v += 17) {
+    marked[v] = 1;
+    frontier.push_back(v);
+  }
+  auto expect = oracle_step(g, frontier, marked);
+  for (traversal t : {traversal::sparse, traversal::dense,
+                      traversal::dense_forward}) {
+    EXPECT_EQ(run_mark_step(g, frontier, marked, t), expect)
+        << "strategy " << traversal_name(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeMapRandomGraphs,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(EdgeMap, ThresholdSelectsSparseThenDense) {
+  auto g = gen::rmat_graph(10, 1 << 13, 1);
+  std::vector<uint8_t> marked(g.num_vertices(), 0);
+
+  // Tiny frontier of low-degree vertices -> sparse.
+  vertex_id small = 0;
+  for (vertex_id v = 0; v < g.num_vertices(); v++)
+    if (g.out_degree(v) == 1) {
+      small = v;
+      break;
+    }
+  vertex_subset tiny(g.num_vertices(), small);
+  edge_map_stats stats;
+  edge_map_options opts;
+  opts.stats = &stats;
+  edge_map(g, tiny, mark_f{marked.data()}, opts);
+  EXPECT_EQ(stats.used, traversal::sparse);
+
+  // Full frontier -> dense.
+  std::fill(marked.begin(), marked.end(), 0);
+  vertex_subset all = vertex_subset::all(g.num_vertices());
+  edge_map(g, all, mark_f{marked.data()}, opts);
+  EXPECT_EQ(stats.used, traversal::dense);
+  EXPECT_EQ(stats.frontier_size, g.num_vertices());
+  EXPECT_EQ(stats.frontier_edges, g.num_edges());
+}
+
+TEST(EdgeMap, ThresholdDenominatorIsRespected) {
+  auto g = gen::rmat_graph(10, 1 << 13, 2);
+  // Denominator 1: dense only when |U| + outdeg(U) > m -> full frontier is
+  // borderline; a small frontier must stay sparse even at denominator 1,
+  // and everything goes dense at a huge denominator.
+  std::vector<uint8_t> marked(g.num_vertices(), 0);
+  vertex_subset one(g.num_vertices(), vertex_id{0});
+  edge_map_stats stats;
+  edge_map_options opts;
+  opts.stats = &stats;
+  opts.threshold_denominator = 1;
+  edge_map(g, one, mark_f{marked.data()}, opts);
+  EXPECT_EQ(stats.used, traversal::sparse);
+
+  opts.threshold_denominator = g.num_edges() + 1;  // threshold ~ 0
+  vertex_subset one2(g.num_vertices(), vertex_id{0});
+  std::fill(marked.begin(), marked.end(), 0);
+  edge_map(g, one2, mark_f{marked.data()}, opts);
+  EXPECT_EQ(stats.used, traversal::dense);
+}
+
+TEST(EdgeMap, PreferDenseForwardOption) {
+  auto g = gen::rmat_graph(9, 1 << 12, 3);
+  std::vector<uint8_t> marked(g.num_vertices(), 0);
+  vertex_subset all = vertex_subset::all(g.num_vertices());
+  edge_map_stats stats;
+  edge_map_options opts;
+  opts.stats = &stats;
+  opts.prefer_dense_forward = true;
+  edge_map(g, all, mark_f{marked.data()}, opts);
+  EXPECT_EQ(stats.used, traversal::dense_forward);
+}
+
+TEST(EdgeMap, CondEarlyExitLimitsDenseUpdates) {
+  // Star graph, all leaves in the frontier, target = center. With a cond
+  // that flips false after the first update, the dense traversal must stop
+  // scanning the center's in-list after one hit.
+  const vertex_id n = 1000;
+  auto g = gen::star_graph(n);
+  std::vector<int> hits(n, 0);
+  struct once_f {
+    int* hits;
+    bool update(vertex_id, vertex_id v) const {
+      hits[v]++;
+      return true;
+    }
+    bool update_atomic(vertex_id, vertex_id v) const {
+      write_add(&hits[v], 1);
+      return true;
+    }
+    bool cond(vertex_id v) const { return atomic_load(&hits[v]) == 0; }
+  };
+  std::vector<vertex_id> leaves;
+  for (vertex_id v = 1; v < n; v++) leaves.push_back(v);
+  vertex_subset frontier(n, leaves);
+  edge_map_options opts;
+  opts.strategy = traversal::dense;
+  auto out = edge_map(g, frontier, once_f{hits.data()}, opts);
+  EXPECT_EQ(hits[0], 1);  // early exit: one update despite n-1 in-edges
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.contains(0));
+}
+
+TEST(EdgeMap, RemoveDuplicatesDeduplicatesSparseOutput) {
+  // Functor that returns true unconditionally: without dedup, a target
+  // with k frontier in-neighbors appears k times.
+  auto g = gen::complete_graph(50);
+  struct always_f {
+    bool update(vertex_id, vertex_id) const { return true; }
+    bool update_atomic(vertex_id, vertex_id) const { return true; }
+    bool cond(vertex_id) const { return true; }
+  };
+  std::vector<vertex_id> half;
+  for (vertex_id v = 0; v < 25; v++) half.push_back(v);
+
+  vertex_subset f1(50, half);
+  edge_map_options opts;
+  opts.strategy = traversal::sparse;
+  opts.remove_duplicates = true;
+  auto out = edge_map(g, f1, always_f{}, opts);
+  EXPECT_EQ(out.size(), 50u);  // every vertex exactly once
+  auto ids = out.to_sorted_vector();
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+}
+
+TEST(EdgeMap, WeightedUpdateReceivesCorrectWeights) {
+  // Weighted path 0-1-2 with distinct weights; sum the weights seen.
+  std::vector<weighted_edge> edges = {{0, 1, 10}, {1, 2, 20}};
+  auto g = wgraph::from_edges(3, edges, {.symmetrize = true});
+  struct sum_f {
+    int64_t* total;
+    bool update(vertex_id, vertex_id, int32_t w) const {
+      write_add(total, static_cast<int64_t>(w));
+      return false;
+    }
+    bool update_atomic(vertex_id u, vertex_id v, int32_t w) const {
+      return update(u, v, w);
+    }
+    bool cond(vertex_id) const { return true; }
+  };
+  for (traversal t : {traversal::sparse, traversal::dense,
+                      traversal::dense_forward}) {
+    int64_t total = 0;
+    vertex_subset frontier(3, vertex_id{1});
+    edge_map_options opts;
+    opts.strategy = t;
+    edge_map(g, frontier, sum_f{&total}, opts);
+    EXPECT_EQ(total, 30) << traversal_name(t);  // edges 1->0 (10) and 1->2 (20)
+  }
+}
+
+TEST(EdgeMap, NoOutputSkipsSubsetButAppliesUpdates) {
+  auto g = gen::cycle_graph(100);
+  std::vector<uint8_t> marked(100, 0);
+  vertex_subset frontier(100, vertex_id{0});
+  edge_map_no_output(g, frontier, mark_f{marked.data()});
+  EXPECT_EQ(marked[1] + marked[99], 2);
+}
+
+TEST(EdgeMap, EmptyFrontierYieldsEmptyOutput) {
+  auto g = gen::cycle_graph(10);
+  vertex_subset frontier(10);
+  auto out = edge_map(g, frontier, mark_f{nullptr});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EdgeMap, MismatchedUniverseThrows) {
+  auto g = gen::cycle_graph(10);
+  vertex_subset frontier(5, vertex_id{0});
+  EXPECT_THROW(edge_map(g, frontier, mark_f{nullptr}), std::invalid_argument);
+}
+
+TEST(EdgeMap, MultiRoundBfsReachesWholeComponent) {
+  // Iterating the mark step from one vertex must mark the component —
+  // checked across all strategies for identical reach counts.
+  auto g = gen::random_graph(1 << 12, 5, 9);
+  size_t reach[3];
+  int ti = 0;
+  for (traversal t : {traversal::sparse, traversal::dense,
+                      traversal::automatic}) {
+    std::vector<uint8_t> marked(g.num_vertices(), 0);
+    marked[0] = 1;
+    vertex_subset frontier(g.num_vertices(), vertex_id{0});
+    edge_map_options opts;
+    opts.strategy = t;
+    while (!frontier.empty())
+      frontier = edge_map(g, frontier, mark_f{marked.data()}, opts);
+    reach[ti++] = static_cast<size_t>(
+        std::count(marked.begin(), marked.end(), uint8_t{1}));
+  }
+  EXPECT_EQ(reach[0], reach[1]);
+  EXPECT_EQ(reach[1], reach[2]);
+  EXPECT_GT(reach[0], g.num_vertices() / 2);  // random deg-10 graph: giant CC
+}

@@ -1,0 +1,168 @@
+// Tests for the synthetic graph generators (DESIGN.md S6): structure
+// invariants (degrees, symmetry), determinism across runs, and the
+// distributional properties the experiments rely on (rMat skew).
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ligra;
+
+TEST(Generators, RmatDeterministicForSeed) {
+  auto a = gen::rmat_edges(10, 5000, 7);
+  auto b = gen::rmat_edges(10, 5000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+  }
+  auto c = gen::rmat_edges(10, 5000, 8);
+  size_t same = 0;
+  for (size_t i = 0; i < a.size(); i++) same += (a[i].u == c[i].u);
+  EXPECT_LT(same, a.size());  // different seed differs
+}
+
+TEST(Generators, RmatEndpointsInRange) {
+  int scale = 12;
+  auto edges = gen::rmat_edges(scale, 20000, 3);
+  for (const auto& e : edges) {
+    ASSERT_LT(e.u, 1u << scale);
+    ASSERT_LT(e.v, 1u << scale);
+  }
+}
+
+TEST(Generators, RmatHasSkewedDegrees) {
+  // With a=0.5 the degree distribution must be heavily skewed: the max
+  // degree far exceeds the average (this skew is what makes the hybrid
+  // edge_map win — experiment F2's premise). At scale 14 with the paper's
+  // parameters the hottest vertex draws ~0.6^14 of all endpoints, several
+  // times the mean; a uniform-random graph's max stays within ~2x.
+  auto g = gen::rmat_graph(14, 16u << 14, 1);
+  double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  size_t max_deg = 0;
+  for (vertex_id v = 0; v < g.num_vertices(); v++)
+    max_deg = std::max(max_deg, g.out_degree(v));
+  EXPECT_GT(static_cast<double>(max_deg), 5 * avg);
+
+  auto r = gen::random_graph(1 << 14, 28, 1);
+  size_t rand_max_deg = 0;
+  for (vertex_id v = 0; v < r.num_vertices(); v++)
+    rand_max_deg = std::max(rand_max_deg, r.out_degree(v));
+  EXPECT_GT(max_deg, 2 * rand_max_deg);  // rMat tail dominates uniform
+}
+
+TEST(Generators, RmatRejectsBadParameters) {
+  EXPECT_THROW(gen::rmat_edges(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(gen::rmat_edges(40, 10, 1), std::invalid_argument);
+  EXPECT_THROW(gen::rmat_edges(10, 10, 1, {0.9, 0.9, 0.1, 0.1}),
+               std::invalid_argument);
+}
+
+TEST(Generators, RandomGraphDegreeAndRange) {
+  const vertex_id n = 4096;
+  auto edges = gen::random_edges(n, 10, 5);
+  EXPECT_EQ(edges.size(), static_cast<size_t>(n) * 10);
+  for (const auto& e : edges) {
+    ASSERT_LT(e.u, n);
+    ASSERT_LT(e.v, n);
+  }
+  // Targets should be roughly uniform: all vertices within [0, n) hit.
+  std::vector<int> hit(n, 0);
+  for (const auto& e : edges) hit[e.v]++;
+  size_t missed = static_cast<size_t>(std::count(hit.begin(), hit.end(), 0));
+  EXPECT_LT(missed, n / 100 * 2);  // Poisson(10): essentially none missed
+}
+
+TEST(Generators, RandomLocalPrefersNearbyTargets) {
+  const vertex_id n = 1 << 16;
+  auto edges = gen::random_local_edges(n, 10, 2);
+  size_t near = 0;
+  for (const auto& e : edges) {
+    uint64_t d = e.u < e.v ? e.v - e.u : e.u - e.v;
+    d = std::min(d, n - d);  // ring distance
+    if (d <= n / 64) near++;
+  }
+  // Power-law distances: most edges are short; uniform would give ~3%.
+  EXPECT_GT(near, edges.size() / 2);
+}
+
+TEST(Generators, Grid3dIsSixRegular) {
+  auto g = gen::grid3d_graph(8);  // 512 vertices, torus
+  EXPECT_EQ(g.num_vertices(), 512u);
+  EXPECT_TRUE(g.symmetric());
+  for (vertex_id v = 0; v < g.num_vertices(); v++)
+    ASSERT_EQ(g.out_degree(v), 6u) << "vertex " << v;
+  EXPECT_EQ(g.num_edges(), 512u * 6);
+}
+
+TEST(Generators, Grid3dSideTwoHasDoubledNeighbors) {
+  // Side 2: +1 and -1 wrap to the same vertex, so degree is 3 after dedup.
+  auto g = gen::grid3d_graph(2);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  for (vertex_id v = 0; v < 8; v++) EXPECT_EQ(g.out_degree(v), 3u);
+}
+
+TEST(Generators, PathGraphStructure) {
+  auto g = gen::path_graph(5);
+  EXPECT_EQ(g.num_edges(), 8u);  // 4 undirected edges
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(2), 2u);
+  EXPECT_EQ(g.out_degree(4), 1u);
+}
+
+TEST(Generators, CycleGraphIsTwoRegular) {
+  auto g = gen::cycle_graph(10);
+  for (vertex_id v = 0; v < 10; v++) EXPECT_EQ(g.out_degree(v), 2u);
+  EXPECT_THROW(gen::cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Generators, StarGraphStructure) {
+  auto g = gen::star_graph(9);
+  EXPECT_EQ(g.out_degree(0), 8u);
+  for (vertex_id v = 1; v < 9; v++) EXPECT_EQ(g.out_degree(v), 1u);
+}
+
+TEST(Generators, CompleteGraphStructure) {
+  auto g = gen::complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 30u);  // 6*5 directed
+  for (vertex_id v = 0; v < 6; v++) EXPECT_EQ(g.out_degree(v), 5u);
+}
+
+TEST(Generators, BinaryTreeStructure) {
+  auto g = gen::binary_tree_graph(7);  // perfect tree of 7 vertices
+  EXPECT_EQ(g.num_edges(), 12u);       // 6 undirected edges
+  EXPECT_EQ(g.out_degree(0), 2u);      // root
+  EXPECT_EQ(g.out_degree(3), 1u);      // leaf
+  EXPECT_EQ(g.out_degree(1), 3u);      // internal: parent + 2 children
+}
+
+TEST(Generators, AddRandomWeightsInRangeAndSymmetric) {
+  auto g = gen::rmat_graph(10, 1 << 12, 9);
+  auto wg = gen::add_random_weights(g, 1, 10, 4);
+  EXPECT_EQ(wg.num_edges(), g.num_edges());
+  EXPECT_TRUE(wg.symmetric());
+  for (vertex_id v = 0; v < wg.num_vertices(); v++) {
+    auto nbrs = wg.out_neighbors(v);
+    for (size_t j = 0; j < nbrs.size(); j++) {
+      int32_t w = wg.out_weight(v, j);
+      ASSERT_GE(w, 1);
+      ASSERT_LE(w, 10);
+      // Symmetric twin must carry the same weight.
+      vertex_id u = nbrs[j];
+      auto back = wg.out_neighbors(u);
+      auto it = std::lower_bound(back.begin(), back.end(), v);
+      ASSERT_NE(it, back.end());
+      size_t k = static_cast<size_t>(it - back.begin());
+      ASSERT_EQ(wg.out_weight(u, k), w);
+    }
+  }
+  EXPECT_THROW(gen::add_random_weights(g, 10, 1, 4), std::invalid_argument);
+}
+
+TEST(Generators, WeightsDeterministicForSeed) {
+  auto g = gen::rmat_graph(8, 1 << 9, 2);
+  auto w1 = gen::add_random_weights(g, 1, 100, 11);
+  auto w2 = gen::add_random_weights(g, 1, 100, 11);
+  EXPECT_EQ(w1, w2);
+}

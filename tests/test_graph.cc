@@ -1,0 +1,208 @@
+// Tests for the CSR graph types (DESIGN.md S4): construction from edge
+// lists, CSR invariants, symmetrize / dedup / self-loop options, transpose
+// consistency, weighted graphs, and validation failures.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+using namespace ligra;
+
+namespace {
+
+// Directed triangle plus a pendant: 0->1, 1->2, 2->0, 0->3.
+std::vector<edge> diamond_edges() { return {{0, 1}, {1, 2}, {2, 0}, {0, 3}}; }
+
+}  // namespace
+
+TEST(Graph, EmptyGraph) {
+  graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Graph, FromEdgesDirectedBasics) {
+  auto g = graph::from_edges(4, diamond_edges(), {});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_FALSE(g.symmetric());
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(3), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Graph, AdjacencyListsAreSorted) {
+  auto g = graph::from_edges(5, {{0, 4}, {0, 1}, {0, 3}, {0, 2}}, {});
+  auto nbrs = g.out_neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(Graph, SymmetrizeAddsReverseEdges) {
+  auto g = graph::from_edges(3, {{0, 1}, {1, 2}}, {.symmetrize = true});
+  EXPECT_TRUE(g.symmetric());
+  EXPECT_EQ(g.num_edges(), 4u);  // both directions
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  // in == out for symmetric graphs
+  for (vertex_id v = 0; v < 3; v++) EXPECT_EQ(g.in_degree(v), g.out_degree(v));
+}
+
+TEST(Graph, RemovesSelfLoopsByDefault) {
+  auto g = graph::from_edges(3, {{0, 0}, {0, 1}, {1, 1}, {2, 2}}, {});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Graph, KeepsSelfLoopsWhenAsked) {
+  auto g = graph::from_edges(2, {{0, 0}, {0, 1}},
+                             {.remove_self_loops = false});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 0));
+}
+
+TEST(Graph, RemovesDuplicatesByDefault) {
+  auto g = graph::from_edges(3, {{0, 1}, {0, 1}, {0, 1}, {1, 2}}, {});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, KeepsDuplicatesWhenAsked) {
+  auto g = graph::from_edges(3, {{0, 1}, {0, 1}},
+                             {.remove_duplicates = false});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(graph::from_edges(2, {{0, 2}}, {}), std::invalid_argument);
+  EXPECT_THROW(graph::from_edges(2, {{5, 0}}, {}), std::invalid_argument);
+}
+
+TEST(Graph, TransposeFlipsEdges) {
+  auto g = graph::from_edges(4, diamond_edges(), {});
+  auto t = g.transpose();
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  for (vertex_id u = 0; u < 4; u++) {
+    for (vertex_id v : g.out_neighbors(u)) EXPECT_TRUE(t.has_edge(v, u));
+    EXPECT_EQ(t.out_degree(u), g.in_degree(u));
+    EXPECT_EQ(t.in_degree(u), g.out_degree(u));
+  }
+}
+
+TEST(Graph, InEdgesMatchOutEdgesOnDirectedGraph) {
+  auto g = gen::rmat_digraph(10, 1 << 13, 3);
+  // Every out-edge (u,v) must appear as in-edge of v, and counts match.
+  edge_id total_in = 0;
+  for (vertex_id v = 0; v < g.num_vertices(); v++)
+    total_in += g.in_degree(v);
+  EXPECT_EQ(total_in, g.num_edges());
+  for (vertex_id u = 0; u < g.num_vertices(); u++) {
+    for (vertex_id v : g.out_neighbors(u)) {
+      auto in = g.in_neighbors(v);
+      EXPECT_TRUE(std::binary_search(in.begin(), in.end(), u))
+          << "edge " << u << "->" << v;
+    }
+  }
+}
+
+TEST(Graph, ComputedNumEdgesMatches) {
+  auto g = gen::rmat_graph(10, 1 << 13, 4);
+  EXPECT_EQ(g.computed_num_edges(), g.num_edges());
+}
+
+TEST(Graph, ToEdgesRoundTrip) {
+  auto g = graph::from_edges(4, diamond_edges(), {});
+  auto edges = g.to_edges();
+  auto g2 = graph::from_edges(4, edges, {});
+  EXPECT_EQ(g, g2);
+}
+
+TEST(Graph, FromSymmetricEdgesSkipsTranspose) {
+  std::vector<edge> sym = {{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  auto g = graph::from_symmetric_edges(3, sym);
+  EXPECT_TRUE(g.symmetric());
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+}
+
+TEST(Graph, FromCsrValidates) {
+  // Offsets wrong size.
+  EXPECT_THROW(graph::from_csr(2, {0, 1}, {1}, {}, true), std::invalid_argument);
+  // Non-monotone offsets.
+  EXPECT_THROW(graph::from_csr(2, {0, 2, 1}, {1}, {}, true),
+               std::invalid_argument);
+  // Target out of range.
+  EXPECT_THROW(graph::from_csr(2, {0, 1, 1}, {5}, {}, true),
+               std::invalid_argument);
+  // Valid.
+  auto g = graph::from_csr(2, {0, 1, 2}, {1, 0}, {}, true);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, MemoryBytesIsPlausible) {
+  auto g = gen::rmat_graph(10, 1 << 12, 5);
+  size_t b = g.memory_bytes();
+  // At least offsets + edges.
+  EXPECT_GE(b, g.num_edges() * sizeof(vertex_id));
+}
+
+TEST(WeightedGraph, WeightsFollowEdges) {
+  std::vector<weighted_edge> edges = {{0, 1, 5}, {0, 2, 7}, {1, 2, -3}};
+  auto g = wgraph::from_edges(3, edges, {});
+  EXPECT_EQ(g.num_edges(), 3u);
+  auto nbrs = g.out_neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(g.out_weight(0, 0), 5);
+  EXPECT_EQ(g.out_weight(0, 1), 7);
+  EXPECT_EQ(g.out_weight(1, 0), -3);
+}
+
+TEST(WeightedGraph, InWeightsMatchOutWeights) {
+  std::vector<weighted_edge> edges = {{0, 1, 5}, {2, 1, 9}};
+  auto g = wgraph::from_edges(3, edges, {});
+  // in-edges of 1: from 0 (w 5) and from 2 (w 9), sorted by source.
+  ASSERT_EQ(g.in_degree(1), 2u);
+  auto in = g.in_neighbors(1);
+  EXPECT_EQ(in[0], 0u);
+  EXPECT_EQ(g.in_weight(1, 0), 5);
+  EXPECT_EQ(in[1], 2u);
+  EXPECT_EQ(g.in_weight(1, 1), 9);
+}
+
+TEST(WeightedGraph, SymmetrizePropagatesWeights) {
+  std::vector<weighted_edge> edges = {{0, 1, 4}};
+  auto g = wgraph::from_edges(2, edges, {.symmetrize = true});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_weight(0, 0), 4);
+  EXPECT_EQ(g.out_weight(1, 0), 4);
+}
+
+TEST(Graph, DecodeOutMatchesSpanAndStopsEarly) {
+  auto g = graph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}, {});
+  std::vector<vertex_id> seen;
+  g.decode_out(0, [&](vertex_id v, empty_weight, size_t j) {
+    EXPECT_EQ(j, seen.size());
+    seen.push_back(v);
+    return seen.size() < 2;  // early exit after two
+  });
+  EXPECT_EQ(seen, (std::vector<vertex_id>{1, 2}));
+}
+
+TEST(Graph, EqualityOperator) {
+  auto a = graph::from_edges(3, {{0, 1}, {1, 2}}, {.symmetrize = true});
+  auto b = graph::from_edges(3, {{1, 2}, {0, 1}}, {.symmetrize = true});
+  auto c = graph::from_edges(3, {{0, 2}, {1, 2}}, {.symmetrize = true});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}

@@ -1,0 +1,110 @@
+// Tests for maximal independent set: independence + maximality invariants
+// on random graphs, exact agreement with the greedy sequential algorithm
+// under the same priorities (the determinism claim of the SPAA'12 line of
+// work), and edge cases.
+#include "apps/mis.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/serial.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+using namespace ligra;
+
+namespace {
+
+void expect_independent_and_maximal(const graph& g,
+                                    const std::vector<uint8_t>& in_set) {
+  // Independence: no edge inside the set. Maximality: every vertex outside
+  // has a neighbor inside.
+  for (vertex_id v = 0; v < g.num_vertices(); v++) {
+    if (in_set[v]) {
+      for (vertex_id u : g.out_neighbors(v))
+        ASSERT_FALSE(in_set[u]) << "edge " << v << "-" << u << " inside set";
+    } else {
+      bool covered = false;
+      for (vertex_id u : g.out_neighbors(v)) covered |= (in_set[u] != 0);
+      ASSERT_TRUE(covered) << "vertex " << v << " could be added";
+    }
+  }
+}
+
+// The priority function apps::maximal_independent_set uses internally.
+std::vector<uint64_t> priorities(vertex_id n, uint64_t seed) {
+  rng r(seed);
+  std::vector<uint64_t> p(n);
+  for (vertex_id v = 0; v < n; v++)
+    p[v] = (r[v] & ~uint64_t{0xffffffff}) | v;
+  return p;
+}
+
+}  // namespace
+
+class MisSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MisSeeds, IndependentAndMaximalOnRmat) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(10, 1 << 13, seed);
+  auto result = apps::maximal_independent_set(g, seed);
+  expect_independent_and_maximal(g, result.in_set);
+  EXPECT_GT(result.set_size, 0u);
+}
+
+TEST_P(MisSeeds, MatchesGreedySequentialWithSamePriorities) {
+  uint64_t seed = GetParam();
+  auto g = gen::random_graph(2000, 8, seed);
+  auto par = apps::maximal_independent_set(g, seed);
+  auto ser = baseline::greedy_mis(g, priorities(g.num_vertices(), seed));
+  EXPECT_EQ(par.in_set, ser);
+}
+
+TEST_P(MisSeeds, DeterministicAcrossRuns) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(9, 1 << 12, seed + 5);
+  auto a = apps::maximal_independent_set(g, 7);
+  auto b = apps::maximal_independent_set(g, 7);
+  EXPECT_EQ(a.in_set, b.in_set);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisSeeds, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Mis, EdgelessGraphTakesEverything) {
+  auto g = graph::from_edges(10, {}, {.symmetrize = true});
+  auto result = apps::maximal_independent_set(g);
+  EXPECT_EQ(result.set_size, 10u);
+}
+
+TEST(Mis, CompleteGraphTakesExactlyOne) {
+  auto g = gen::complete_graph(20);
+  auto result = apps::maximal_independent_set(g);
+  EXPECT_EQ(result.set_size, 1u);
+  expect_independent_and_maximal(g, result.in_set);
+}
+
+TEST(Mis, StarTakesLeavesOrCenter) {
+  auto g = gen::star_graph(30);
+  auto result = apps::maximal_independent_set(g);
+  expect_independent_and_maximal(g, result.in_set);
+  // Either the center alone or all 29 leaves.
+  EXPECT_TRUE(result.set_size == 1 || result.set_size == 29);
+}
+
+TEST(Mis, PathAlternates) {
+  auto g = gen::path_graph(50);
+  auto result = apps::maximal_independent_set(g, 3);
+  expect_independent_and_maximal(g, result.in_set);
+  EXPECT_GE(result.set_size, 17u);  // MIS of a path is >= ceil(n/3)
+}
+
+TEST(Mis, RequiresSymmetric) {
+  auto g = gen::rmat_digraph(8, 1 << 9, 1);
+  EXPECT_THROW(apps::maximal_independent_set(g), std::invalid_argument);
+}
+
+TEST(Mis, RoundCountIsLogarithmicish) {
+  // The SPAA'12 result: O(log n) rounds w.h.p. Sanity-bound generously.
+  auto g = gen::random_graph(1 << 14, 10, 4);
+  auto result = apps::maximal_independent_set(g, 2);
+  EXPECT_LE(result.num_rounds, 60u);
+}

@@ -1,0 +1,188 @@
+// Tests for the parallel sequence primitives (DESIGN.md S2): reduce, scan,
+// pack/filter, tabulate/map, and the parallel merge sort — each compared
+// against its std:: sequential counterpart on parameterized random inputs.
+#include "parallel/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "parallel/sort.h"
+#include "util/rng.h"
+
+namespace p = ligra::parallel;
+using ligra::rng;
+
+namespace {
+
+std::vector<uint64_t> random_values(size_t n, uint64_t seed,
+                                    uint64_t bound = 1000) {
+  rng r(seed);
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; i++) v[i] = r.bounded(i, bound);
+  return v;
+}
+
+}  // namespace
+
+// --- reduce -----------------------------------------------------------------
+
+class PrimitiveSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PrimitiveSizes, ReduceAddMatchesAccumulate) {
+  size_t n = GetParam();
+  auto v = random_values(n, n);
+  uint64_t expect = std::accumulate(v.begin(), v.end(), uint64_t{0});
+  EXPECT_EQ(p::reduce_add(n, [&](size_t i) { return v[i]; }), expect);
+}
+
+TEST_P(PrimitiveSizes, ReduceMaxMatchesMaxElement) {
+  size_t n = GetParam();
+  auto v = random_values(n, n * 31 + 1);
+  uint64_t expect = n == 0 ? 0 : *std::max_element(v.begin(), v.end());
+  EXPECT_EQ(p::reduce_max(n, [&](size_t i) { return v[i]; }, uint64_t{0}),
+            expect);
+}
+
+TEST_P(PrimitiveSizes, ScanMatchesExclusivePrefixSum) {
+  size_t n = GetParam();
+  auto v = random_values(n, n * 7 + 3);
+  auto expect = v;
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; i++) {
+    uint64_t next = acc + expect[i];
+    expect[i] = acc;
+    acc = next;
+  }
+  auto got = v;
+  uint64_t total = p::scan_add_inplace(got.data(), n);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, PackKeepsExactlyMatchingElementsInOrder) {
+  size_t n = GetParam();
+  auto v = random_values(n, n * 13 + 5);
+  auto got = p::pack(
+      n, [&](size_t i) { return v[i]; }, [&](size_t i) { return v[i] % 3 == 0; });
+  std::vector<uint64_t> expect;
+  for (auto x : v)
+    if (x % 3 == 0) expect.push_back(x);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, PackIndexMatchesManualScan) {
+  size_t n = GetParam();
+  auto v = random_values(n, n * 17 + 11);
+  auto got = p::pack_index<uint32_t>(n, [&](size_t i) { return v[i] < 100; });
+  std::vector<uint32_t> expect;
+  for (size_t i = 0; i < n; i++)
+    if (v[i] < 100) expect.push_back(static_cast<uint32_t>(i));
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, SortMatchesStdSort) {
+  size_t n = GetParam();
+  auto v = random_values(n, n * 19 + 7, 1u << 20);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  p::sort_inplace(v);
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimitiveSizes,
+                         ::testing::Values(0, 1, 2, 7, 100, 2047, 2048, 2049,
+                                           100000, 1 << 20));
+
+// --- additional behaviours ----------------------------------------------------
+
+TEST(Primitives, ReduceIsDeterministicAcrossWorkerCounts) {
+  // Floating-point reduction must give bit-identical results regardless of
+  // parallelism (blocked decomposition is schedule-independent).
+  const size_t n = 1 << 18;
+  std::vector<double> v(n);
+  rng r(99);
+  for (size_t i = 0; i < n; i++) v[i] = r.uniform(i) - 0.5;
+  double with_p = p::reduce_add(n, [&](size_t i) { return v[i]; });
+  int before = p::num_workers();
+  p::set_num_workers(1);
+  double with_1 = p::reduce_add(n, [&](size_t i) { return v[i]; });
+  p::set_num_workers(before);
+  EXPECT_EQ(with_p, with_1);
+}
+
+TEST(Primitives, ScanGenericOperator) {
+  // Exclusive max-scan.
+  std::vector<int> v = {3, 1, 4, 1, 5, 9, 2, 6};
+  int total = p::scan_inplace(v.data(), v.size(), 0,
+                              [](int a, int b) { return std::max(a, b); });
+  EXPECT_EQ(total, 9);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 3, 4, 4, 5, 9, 9}));
+}
+
+TEST(Primitives, FilterVector) {
+  std::vector<int> v = {5, -2, 8, -1, 0, 3};
+  auto got = p::filter(v, [](int x) { return x > 0; });
+  EXPECT_EQ(got, (std::vector<int>{5, 8, 3}));
+}
+
+TEST(Primitives, TabulateAndMap) {
+  auto sq = p::tabulate(10, [](size_t i) { return i * i; });
+  for (size_t i = 0; i < 10; i++) EXPECT_EQ(sq[i], i * i);
+  auto doubled = p::map(sq, [](size_t x) { return 2 * x; });
+  for (size_t i = 0; i < 10; i++) EXPECT_EQ(doubled[i], 2 * i * i);
+}
+
+TEST(Primitives, CountIfIndex) {
+  EXPECT_EQ(p::count_if_index(100, [](size_t i) { return i % 10 == 0; }), 10u);
+  EXPECT_EQ(p::count_if_index(0, [](size_t) { return true; }), 0u);
+}
+
+TEST(Primitives, SortIsStable) {
+  // Pairs sorted by key must preserve insertion order of equal keys.
+  struct kv {
+    int key;
+    int pos;
+  };
+  const size_t n = 50000;
+  std::vector<kv> v(n);
+  rng r(5);
+  for (size_t i = 0; i < n; i++)
+    v[i] = {static_cast<int>(r.bounded(i, 16)), static_cast<int>(i)};
+  p::sort_inplace(v, [](const kv& a, const kv& b) { return a.key < b.key; });
+  for (size_t i = 1; i < n; i++) {
+    ASSERT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) ASSERT_LT(v[i - 1].pos, v[i].pos);
+  }
+}
+
+TEST(Primitives, SortAlreadySortedAndReversed) {
+  std::vector<int> asc(100000);
+  std::iota(asc.begin(), asc.end(), 0);
+  auto des = asc;
+  std::reverse(des.begin(), des.end());
+  auto expect = asc;
+  p::sort_inplace(asc);
+  EXPECT_EQ(asc, expect);
+  p::sort_inplace(des);
+  EXPECT_EQ(des, expect);
+}
+
+TEST(Primitives, SortedReturnsCopy) {
+  std::vector<int> v = {3, 1, 2};
+  auto s = p::sorted(v);
+  EXPECT_EQ(s, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(v, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(Primitives, PackAllOrNothing) {
+  const size_t n = 10000;
+  auto all = p::pack(
+      n, [](size_t i) { return i; }, [](size_t) { return true; });
+  EXPECT_EQ(all.size(), n);
+  auto none = p::pack(
+      n, [](size_t i) { return i; }, [](size_t) { return false; });
+  EXPECT_TRUE(none.empty());
+}

@@ -1,0 +1,132 @@
+// Tests for the parallel semisort primitive (SPAA'15 extension): equal
+// keys must be contiguous, content preserved as a multiset, stability
+// within groups, and group_starts correctness — across sizes and key
+// distributions (parameterized).
+#include "parallel/semisort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/rng.h"
+
+namespace p = ligra::parallel;
+using ligra::sequential_rng;
+
+namespace {
+
+struct record {
+  uint32_t key;
+  uint32_t payload;
+  friend bool operator==(const record& a, const record& b) {
+    return a.key == b.key && a.payload == b.payload;
+  }
+};
+
+// Checks the semisort contract on `out` given the input `in`.
+void expect_semisorted(const std::vector<record>& in,
+                       const std::vector<record>& out) {
+  ASSERT_EQ(in.size(), out.size());
+  // Multiset equality.
+  std::map<uint64_t, int> count;
+  for (const auto& r : in) count[(uint64_t{r.key} << 32) | r.payload]++;
+  for (const auto& r : out) count[(uint64_t{r.key} << 32) | r.payload]--;
+  for (const auto& [k, c] : count) ASSERT_EQ(c, 0) << "multiset mismatch";
+  // Contiguity: each key appears in exactly one run.
+  std::map<uint32_t, bool> closed;
+  for (size_t i = 0; i < out.size(); i++) {
+    if (i > 0 && out[i].key != out[i - 1].key) closed[out[i - 1].key] = true;
+    ASSERT_FALSE(closed.count(out[i].key) && closed[out[i].key])
+        << "key " << out[i].key << " split across runs at " << i;
+  }
+}
+
+std::vector<record> random_records(size_t n, uint32_t key_range,
+                                   uint64_t seed) {
+  sequential_rng r(seed);
+  std::vector<record> v(n);
+  for (size_t i = 0; i < n; i++) {
+    v[i] = {static_cast<uint32_t>(r.bounded(key_range)),
+            static_cast<uint32_t>(i)};
+  }
+  return v;
+}
+
+}  // namespace
+
+class SemisortSizes
+    : public ::testing::TestWithParam<std::pair<size_t, uint32_t>> {};
+
+TEST_P(SemisortSizes, GroupsEqualKeysContiguously) {
+  auto [n, key_range] = GetParam();
+  auto in = random_records(n, key_range, n + key_range);
+  auto out = in;
+  p::semisort_inplace(out, [](const record& r) { return r.key; });
+  expect_semisorted(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SemisortSizes,
+    ::testing::Values(std::pair<size_t, uint32_t>{0, 1},
+                      std::pair<size_t, uint32_t>{1, 1},
+                      std::pair<size_t, uint32_t>{100, 3},
+                      std::pair<size_t, uint32_t>{2048, 16},
+                      std::pair<size_t, uint32_t>{2049, 16},
+                      std::pair<size_t, uint32_t>{100000, 5},
+                      std::pair<size_t, uint32_t>{100000, 1000},
+                      std::pair<size_t, uint32_t>{100000, 100000},
+                      std::pair<size_t, uint32_t>{1 << 20, 256}));
+
+TEST(Semisort, StableWithinGroups) {
+  auto in = random_records(200000, 32, 7);
+  auto out = in;
+  p::semisort_inplace(out, [](const record& r) { return r.key; });
+  // payload == original index: within a key group, payloads must ascend.
+  for (size_t i = 1; i < out.size(); i++) {
+    if (out[i].key == out[i - 1].key)
+      ASSERT_LT(out[i - 1].payload, out[i].payload) << "at " << i;
+  }
+}
+
+TEST(Semisort, AllKeysEqual) {
+  auto in = random_records(50000, 1, 3);
+  auto out = in;
+  p::semisort_inplace(out, [](const record& r) { return r.key; });
+  EXPECT_EQ(out, in);  // single group, stability => identity
+}
+
+TEST(Semisort, AllKeysDistinct) {
+  std::vector<record> in(100000);
+  for (size_t i = 0; i < in.size(); i++)
+    in[i] = {static_cast<uint32_t>(i), static_cast<uint32_t>(i)};
+  auto out = in;
+  p::semisort_inplace(out, [](const record& r) { return r.key; });
+  expect_semisorted(in, out);
+}
+
+TEST(Semisort, GroupStartsIdentifiesRuns) {
+  std::vector<record> v = {{5, 0}, {5, 1}, {2, 2}, {2, 3}, {2, 4}, {9, 5}};
+  auto starts = p::group_starts(v, [](const record& r) { return r.key; });
+  EXPECT_EQ(starts, (std::vector<size_t>{0, 2, 5}));
+  std::vector<record> empty;
+  EXPECT_TRUE(p::group_starts(empty, [](const record& r) { return r.key; }).empty());
+}
+
+TEST(Semisort, Plain64BitKeys) {
+  sequential_rng r(9);
+  std::vector<uint64_t> v(300000);
+  for (auto& x : v) x = r.bounded(1000);
+  auto expect_counts = std::map<uint64_t, size_t>{};
+  for (auto x : v) expect_counts[x]++;
+  p::semisort_inplace(v, [](uint64_t x) { return x; });
+  // Runs partition the array; each key exactly one run of the right size.
+  std::map<uint64_t, size_t> got;
+  std::map<uint64_t, bool> seen_closed;
+  for (size_t i = 0; i < v.size(); i++) {
+    if (i > 0 && v[i] != v[i - 1]) seen_closed[v[i - 1]] = true;
+    ASSERT_FALSE(seen_closed.count(v[i]) && seen_closed[v[i]]);
+    got[v[i]]++;
+  }
+  EXPECT_EQ(got, expect_counts);
+}

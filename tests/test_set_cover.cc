@@ -1,0 +1,198 @@
+// Tests for approximate set cover over decreasing buckets (Julienne
+// extension): cover validity, non-redundancy, approximation quality vs
+// exact greedy, determinism, input validation — plus direct tests of the
+// bucket structure's decreasing order.
+#include "apps/set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "ligra/bucket.h"
+
+using namespace ligra;
+
+namespace {
+
+// Exact sequential greedy (max uncovered coverage each step) — the
+// approximation-quality reference.
+std::vector<vertex_id> exact_greedy(const graph& g, vertex_id num_sets) {
+  std::vector<uint8_t> covered(g.num_vertices(), 0);
+  std::vector<vertex_id> chosen;
+  while (true) {
+    vertex_id best = kNoVertex;
+    size_t best_cov = 0;
+    for (vertex_id s = 0; s < num_sets; s++) {
+      size_t cov = 0;
+      for (vertex_id e : g.out_neighbors(s))
+        if (!covered[e]) cov++;
+      if (cov > best_cov) {
+        best_cov = cov;
+        best = s;
+      }
+    }
+    if (best == kNoVertex) break;
+    chosen.push_back(best);
+    for (vertex_id e : g.out_neighbors(best)) covered[e] = 1;
+  }
+  return chosen;
+}
+
+void expect_valid_cover(const graph& g, vertex_id num_sets,
+                        const apps::set_cover_result& result) {
+  // Every element with at least one containing set must be covered by some
+  // chosen set.
+  std::vector<uint8_t> chosen(num_sets, 0);
+  for (vertex_id s : result.chosen_sets) {
+    ASSERT_LT(s, num_sets);
+    ASSERT_FALSE(chosen[s]) << "set " << s << " chosen twice";
+    chosen[s] = 1;
+  }
+  size_t covered_count = 0;
+  for (vertex_id e = num_sets; e < g.num_vertices(); e++) {
+    if (g.out_degree(e) == 0) continue;  // uncoverable
+    bool covered = false;
+    for (vertex_id s : g.out_neighbors(e)) covered |= (chosen[s] != 0);
+    ASSERT_TRUE(covered) << "element " << e << " uncovered";
+    covered_count++;
+  }
+  EXPECT_EQ(result.covered_elements, covered_count);
+}
+
+}  // namespace
+
+class SetCoverSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SetCoverSeeds, ProducesValidCover) {
+  uint64_t seed = GetParam();
+  auto g = apps::random_set_cover_instance(100, 2000, 3, seed);
+  auto result = apps::approximate_set_cover(g, 100);
+  expect_valid_cover(g, 100, result);
+}
+
+TEST_P(SetCoverSeeds, CloseToExactGreedy) {
+  uint64_t seed = GetParam();
+  auto g = apps::random_set_cover_instance(80, 1000, 2, seed + 10);
+  auto result = apps::approximate_set_cover(g, 80, 0.01);
+  auto greedy = exact_greedy(g, 80);
+  // With eps=0.01 the bucketed choices are near-exact greedy choices; the
+  // cover size stays within a small factor (typically equal or ±1).
+  EXPECT_LE(result.chosen_sets.size(),
+            greedy.size() + greedy.size() / 4 + 2);
+}
+
+TEST_P(SetCoverSeeds, DeterministicAcrossRuns) {
+  uint64_t seed = GetParam();
+  auto g = apps::random_set_cover_instance(60, 800, 3, seed + 20);
+  auto a = apps::approximate_set_cover(g, 60);
+  auto b = apps::approximate_set_cover(g, 60);
+  EXPECT_EQ(a.chosen_sets, b.chosen_sets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetCoverSeeds, ::testing::Values(1, 2, 3, 4));
+
+TEST(SetCover, HandBuiltInstance) {
+  // Sets: 0 covers {e0,e1,e2}, 1 covers {e0}, 2 covers {e3}. (e = 3 + i)
+  std::vector<edge> edges = {{0, 3}, {0, 4}, {0, 5}, {1, 3}, {2, 6}};
+  auto g = graph::from_edges(7, edges, {.symmetrize = true});
+  auto result = apps::approximate_set_cover(g, 3);
+  // Greedy picks set 0 (coverage 3) then set 2 (coverage 1); set 1 adds
+  // nothing.
+  EXPECT_EQ(result.chosen_sets, (std::vector<vertex_id>{0, 2}));
+  EXPECT_EQ(result.covered_elements, 4u);
+}
+
+TEST(SetCover, UncoverableElementsAreTolerated) {
+  // Element 4 belongs to no set.
+  std::vector<edge> edges = {{0, 3}};
+  auto g = graph::from_edges(5, edges, {.symmetrize = true});
+  auto result = apps::approximate_set_cover(g, 2);
+  EXPECT_EQ(result.covered_elements, 1u);
+  EXPECT_EQ(result.chosen_sets, (std::vector<vertex_id>{0}));
+}
+
+TEST(SetCover, ValidatesInput) {
+  auto g = apps::random_set_cover_instance(10, 50, 2, 1);
+  EXPECT_THROW(apps::approximate_set_cover(g, 100), std::invalid_argument);
+  EXPECT_THROW(apps::approximate_set_cover(g, 10, 0.0), std::invalid_argument);
+  // Non-bipartite: an edge between two "sets".
+  auto bad = graph::from_edges(4, {{0, 1}, {0, 3}}, {.symmetrize = true});
+  EXPECT_THROW(apps::approximate_set_cover(bad, 2), std::invalid_argument);
+  // Directed graph.
+  auto dir = gen::rmat_digraph(6, 1 << 6, 1);
+  EXPECT_THROW(apps::approximate_set_cover(dir, 2), std::invalid_argument);
+}
+
+TEST(SetCover, LargerEpsilonCoarserButStillValid) {
+  auto g = apps::random_set_cover_instance(120, 3000, 3, 5);
+  auto fine = apps::approximate_set_cover(g, 120, 0.01);
+  auto coarse = apps::approximate_set_cover(g, 120, 0.5);
+  expect_valid_cover(g, 120, fine);
+  expect_valid_cover(g, 120, coarse);
+  // Coarser discretization pops fewer buckets.
+  EXPECT_LE(coarse.num_buckets_processed, fine.num_buckets_processed);
+}
+
+// --- decreasing bucket order (direct) ----------------------------------------
+
+TEST(BucketDecreasing, ExtractsInDecreasingOrder) {
+  std::vector<uint64_t> bucket_of(100);
+  for (size_t i = 0; i < 100; i++) bucket_of[i] = i % 10;
+  auto b = make_buckets(
+      100, [&](uint32_t v) { return bucket_of[v]; }, 4,
+      bucket_order::decreasing);
+  uint64_t prev = ~uint64_t{0};
+  size_t total = 0;
+  while (auto popped = b.next_bucket()) {
+    EXPECT_LT(popped->bucket, prev);
+    prev = popped->bucket;
+    EXPECT_EQ(popped->ids.size(), 10u);
+    for (uint32_t v : popped->ids) bucket_of[v] = kNullBucket;
+    total += popped->ids.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(BucketDecreasing, DemotionsAreReturnedLater) {
+  std::vector<uint64_t> bucket_of = {9, 9, 4};
+  auto b = make_buckets(
+      3, [&](uint32_t v) { return bucket_of[v]; }, 4,
+      bucket_order::decreasing);
+  auto p1 = b.next_bucket();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->bucket, 9u);
+  EXPECT_EQ(p1->ids, (std::vector<uint32_t>{0, 1}));
+  // Demote id 1 to bucket 2 instead of consuming it.
+  bucket_of[0] = kNullBucket;
+  bucket_of[1] = 2;
+  b.update_buckets({1});
+  auto p2 = b.next_bucket();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->bucket, 4u);
+  auto p3 = b.next_bucket();
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(p3->bucket, 2u);
+  EXPECT_EQ(p3->ids, (std::vector<uint32_t>{1}));
+}
+
+TEST(BucketDecreasing, OverflowAdvancesDownward) {
+  // Window of 2; buckets spread far apart.
+  std::vector<uint64_t> bucket_of = {1000, 500, 2};
+  auto b = make_buckets(
+      3, [&](uint32_t v) { return bucket_of[v]; }, 2,
+      bucket_order::decreasing);
+  auto p1 = b.next_bucket();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->bucket, 1000u);
+  bucket_of[0] = kNullBucket;
+  auto p2 = b.next_bucket();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->bucket, 500u);
+  bucket_of[1] = kNullBucket;
+  auto p3 = b.next_bucket();
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(p3->bucket, 2u);
+  bucket_of[2] = kNullBucket;
+  EXPECT_FALSE(b.next_bucket().has_value());
+}

@@ -1,0 +1,157 @@
+// Tests for weighted shortest paths: Bellman-Ford (paper §4.6) and the
+// Δ-stepping extension, validated against serial Dijkstra / Bellman-Ford
+// across graph families, seeds, and delta values; negative-weight and
+// negative-cycle handling.
+#include <gtest/gtest.h>
+
+#include "apps/bellman_ford.h"
+#include "apps/delta_stepping.h"
+#include "baseline/serial.h"
+#include "graph/generators.h"
+
+using namespace ligra;
+using apps::kInfiniteDistance;
+
+namespace {
+
+wgraph random_weighted(int scale, uint64_t seed, int32_t lo = 1,
+                       int32_t hi = 20) {
+  auto g = gen::rmat_graph(scale, edge_id{8} << scale, seed);
+  return gen::add_random_weights(g, lo, hi, seed * 3 + 1);
+}
+
+}  // namespace
+
+class SsspSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SsspSeeds, BellmanFordMatchesDijkstra) {
+  uint64_t seed = GetParam();
+  auto g = random_weighted(9, seed);
+  auto src = static_cast<vertex_id>(seed % g.num_vertices());
+  EXPECT_EQ(apps::bellman_ford(g, src).distances, baseline::dijkstra(g, src));
+}
+
+TEST_P(SsspSeeds, DeltaSteppingMatchesDijkstra) {
+  uint64_t seed = GetParam();
+  auto g = random_weighted(9, seed + 40);
+  for (int64_t delta : {1, 5, 100}) {
+    auto result = apps::delta_stepping(g, 0, delta);
+    EXPECT_EQ(result.distances, baseline::dijkstra(g, 0)) << "delta " << delta;
+  }
+}
+
+TEST_P(SsspSeeds, BellmanFordHandlesNegativeWeights) {
+  uint64_t seed = GetParam();
+  // Directed acyclic-ish: use a directed rMat with weights in [-3, 20];
+  // negative cycles possible, in which case both must agree on detection.
+  auto base = gen::rmat_digraph(8, 1 << 10, seed + 77);
+  auto g = gen::add_random_weights(base, -3, 20, seed);
+  bool ser_cycle = false;
+  auto ser = baseline::bellman_ford(g, 0, &ser_cycle);
+  auto par = apps::bellman_ford(g, 0);
+  EXPECT_EQ(par.negative_cycle, ser_cycle);
+  if (!ser_cycle) EXPECT_EQ(par.distances, ser);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspSeeds, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BellmanFord, HandBuiltWeightedPath) {
+  // 0 -(4)- 1 -(2)- 2, plus direct 0 -(7)- 2: shortest 0->2 is 6.
+  std::vector<weighted_edge> edges = {{0, 1, 4}, {1, 2, 2}, {0, 2, 7}};
+  auto g = wgraph::from_edges(3, edges, {.symmetrize = true});
+  auto result = apps::bellman_ford(g, 0);
+  EXPECT_EQ(result.distances[0], 0);
+  EXPECT_EQ(result.distances[1], 4);
+  EXPECT_EQ(result.distances[2], 6);
+  EXPECT_FALSE(result.negative_cycle);
+}
+
+TEST(BellmanFord, UnreachableVerticesStayInfinite) {
+  std::vector<weighted_edge> edges = {{0, 1, 1}};
+  auto g = wgraph::from_edges(4, edges, {});
+  auto result = apps::bellman_ford(g, 0);
+  EXPECT_EQ(result.distances[1], 1);
+  EXPECT_EQ(result.distances[2], kInfiniteDistance);
+  EXPECT_EQ(result.distances[3], kInfiniteDistance);
+}
+
+TEST(BellmanFord, NegativeEdgeNoCycle) {
+  // 0 ->(5) 1 ->(-3) 2: dist 2 = 2 (directed, no cycle).
+  std::vector<weighted_edge> edges = {{0, 1, 5}, {1, 2, -3}};
+  auto g = wgraph::from_edges(3, edges, {});
+  auto result = apps::bellman_ford(g, 0);
+  EXPECT_FALSE(result.negative_cycle);
+  EXPECT_EQ(result.distances[2], 2);
+}
+
+TEST(BellmanFord, DetectsNegativeCycle) {
+  // 0 -> 1 -> 2 -> 0 with total weight -1.
+  std::vector<weighted_edge> edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, -3}};
+  auto g = wgraph::from_edges(3, edges, {});
+  auto result = apps::bellman_ford(g, 0);
+  EXPECT_TRUE(result.negative_cycle);
+}
+
+TEST(BellmanFord, ZeroWeightEdges) {
+  std::vector<weighted_edge> edges = {{0, 1, 0}, {1, 2, 0}};
+  auto g = wgraph::from_edges(3, edges, {.symmetrize = true});
+  auto result = apps::bellman_ford(g, 0);
+  EXPECT_EQ(result.distances[2], 0);
+  EXPECT_FALSE(result.negative_cycle);
+}
+
+TEST(BellmanFord, ForcedStrategiesAgree) {
+  auto g = random_weighted(9, 13);
+  auto expect = baseline::dijkstra(g, 0);
+  for (traversal t : {traversal::sparse, traversal::dense,
+                      traversal::dense_forward}) {
+    edge_map_options opts;
+    opts.strategy = t;
+    EXPECT_EQ(apps::bellman_ford(g, 0, opts).distances, expect)
+        << traversal_name(t);
+  }
+}
+
+TEST(BellmanFord, OutOfRangeSourceThrows) {
+  auto g = random_weighted(6, 1);
+  EXPECT_THROW(apps::bellman_ford(g, g.num_vertices()), std::invalid_argument);
+}
+
+TEST(DeltaStepping, RejectsNegativeWeightsAndBadDelta) {
+  std::vector<weighted_edge> edges = {{0, 1, -1}};
+  auto g = wgraph::from_edges(2, edges, {});
+  EXPECT_THROW(apps::delta_stepping(g, 0, 1), std::invalid_argument);
+  auto ok = wgraph::from_edges(2, {{0, 1, 1}}, {});
+  EXPECT_THROW(apps::delta_stepping(ok, 0, 0), std::invalid_argument);
+  EXPECT_THROW(apps::delta_stepping(ok, 5, 1), std::invalid_argument);
+}
+
+TEST(DeltaStepping, GridGraphAllDeltas) {
+  auto g = gen::add_random_weights(gen::grid3d_graph(6), 1, 9, 2);
+  auto expect = baseline::dijkstra(g, 0);
+  for (int64_t delta : {1, 3, 10, 1000}) {
+    EXPECT_EQ(apps::delta_stepping(g, 0, delta).distances, expect)
+        << "delta " << delta;
+  }
+}
+
+TEST(DeltaStepping, LargeDeltaDegeneratesToFewBuckets) {
+  auto g = random_weighted(8, 9);
+  auto huge = apps::delta_stepping(g, 0, 1 << 30);
+  auto fine = apps::delta_stepping(g, 0, 1);
+  EXPECT_EQ(huge.distances, fine.distances);
+  EXPECT_LE(huge.num_buckets_processed, fine.num_buckets_processed);
+}
+
+TEST(WeightedBfs, IsExactlyUnitDeltaStepping) {
+  auto g = random_weighted(8, 21, 1, 4);  // small integer weights: wBFS regime
+  auto wbfs = apps::weighted_bfs(g, 0);
+  EXPECT_EQ(wbfs.distances, baseline::dijkstra(g, 0));
+  EXPECT_EQ(wbfs.distances, apps::delta_stepping(g, 0, 1).distances);
+}
+
+TEST(DeltaStepping, DisconnectedStaysInfinite) {
+  auto g = wgraph::from_edges(3, {{0, 1, 2}}, {.symmetrize = true});
+  auto result = apps::delta_stepping(g, 0, 1);
+  EXPECT_EQ(result.distances[2], kInfiniteDistance);
+}

@@ -1,0 +1,71 @@
+// Tests for exact triangle counting (ICDE'15 extension): closed-form
+// counts on known topologies and agreement with the serial counter on
+// random graphs.
+#include "apps/triangle.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/serial.h"
+#include "graph/generators.h"
+
+using namespace ligra;
+
+TEST(Triangle, SingleTriangle) {
+  auto g = graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}}, {.symmetrize = true});
+  EXPECT_EQ(apps::triangle_count(g).num_triangles, 1u);
+}
+
+TEST(Triangle, CompleteGraphClosedForm) {
+  // K_n has C(n,3) triangles.
+  for (vertex_id n : {4u, 5u, 8u, 12u}) {
+    auto g = gen::complete_graph(n);
+    uint64_t expect = static_cast<uint64_t>(n) * (n - 1) * (n - 2) / 6;
+    EXPECT_EQ(apps::triangle_count(g).num_triangles, expect) << "n=" << n;
+  }
+}
+
+TEST(Triangle, TreesAndCyclesHaveNone) {
+  EXPECT_EQ(apps::triangle_count(gen::binary_tree_graph(31)).num_triangles, 0u);
+  EXPECT_EQ(apps::triangle_count(gen::path_graph(100)).num_triangles, 0u);
+  EXPECT_EQ(apps::triangle_count(gen::cycle_graph(100)).num_triangles, 0u);
+  EXPECT_EQ(apps::triangle_count(gen::star_graph(50)).num_triangles, 0u);
+}
+
+TEST(Triangle, TriangleCycleHasOne) {
+  EXPECT_EQ(apps::triangle_count(gen::cycle_graph(3)).num_triangles, 1u);
+}
+
+class TriangleSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TriangleSeeds, MatchesSerialOnRmat) {
+  uint64_t seed = GetParam();
+  auto g = gen::rmat_graph(9, 1 << 12, seed);
+  EXPECT_EQ(apps::triangle_count(g).num_triangles,
+            baseline::triangle_count(g));
+}
+
+TEST_P(TriangleSeeds, MatchesSerialOnRandomLocal) {
+  uint64_t seed = GetParam();
+  auto g = gen::random_local_graph(2000, 8, seed);
+  EXPECT_EQ(apps::triangle_count(g).num_triangles,
+            baseline::triangle_count(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleSeeds, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Triangle, RequiresSymmetric) {
+  auto g = gen::rmat_digraph(8, 1 << 9, 1);
+  EXPECT_THROW(apps::triangle_count(g), std::invalid_argument);
+}
+
+TEST(Triangle, EmptyAndTinyGraphs) {
+  auto g0 = graph::from_edges(0, {}, {.symmetrize = true});
+  EXPECT_EQ(apps::triangle_count(g0).num_triangles, 0u);
+  auto g2 = gen::path_graph(2);
+  EXPECT_EQ(apps::triangle_count(g2).num_triangles, 0u);
+}
+
+TEST(Triangle, GridHasNoTriangles) {
+  // Bipartite-ish torus (even side): no odd cycles of length 3.
+  EXPECT_EQ(apps::triangle_count(gen::grid3d_graph(6)).num_triangles, 0u);
+}

@@ -1,0 +1,130 @@
+// Tests for vertex_subset (DESIGN.md S7): construction, sparse<->dense
+// conversion fidelity, membership, iteration, and degree sums.
+#include "ligra/vertex_subset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+using namespace ligra;
+
+TEST(VertexSubset, EmptySubset) {
+  vertex_subset vs(10);
+  EXPECT_EQ(vs.universe_size(), 10u);
+  EXPECT_EQ(vs.size(), 0u);
+  EXPECT_TRUE(vs.empty());
+  EXPECT_FALSE(vs.contains(3));
+}
+
+TEST(VertexSubset, Singleton) {
+  vertex_subset vs(10, vertex_id{7});
+  EXPECT_EQ(vs.size(), 1u);
+  EXPECT_TRUE(vs.contains(7));
+  EXPECT_FALSE(vs.contains(6));
+  EXPECT_THROW(vertex_subset(10, vertex_id{10}), std::invalid_argument);
+}
+
+TEST(VertexSubset, FromIdList) {
+  vertex_subset vs(10, std::vector<vertex_id>{2, 5, 9});
+  EXPECT_EQ(vs.size(), 3u);
+  EXPECT_FALSE(vs.is_dense());
+  EXPECT_TRUE(vs.contains(2));
+  EXPECT_TRUE(vs.contains(9));
+  EXPECT_FALSE(vs.contains(0));
+}
+
+TEST(VertexSubset, FromDense) {
+  std::vector<uint8_t> flags = {1, 0, 0, 1, 1};
+  auto vs = vertex_subset::from_dense(5, flags);
+  EXPECT_EQ(vs.size(), 3u);
+  EXPECT_TRUE(vs.is_dense());
+  EXPECT_TRUE(vs.contains(0));
+  EXPECT_FALSE(vs.contains(1));
+  EXPECT_THROW(vertex_subset::from_dense(4, flags), std::invalid_argument);
+}
+
+TEST(VertexSubset, AllSubset) {
+  auto vs = vertex_subset::all(6);
+  EXPECT_EQ(vs.size(), 6u);
+  for (vertex_id v = 0; v < 6; v++) EXPECT_TRUE(vs.contains(v));
+}
+
+TEST(VertexSubset, SparseToDenseAndBack) {
+  vertex_subset vs(100, std::vector<vertex_id>{10, 20, 30});
+  vs.to_dense();
+  EXPECT_TRUE(vs.is_dense());
+  EXPECT_EQ(vs.size(), 3u);
+  EXPECT_TRUE(vs.contains(20));
+  vs.to_sparse();
+  EXPECT_FALSE(vs.is_dense());
+  EXPECT_EQ(vs.size(), 3u);
+  auto ids = vs.to_sorted_vector();
+  EXPECT_EQ(ids, (std::vector<vertex_id>{10, 20, 30}));
+}
+
+TEST(VertexSubset, ConversionsAreIdempotent) {
+  vertex_subset vs(50, std::vector<vertex_id>{1, 2, 3});
+  vs.to_sparse();  // already sparse: no-op
+  EXPECT_EQ(vs.size(), 3u);
+  vs.to_dense();
+  vs.to_dense();  // already dense: no-op
+  EXPECT_EQ(vs.size(), 3u);
+}
+
+TEST(VertexSubset, ForEachVisitsExactlyMembers) {
+  const vertex_id n = 1000;
+  std::vector<vertex_id> ids;
+  for (vertex_id v = 0; v < n; v += 7) ids.push_back(v);
+  vertex_subset vs(n, ids);
+
+  for (int pass = 0; pass < 2; pass++) {
+    std::vector<std::atomic<int>> hits(n);
+    vs.for_each([&](vertex_id v) { hits[v].fetch_add(1); });
+    for (vertex_id v = 0; v < n; v++) {
+      ASSERT_EQ(hits[v].load(), v % 7 == 0 ? 1 : 0) << "vertex " << v;
+    }
+    vs.to_dense();  // second pass exercises the dense path
+  }
+}
+
+TEST(VertexSubset, ToSortedVectorFromUnsortedSparse) {
+  vertex_subset vs(10, std::vector<vertex_id>{9, 1, 5});
+  EXPECT_EQ(vs.to_sorted_vector(), (std::vector<vertex_id>{1, 5, 9}));
+}
+
+TEST(VertexSubset, OutDegreeSumMatchesManualSum) {
+  auto g = gen::rmat_graph(10, 1 << 12, 3);
+  std::vector<vertex_id> ids = {0, 5, 100, 500};
+  vertex_subset vs(g.num_vertices(), ids);
+  edge_id expect = 0;
+  for (vertex_id v : ids) expect += g.out_degree(v);
+  EXPECT_EQ(vs.out_degree_sum(g), expect);
+  vs.to_dense();
+  EXPECT_EQ(vs.out_degree_sum(g), expect);
+}
+
+TEST(VertexSubset, LargeRandomConversionFidelity) {
+  const vertex_id n = 100000;
+  std::vector<uint8_t> flags(n, 0);
+  for (vertex_id v = 0; v < n; v++) flags[v] = (hash64(v) % 5 == 0) ? 1 : 0;
+  auto vs = vertex_subset::from_dense(n, flags);
+  size_t m = vs.size();
+  vs.to_sparse();
+  EXPECT_EQ(vs.size(), m);
+  vs.to_dense();
+  EXPECT_EQ(vs.size(), m);
+  const auto& back = vs.dense();
+  for (vertex_id v = 0; v < n; v++) ASSERT_EQ(back[v], flags[v]);
+}
+
+TEST(VertexSubset, EmptyUniverse) {
+  vertex_subset vs(0);
+  EXPECT_TRUE(vs.empty());
+  vs.to_dense();
+  vs.to_sparse();
+  EXPECT_EQ(vs.size(), 0u);
+}
