@@ -1,0 +1,163 @@
+// Engine throughput bench (E1): sustained mixed-query throughput through
+// the admission-controlled executor over resident graphs.
+//
+// Axes:
+//   * cold vs warm cache (the repeated-query amortization the engine adds),
+//   * pool-injected query bodies (use_pool) vs sequential dispatcher
+//     execution,
+//   * concurrency limit sweep.
+// The printed table gives the serving-shaped summary (p50/p99/hit rate);
+// the google-benchmark timings below it give stable regression numbers.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace ligra;
+
+namespace {
+
+engine::registry& shared_registry() {
+  static engine::registry* reg = [] {
+    auto* r = new engine::registry();
+    r->add("rmat", gen::rmat_graph(/*scale=*/13, /*num_edges=*/1 << 17));
+    r->add("grid", gen::add_random_weights(gen::grid3d_graph(/*side=*/16),
+                                           1, 16));
+    return r;
+  }();
+  return *reg;
+}
+
+// Deterministic mixed workload with parameter repeats (pool of n/64
+// distinct vertices) so warm replays exercise the cache.
+std::vector<engine::query_request> workload(size_t count) {
+  auto infos = shared_registry().list();
+  std::sort(infos.begin(), infos.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::vector<engine::query_request> reqs;
+  reqs.reserve(count);
+  rng r(7);
+  for (size_t i = 0; i < count; i++) {
+    const auto& info = infos[r[3 * i] % infos.size()];
+    vertex_id pool = std::max<vertex_id>(1, info.num_vertices / 64);
+    engine::query_request q;
+    q.graph = info.name;
+    q.source = static_cast<vertex_id>(r[3 * i + 1] % pool);
+    q.target = static_cast<vertex_id>(r[3 * i + 2] % pool);
+    switch (r[3 * i + 1] % 8) {
+      case 0: case 1: case 2:
+        q.kind = engine::query_kind::bfs_distance;
+        break;
+      case 3: case 4:
+        q.kind = info.weighted ? engine::query_kind::sssp_distance
+                               : engine::query_kind::bfs_distance;
+        break;
+      case 5: case 6:
+        q.kind = engine::query_kind::component_id;
+        break;
+      default:
+        q.kind = engine::query_kind::coreness;
+        break;
+    }
+    reqs.push_back(std::move(q));
+  }
+  return reqs;
+}
+
+double replay_seconds(engine::query_executor& ex,
+                      const std::vector<engine::query_request>& reqs) {
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<engine::query_result>> futs;
+  futs.reserve(reqs.size());
+  for (const auto& q : reqs) {
+    while (true) {
+      try {
+        futs.push_back(ex.submit(q));
+        break;
+      } catch (const engine::rejected_error&) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  }
+  for (auto& f : futs) f.get();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_summary() {
+  std::printf("\n=== E1: engine throughput — 1000 mixed queries, 2 resident "
+              "graphs ===\n");
+  table_printer t({"Config", "cold req/s", "warm req/s", "warm hit rate"});
+  auto reqs = workload(1000);
+  for (bool use_pool : {true, false}) {
+    engine::executor_options opts;
+    opts.use_pool = use_pool;
+    engine::query_executor ex(shared_registry(), opts);
+    double cold = replay_seconds(ex, reqs);
+    auto cold_hits = ex.stats().cache.hits;
+    double warm = replay_seconds(ex, reqs);
+    auto snap = ex.stats();
+    char hit[32];
+    std::snprintf(hit, sizeof(hit), "%.1f%%",
+                  100.0 * static_cast<double>(snap.cache.hits - cold_hits) /
+                      static_cast<double>(reqs.size()));
+    t.add_row({use_pool ? "pool-injected" : "sequential-dispatch",
+               format_double(static_cast<double>(reqs.size()) / cold, 0),
+               format_double(static_cast<double>(reqs.size()) / warm, 0),
+               hit});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void BM_EngineThroughput(benchmark::State& state) {
+  const size_t batch = 256;
+  engine::executor_options opts;
+  opts.max_concurrency = static_cast<size_t>(state.range(0));
+  opts.cache_capacity = static_cast<size_t>(state.range(1));
+  auto reqs = workload(batch);
+  engine::query_executor ex(shared_registry(), opts);
+  for (auto _ : state) {
+    replay_seconds(ex, reqs);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch));
+  auto snap = ex.stats();
+  state.counters["hit_rate"] = 100.0 * snap.cache.hit_rate();
+}
+BENCHMARK(BM_EngineThroughput)
+    ->ArgsProduct({{1, 2, 4}, {0, 4096}})
+    ->ArgNames({"conc", "cache"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CacheHitLatency(benchmark::State& state) {
+  engine::query_executor ex(shared_registry(), {});
+  engine::query_request q;
+  q.graph = "rmat";
+  q.kind = engine::query_kind::bfs_distance;
+  q.source = 0;
+  q.target = 1;
+  ex.run(q);  // populate
+  for (auto _ : state) {
+    auto r = ex.run(q);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheHitLatency);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,393 @@
+// Query server driver for the concurrent engine (docs/ENGINE.md): holds
+// graphs resident in a registry and replays query workloads through the
+// admission-controlled executor, reporting p50/p99 latency, throughput,
+// cache hit rate, and rejection counts.
+//
+// Modes:
+//   ./examples/query_server                       # built-in demo workload
+//   ./examples/query_server -n 5000 -conc 8       # bigger synthetic replay
+//   ./examples/query_server -requests reqs.txt -load social=g.adj,sym
+//   ./examples/query_server -repl -load road=g.bin,weighted
+//
+// Request-file / REPL line format (one request per line, '#' comments):
+//   <graph> bfs <source> <target>
+//   <graph> sssp <source> <target>
+//   <graph> pagerank <k>
+//   <graph> cc <vertex>
+//   <graph> kcore <vertex>
+//   <graph> triangles
+// REPL extras: graphs | stats | clear-cache | help | quit
+//
+// Every replay runs twice — cold (empty cache) and warm (same requests
+// again) — so the cache's effect on p50 is visible directly.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+using namespace ligra;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double micros_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::micro>(clock_type::now() - t0)
+      .count();
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+// Parses "name=path[,weighted][,sym][,compress]" and loads it.
+void load_spec(engine::registry& reg, const std::string& spec) {
+  auto eq = spec.find('=');
+  if (eq == std::string::npos)
+    throw std::runtime_error("bad -load spec (want name=path[,opts]): " + spec);
+  std::string name = spec.substr(0, eq);
+  std::string rest = spec.substr(eq + 1);
+  engine::load_options opts;
+  std::string path;
+  std::stringstream ss(rest);
+  std::string part;
+  bool first = true;
+  while (std::getline(ss, part, ',')) {
+    if (first) {
+      path = part;
+      first = false;
+    } else if (part == "weighted") {
+      opts.weighted = true;
+    } else if (part == "sym" || part == "symmetric") {
+      opts.symmetric = true;
+    } else if (part == "compress") {
+      opts.compress = true;
+    } else {
+      throw std::runtime_error("unknown -load option: " + part);
+    }
+  }
+  auto h = reg.load(name, path, opts);
+  std::printf("loaded '%s' from %s: %u vertices, %llu edges%s%s\n",
+              name.c_str(), path.c_str(), h->structure().num_vertices(),
+              static_cast<unsigned long long>(h->structure().num_edges()),
+              h->weighted() ? ", weighted" : "",
+              h->compressed() ? ", compressed replica" : "");
+}
+
+// Parses one request line; returns false on blank/comment lines.
+bool parse_request(const std::string& line, engine::query_request& out) {
+  std::stringstream ss(line);
+  std::string graph_name, kind;
+  if (!(ss >> graph_name)) return false;
+  if (graph_name[0] == '#') return false;
+  if (!(ss >> kind)) throw std::runtime_error("missing query kind: " + line);
+  out = {};
+  out.graph = graph_name;
+  uint64_t a = 0, b = 0;
+  if (kind == "bfs" || kind == "sssp") {
+    if (!(ss >> a >> b))
+      throw std::runtime_error("want '<graph> " + kind + " <src> <dst>': " + line);
+    out.kind = kind == "bfs" ? engine::query_kind::bfs_distance
+                             : engine::query_kind::sssp_distance;
+    out.source = static_cast<vertex_id>(a);
+    out.target = static_cast<vertex_id>(b);
+  } else if (kind == "pagerank") {
+    if (!(ss >> a)) a = 10;
+    out.kind = engine::query_kind::pagerank_topk;
+    out.k = static_cast<uint32_t>(a);
+  } else if (kind == "cc" || kind == "kcore") {
+    if (!(ss >> a))
+      throw std::runtime_error("want '<graph> " + kind + " <vertex>': " + line);
+    out.kind = kind == "cc" ? engine::query_kind::component_id
+                            : engine::query_kind::coreness;
+    out.source = static_cast<vertex_id>(a);
+  } else if (kind == "triangles") {
+    out.kind = engine::query_kind::triangle_count;
+  } else {
+    throw std::runtime_error("unknown query kind '" + kind + "' in: " + line);
+  }
+  return true;
+}
+
+struct replay_report {
+  size_t completed = 0;
+  size_t failed = 0;
+  size_t retries = 0;  // submissions re-attempted after admission rejection
+  double wall_seconds = 0;
+  double p50 = 0, p99 = 0;  // end-to-end latency, microseconds
+};
+
+// Replays requests through the executor, retrying rejected submissions
+// (bounded backpressure -> the client waits, nothing is dropped). Latency
+// is end-to-end: submission attempt to future resolution.
+replay_report replay(engine::query_executor& ex,
+                     const std::vector<engine::query_request>& requests) {
+  replay_report rep;
+  std::vector<std::future<engine::query_result>> futures;
+  std::vector<clock_type::time_point> starts;
+  futures.reserve(requests.size());
+  starts.reserve(requests.size());
+  auto wall0 = clock_type::now();
+  for (const auto& req : requests) {
+    auto t0 = clock_type::now();
+    while (true) {
+      try {
+        futures.push_back(ex.submit(req));
+        starts.push_back(t0);
+        break;
+      } catch (const engine::rejected_error&) {
+        rep.retries++;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  }
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  for (size_t i = 0; i < futures.size(); i++) {
+    try {
+      futures[i].get();
+      latencies.push_back(micros_since(starts[i]));
+      rep.completed++;
+    } catch (const std::exception& e) {
+      rep.failed++;
+      std::fprintf(stderr, "request %zu failed: %s\n", i, e.what());
+    }
+  }
+  rep.wall_seconds = micros_since(wall0) / 1e6;
+  rep.p50 = percentile(latencies, 0.50);
+  rep.p99 = percentile(latencies, 0.99);
+  return rep;
+}
+
+void print_report(const char* label, const replay_report& r,
+                  const engine::engine_stats_snapshot& snap) {
+  std::printf(
+      "%-6s %6zu ok %3zu failed | %8.2f req/s | p50 %9.1f us | p99 %9.1f us "
+      "| cache %llu hits / %llu misses (%.1f%%) | rejected-retries %zu\n",
+      label, r.completed, r.failed,
+      r.wall_seconds > 0 ? static_cast<double>(r.completed) / r.wall_seconds : 0.0,
+      r.p50, r.p99, static_cast<unsigned long long>(snap.cache.hits),
+      static_cast<unsigned long long>(snap.cache.misses),
+      100.0 * snap.cache.hit_rate(), r.retries);
+}
+
+// Mixed synthetic workload over the registered graphs: mostly point
+// lookups (bfs/cc/kcore/sssp) with some heavier pagerank/triangle queries,
+// drawn deterministically with repeated parameters so a warm replay hits.
+std::vector<engine::query_request> synth_workload(engine::registry& reg,
+                                                  size_t count) {
+  auto infos = reg.list();
+  std::vector<engine::query_request> reqs;
+  reqs.reserve(count);
+  rng r(42);
+  for (size_t i = 0; i < count; i++) {
+    const auto& info = infos[r[2 * i] % infos.size()];
+    vertex_id n = info.num_vertices;
+    // Draw vertices from a small pool (n/64) so the workload has repeats —
+    // the regime where a result cache earns its keep.
+    vertex_id pool = std::max<vertex_id>(1, n / 64);
+    auto pick = [&](uint64_t salt) {
+      return static_cast<vertex_id>(hash64(r[2 * i + 1] ^ salt) % pool);
+    };
+    engine::query_request q;
+    q.graph = info.name;
+    switch (r[2 * i + 1] % 10) {
+      case 0: case 1: case 2:
+        q.kind = engine::query_kind::bfs_distance;
+        q.source = pick(1);
+        q.target = pick(2);
+        break;
+      case 3: case 4:
+        q.kind = info.weighted ? engine::query_kind::sssp_distance
+                               : engine::query_kind::bfs_distance;
+        q.source = pick(3);
+        q.target = pick(4);
+        break;
+      case 5: case 6:
+        q.kind = engine::query_kind::component_id;
+        q.source = pick(5);
+        break;
+      case 7: case 8:
+        q.kind = engine::query_kind::coreness;
+        q.source = pick(6);
+        break;
+      default:
+        q.kind = engine::query_kind::pagerank_topk;
+        q.k = 5 + static_cast<uint32_t>(r[2 * i + 1] % 3) * 5;
+        break;
+    }
+    reqs.push_back(std::move(q));
+  }
+  return reqs;
+}
+
+void print_stats(engine::query_executor& ex) {
+  // Futures resolve just before the dispatcher clears its running count;
+  // settle so the snapshot below reads 0 running after a drained replay.
+  ex.wait_idle();
+  auto s = ex.stats();
+  std::printf("submitted %llu, completed %llu, failed %llu, rejected %llu; "
+              "queue %zu, running %zu\n",
+              static_cast<unsigned long long>(s.submitted),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.failed),
+              static_cast<unsigned long long>(s.rejected), s.queue_depth,
+              s.running);
+  std::printf("cache: %llu hits, %llu misses, %llu evictions (hit rate %.1f%%)\n",
+              static_cast<unsigned long long>(s.cache.hits),
+              static_cast<unsigned long long>(s.cache.misses),
+              static_cast<unsigned long long>(s.cache.evictions),
+              100.0 * s.cache.hit_rate());
+  for (size_t i = 0; i < engine::kNumQueryKinds; i++) {
+    const auto& k = s.per_kind[i];
+    if (k.count == 0) continue;
+    std::printf("  %-10s %6llu executed, mean %9.1f us, max %9.1f us\n",
+                engine::query_kind_name(static_cast<engine::query_kind>(i)),
+                static_cast<unsigned long long>(k.count), k.mean_micros(),
+                static_cast<double>(k.max_micros));
+  }
+}
+
+void repl(engine::query_executor& ex) {
+  std::printf("query> "); std::fflush(stdout);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    try {
+      if (line == "quit" || line == "exit") break;
+      if (line == "help") {
+        std::printf("  <graph> bfs <s> <t> | sssp <s> <t> | pagerank <k> | "
+                    "cc <v> | kcore <v> | triangles\n"
+                    "  graphs | stats | clear-cache | quit\n");
+      } else if (line == "graphs") {
+        for (const auto& g : ex.graphs().list())
+          std::printf("  %-12s epoch %llu, %u vertices, %llu edges, %.1f MB%s\n",
+                      g.name.c_str(), static_cast<unsigned long long>(g.epoch),
+                      g.num_vertices,
+                      static_cast<unsigned long long>(g.num_edges),
+                      static_cast<double>(g.memory_bytes) / 1e6,
+                      g.weighted ? ", weighted" : "");
+      } else if (line == "stats") {
+        print_stats(ex);
+      } else if (line == "clear-cache") {
+        ex.cache().clear();
+      } else {
+        engine::query_request req;
+        if (parse_request(line, req)) {
+          auto r = ex.run(req);
+          if (req.kind == engine::query_kind::pagerank_topk) {
+            for (const auto& [v, rank] : r.topk)
+              std::printf("  %u: %.6f\n", v, rank);
+          } else {
+            std::printf("  = %lld", static_cast<long long>(r.value));
+          }
+          std::printf("   (%.1f us%s)\n", r.micros,
+                      r.cache_hit ? ", cached" : "");
+        }
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+    std::printf("query> "); std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char* argv[]) {
+  command_line cli(argc, argv);
+  engine::registry reg;
+
+  // Graphs: explicit -load specs, else the built-in demo pair.
+  bool loaded = false;
+  try {
+    for (const auto& pos : cli.positional()) {
+      if (pos.find('=') != std::string::npos) {
+        load_spec(reg, pos);
+        loaded = true;
+      }
+    }
+    if (cli.has("load")) {
+      load_spec(reg, cli.get_string("load"));
+      loaded = true;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "load failed: %s\n", e.what());
+    return 1;
+  }
+  if (!loaded) {
+    // Demo residents: a power-law "social" graph and a weighted 3-D
+    // torus "road" network — the two traversal regimes of the paper.
+    std::printf("registering demo graphs (use -load name=path to override)\n");
+    reg.add("social", gen::rmat_graph(/*scale=*/14, /*num_edges=*/1 << 18));
+    reg.add("road",
+            gen::add_random_weights(gen::grid3d_graph(/*side=*/24), 1, 16));
+  }
+  for (const auto& g : reg.list())
+    std::printf("  resident: %-8s %u vertices, %llu edges%s\n", g.name.c_str(),
+                g.num_vertices, static_cast<unsigned long long>(g.num_edges),
+                g.weighted ? " (weighted)" : "");
+
+  engine::executor_options opts;
+  opts.max_concurrency = static_cast<size_t>(cli.get_int("conc", 0));
+  opts.max_queue = static_cast<size_t>(cli.get_int("queue", 256));
+  opts.cache_capacity = static_cast<size_t>(cli.get_int("cache", 4096));
+  opts.use_pool = !cli.has("no-pool");
+  engine::query_executor ex(reg, opts);
+
+  if (cli.has("repl")) {
+    repl(ex);
+    return 0;
+  }
+
+  std::vector<engine::query_request> requests;
+  if (cli.has("requests")) {
+    std::string path = cli.get_string("requests");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open request file: %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      engine::query_request req;
+      if (parse_request(line, req)) requests.push_back(std::move(req));
+    }
+    std::printf("replaying %zu requests from %s\n", requests.size(),
+                path.c_str());
+  } else {
+    size_t n = static_cast<size_t>(cli.get_int("n", 1000));
+    requests = synth_workload(reg, n);
+    std::printf("replaying %zu synthetic mixed requests\n", requests.size());
+  }
+
+  // Cold pass (empty cache), then warm pass over the identical workload.
+  ex.cache().clear();
+  auto cold = replay(ex, requests);
+  auto cold_snap = ex.stats();
+  print_report("cold", cold, cold_snap);
+  auto warm = replay(ex, requests);
+  auto warm_snap = ex.stats();
+  print_report("warm", warm, warm_snap);
+
+  std::printf("\nwarm p50 %.1f us vs cold p50 %.1f us (%.1fx); "
+              "cache served %llu of %zu warm requests\n",
+              warm.p50, cold.p50, warm.p50 > 0 ? cold.p50 / warm.p50 : 0.0,
+              static_cast<unsigned long long>(warm_snap.cache.hits -
+                                              cold_snap.cache.hits),
+              requests.size());
+  std::printf("\n");
+  print_stats(ex);
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "apps/query_adapters.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "apps/bellman_ford.h"
+#include "apps/bfs.h"
+#include "apps/components.h"
+#include "apps/kcore.h"
+#include "apps/pagerank.h"
+#include "apps/triangle.h"
+
+namespace ligra::apps {
+
+namespace {
+
+void check_vertex(const char* what, vertex_id v, vertex_id n) {
+  if (v >= n)
+    throw std::invalid_argument(std::string(what) + ": vertex " +
+                                std::to_string(v) + " out of range [0, " +
+                                std::to_string(n) + ")");
+}
+
+}  // namespace
+
+int64_t bfs_hop_distance(const graph& g, vertex_id source, vertex_id target) {
+  check_vertex("bfs_hop_distance source", source, g.num_vertices());
+  check_vertex("bfs_hop_distance target", target, g.num_vertices());
+  return bfs_levels(g, source)[target];
+}
+
+int64_t sssp_distance(const wgraph& g, vertex_id source, vertex_id target) {
+  check_vertex("sssp_distance source", source, g.num_vertices());
+  check_vertex("sssp_distance target", target, g.num_vertices());
+  auto r = bellman_ford(g, source);
+  if (r.negative_cycle)
+    throw std::runtime_error("sssp_distance: graph has a negative cycle");
+  int64_t d = r.distances[target];
+  return d >= kInfiniteDistance ? -1 : d;
+}
+
+std::vector<std::pair<vertex_id, double>> pagerank_topk(const graph& g,
+                                                        size_t k) {
+  auto pr = pagerank(g);
+  const vertex_id n = g.num_vertices();
+  if (k > n) k = n;
+  std::vector<vertex_id> order(n);
+  std::iota(order.begin(), order.end(), vertex_id{0});
+  auto better = [&](vertex_id a, vertex_id b) {
+    return pr.rank[a] != pr.rank[b] ? pr.rank[a] > pr.rank[b] : a < b;
+  };
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), better);
+  std::vector<std::pair<vertex_id, double>> top(k);
+  for (size_t i = 0; i < k; i++) top[i] = {order[i], pr.rank[order[i]]};
+  return top;
+}
+
+vertex_id component_id(const graph& g, vertex_id v) {
+  check_vertex("component_id", v, g.num_vertices());
+  return connected_components(g).labels[v];
+}
+
+vertex_id vertex_coreness(const graph& g, vertex_id v) {
+  check_vertex("vertex_coreness", v, g.num_vertices());
+  return kcore(g).coreness[v];
+}
+
+uint64_t count_triangles(const graph& g) {
+  return triangle_count(g).num_triangles;
+}
+
+}  // namespace ligra::apps

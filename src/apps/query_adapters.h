@@ -1,0 +1,40 @@
+// Thin value-returning query adapters over the applications — the surface
+// the concurrent query engine (src/engine/) executes. Each adapter maps
+// (graph, params) to a compact answer instead of a full per-vertex result
+// vector, validates its parameters, and throws std::invalid_argument on
+// out-of-range vertices so engine futures carry diagnosable errors.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::apps {
+
+// Hop distance from `source` to `target` (BFS); -1 if unreachable.
+int64_t bfs_hop_distance(const graph& g, vertex_id source, vertex_id target);
+
+// Shortest-path weight from `source` to `target` (Bellman-Ford, so negative
+// weights are fine); -1 if unreachable. Throws std::runtime_error if the
+// graph has a negative cycle.
+int64_t sssp_distance(const wgraph& g, vertex_id source, vertex_id target);
+
+// The k highest-ranked vertices as (vertex, rank) pairs, rank descending,
+// ties broken by vertex id. k is clamped to num_vertices.
+std::vector<std::pair<vertex_id, double>> pagerank_topk(const graph& g,
+                                                        size_t k);
+
+// Connected-component label of `v` (smallest vertex id in v's component).
+// Requires a symmetric graph.
+vertex_id component_id(const graph& g, vertex_id v);
+
+// Coreness of `v` (largest k such that v is in the k-core). Requires a
+// symmetric graph.
+vertex_id vertex_coreness(const graph& g, vertex_id v);
+
+// Exact triangle count. Requires a symmetric graph.
+uint64_t count_triangles(const graph& g);
+
+}  // namespace ligra::apps

@@ -1,0 +1,10 @@
+// Umbrella header for the concurrent query engine: graph registry,
+// admission-controlled executor, result cache, and stats. See
+// docs/ENGINE.md for the architecture.
+#pragma once
+
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "engine/registry.h"
+#include "engine/result_cache.h"
+#include "engine/stats.h"

@@ -1,0 +1,245 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "apps/query_adapters.h"
+#include "parallel/scheduler.h"
+
+namespace ligra::engine {
+
+namespace {
+
+double elapsed_micros(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+query_executor::query_executor(registry& graphs, executor_options opts)
+    : registry_(graphs), opts_(opts), cache_(opts.cache_capacity) {
+  // Force pool construction from this thread before any dispatcher starts:
+  // lazy construction from a dispatcher would adopt it as worker 0 and
+  // alias deque ownership with the caller's thread.
+  size_t workers = static_cast<size_t>(parallel::num_workers());
+  if (opts_.max_concurrency == 0)
+    opts_.max_concurrency = std::min<size_t>(4, workers);
+  if (opts_.max_queue == 0) opts_.max_queue = 1;
+  dispatchers_.reserve(opts_.max_concurrency);
+  for (size_t i = 0; i < opts_.max_concurrency; i++)
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+}
+
+query_executor::~query_executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : dispatchers_) t.join();
+}
+
+cache_key query_executor::make_key(const query_request& req, uint64_t epoch) {
+  cache_key key;
+  key.epoch = epoch;
+  key.kind = req.kind;
+  switch (req.kind) {
+    case query_kind::bfs_distance:
+    case query_kind::sssp_distance:
+      key.a = req.source;
+      key.b = req.target;
+      break;
+    case query_kind::pagerank_topk:
+      key.b = req.k;
+      break;
+    case query_kind::component_id:
+    case query_kind::coreness:
+      key.a = req.source;
+      break;
+    case query_kind::triangle_count:
+    case query_kind::custom:
+      break;
+  }
+  return key;
+}
+
+query_result query_executor::execute(const query_request& req,
+                                     const graph_entry& e) {
+  query_result r;
+  r.kind = req.kind;
+  switch (req.kind) {
+    case query_kind::bfs_distance:
+      r.value = apps::bfs_hop_distance(e.structure(), req.source, req.target);
+      break;
+    case query_kind::sssp_distance:
+      r.value = apps::sssp_distance(e.weights(), req.source, req.target);
+      break;
+    case query_kind::pagerank_topk:
+      r.topk = apps::pagerank_topk(e.structure(), req.k);
+      r.value = static_cast<int64_t>(r.topk.size());
+      break;
+    case query_kind::component_id:
+      r.value = apps::component_id(e.structure(), req.source);
+      break;
+    case query_kind::coreness:
+      r.value = apps::vertex_coreness(e.structure(), req.source);
+      break;
+    case query_kind::triangle_count:
+      r.value = static_cast<int64_t>(apps::count_triangles(e.structure()));
+      break;
+    case query_kind::custom:
+      if (!req.custom)
+        throw engine_error("custom query without a callable");
+      r.value = req.custom(e);
+      break;
+  }
+  return r;
+}
+
+std::future<query_result> query_executor::submit(query_request req) {
+  stats_.record_submitted();
+  job j;
+  j.req = std::move(req);
+  std::future<query_result> fut = j.promise.get_future();
+
+  j.handle = registry_.try_get(j.req.graph);
+  if (!j.handle) {
+    stats_.record_failed();
+    j.promise.set_exception(std::make_exception_ptr(not_found_error(
+        "no graph named '" + j.req.graph + "' is registered")));
+    return fut;
+  }
+
+  j.cacheable =
+      j.req.kind != query_kind::custom && cache_.capacity() > 0;
+  if (j.cacheable) {
+    j.key = make_key(j.req, j.handle->epoch());
+    if (auto cached = cache_.get(j.key)) {
+      query_result r = *cached;
+      r.cache_hit = true;
+      r.micros = 0.0;
+      stats_.record_completed();
+      j.promise.set_value(std::move(r));
+      return fut;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.size() >= opts_.max_queue) {
+      stats_.record_rejected();
+      throw rejected_error(
+          "admission queue full (" + std::to_string(queue_.size()) +
+          " pending, limit " + std::to_string(opts_.max_queue) +
+          "); retry later");
+    }
+    queue_.push_back(std::move(j));
+  }
+  work_cv_.notify_one();
+  return fut;
+}
+
+query_result query_executor::run(const query_request& req) {
+  stats_.record_submitted();
+  graph_handle handle = registry_.get(req.graph);
+  bool cacheable = req.kind != query_kind::custom && cache_.capacity() > 0;
+  cache_key key;
+  if (cacheable) {
+    key = make_key(req, handle->epoch());
+    if (auto cached = cache_.get(key)) {
+      query_result r = *cached;
+      r.cache_hit = true;
+      r.micros = 0.0;
+      stats_.record_completed();
+      return r;
+    }
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  try {
+    query_result r = execute(req, *handle);
+    r.micros = elapsed_micros(t0);
+    if (cacheable) cache_.put(key, std::make_shared<query_result>(r));
+    stats_.record_latency(req.kind, r.micros);
+    stats_.record_completed();
+    return r;
+  } catch (...) {
+    stats_.record_failed();
+    throw;
+  }
+}
+
+void query_executor::execute_job(job& j) {
+  auto t0 = std::chrono::steady_clock::now();
+  query_result r;
+  std::exception_ptr err;
+  auto body = [&]() noexcept {
+    try {
+      r = execute(j.req, *j.handle);
+    } catch (...) {
+      err = std::current_exception();
+    }
+  };
+  if (opts_.use_pool) {
+    parallel::run_on_pool(body);
+  } else {
+    body();
+  }
+  if (err) {
+    stats_.record_failed();
+    j.promise.set_exception(err);
+    return;
+  }
+  r.micros = elapsed_micros(t0);
+  if (j.cacheable) cache_.put(j.key, std::make_shared<query_result>(r));
+  stats_.record_latency(j.req.kind, r.micros);
+  stats_.record_completed();
+  j.promise.set_value(std::move(r));
+}
+
+void query_executor::dispatcher_loop() {
+  while (true) {
+    job j;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      j = std::move(queue_.front());
+      queue_.pop_front();
+      running_++;
+    }
+    execute_job(j);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      running_--;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+engine_stats_snapshot query_executor::stats() const {
+  engine_stats_snapshot snap;
+  stats_.fill(snap);
+  snap.cache = cache_.counters();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.queue_depth = queue_.size();
+    snap.running = running_;
+  }
+  return snap;
+}
+
+size_t query_executor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void query_executor::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+}  // namespace ligra::engine

@@ -1,0 +1,101 @@
+// Admission-controlled query executor (docs/ENGINE.md).
+//
+// submit() resolves the graph handle (pinning the graph for the query's
+// lifetime), probes the result cache — a hit returns a ready future without
+// touching the admission queue — and otherwise enqueues the request into a
+// bounded queue drained by `max_concurrency` dispatcher threads. A full
+// queue rejects immediately (rejected_error): callers see backpressure, the
+// engine never deadlocks or grows unboundedly.
+//
+// Dispatcher threads are deliberately NOT compute threads: with
+// `use_pool = true` (default) each query body is injected into the existing
+// work-stealing scheduler via parallel::run_on_pool, so queries get
+// intra-query parallelism from the one global pool and `max_concurrency`
+// bounds how many query roots compete for it — no oversubscription, no
+// second thread army. With `use_pool = false` each query runs sequentially
+// on its dispatcher thread (predictable per-query latency when many queries
+// run at once).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/query.h"
+#include "engine/registry.h"
+#include "engine/result_cache.h"
+#include "engine/stats.h"
+
+namespace ligra::engine {
+
+struct executor_options {
+  // Concurrent queries in flight. 0 picks min(4, parallel::num_workers()).
+  size_t max_concurrency = 0;
+  // Admitted-but-not-running requests before submit() rejects.
+  size_t max_queue = 256;
+  // Result-cache entries; 0 disables caching.
+  size_t cache_capacity = 1024;
+  // Run query bodies inside the work-stealing pool (see header comment).
+  bool use_pool = true;
+};
+
+class query_executor {
+ public:
+  explicit query_executor(registry& graphs, executor_options opts = {});
+  ~query_executor();  // drains the queue, then joins the dispatchers
+
+  query_executor(const query_executor&) = delete;
+  query_executor& operator=(const query_executor&) = delete;
+
+  // Asynchronous submission. Throws rejected_error if the admission queue
+  // is full. Query-level failures (unknown graph, bad vertex, unweighted
+  // graph asked for SSSP, ...) surface through the future.
+  std::future<query_result> submit(query_request req);
+
+  // Synchronous execution on the calling thread (same cache, same stats,
+  // no admission control) — the REPL/test path.
+  query_result run(const query_request& req);
+
+  engine_stats_snapshot stats() const;
+  result_cache& cache() { return cache_; }
+  registry& graphs() { return registry_; }
+
+  size_t queue_depth() const;
+  // Blocks until no request is queued or running.
+  void wait_idle();
+
+ private:
+  struct job {
+    query_request req;
+    graph_handle handle;
+    bool cacheable = false;
+    cache_key key;
+    std::promise<query_result> promise;
+  };
+
+  void dispatcher_loop();
+  // Runs one query (cache already missed), fulfilling the promise.
+  void execute_job(job& j);
+  // The query body proper; throws on bad requests.
+  static query_result execute(const query_request& req, const graph_entry& e);
+  static cache_key make_key(const query_request& req, uint64_t epoch);
+
+  registry& registry_;
+  executor_options opts_;
+  result_cache cache_;
+  engine_stats stats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<job> queue_;
+  size_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace ligra::engine

@@ -1,0 +1,87 @@
+// Typed queries for the concurrent query engine (docs/ENGINE.md).
+//
+// A query_request names a registered graph and one of the built-in query
+// kinds (plus `custom` for caller-supplied closures); a query_result carries
+// the scalar answer — or the top-k rank list — together with execution
+// metadata (latency, cache hit). The request shape is deliberately flat and
+// POD-ish: it doubles as the result-cache key material and as the line
+// format of the query_server request files.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::engine {
+
+// Base class of all engine errors (registry lookups, admission, shutdown).
+class engine_error : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown by query_executor::submit when the admission queue is full —
+// backpressure surfaces to the caller instead of blocking or deadlocking.
+class rejected_error : public engine_error {
+  using engine_error::engine_error;
+};
+
+// Named graph is not (or no longer) registered.
+class not_found_error : public engine_error {
+  using engine_error::engine_error;
+};
+
+enum class query_kind : uint8_t {
+  bfs_distance,    // hop distance source -> target; -1 unreachable
+  sssp_distance,   // shortest-path weight source -> target (weighted graphs)
+  pagerank_topk,   // k highest-ranked vertices
+  component_id,    // connected-component label of `source`
+  coreness,        // k-core number of `source`
+  triangle_count,  // whole-graph triangle count
+  custom,          // caller-supplied closure; bypasses the result cache
+};
+
+inline constexpr size_t kNumQueryKinds = 7;
+
+inline const char* query_kind_name(query_kind k) {
+  switch (k) {
+    case query_kind::bfs_distance: return "bfs";
+    case query_kind::sssp_distance: return "sssp";
+    case query_kind::pagerank_topk: return "pagerank";
+    case query_kind::component_id: return "cc";
+    case query_kind::coreness: return "kcore";
+    case query_kind::triangle_count: return "triangles";
+    case query_kind::custom: return "custom";
+  }
+  return "?";
+}
+
+class graph_entry;  // registry.h
+
+struct query_request {
+  std::string graph;  // registry name
+  query_kind kind = query_kind::bfs_distance;
+  vertex_id source = 0;           // bfs/sssp source; cc/kcore subject vertex
+  vertex_id target = kNoVertex;   // bfs/sssp destination
+  uint32_t k = 10;                // pagerank_topk list size
+  // kind == custom only: runs with the entry pinned; the returned value
+  // lands in query_result::value. Not cached (closures have no identity).
+  std::function<int64_t(const graph_entry&)> custom;
+};
+
+struct query_result {
+  query_kind kind = query_kind::bfs_distance;
+  // Scalar answer: distance (bfs/sssp, -1 unreachable), component label,
+  // coreness, triangle count, custom return value; for pagerank_topk the
+  // number of entries in `topk`.
+  int64_t value = 0;
+  std::vector<std::pair<vertex_id, double>> topk;  // pagerank_topk only
+  bool cache_hit = false;
+  double micros = 0.0;  // execution time (0 for cache hits)
+};
+
+}  // namespace ligra::engine

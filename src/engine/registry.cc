@@ -1,0 +1,147 @@
+#include "engine/registry.h"
+
+#include <fstream>
+#include <utility>
+
+#include "graph/graph_io.h"
+
+namespace ligra::engine {
+
+namespace {
+
+// Unweighted structural copy of a weighted graph (same CSR shape, weights
+// dropped) — lets every unweighted query run on weighted entries.
+graph structure_of(const wgraph& wg) {
+  if (wg.symmetric()) {
+    return graph::from_csr(wg.num_vertices(), wg.out_offsets(),
+                           wg.out_edge_array(), {}, /*symmetric=*/true);
+  }
+  return graph::from_csr(wg.num_vertices(), wg.out_offsets(),
+                         wg.out_edge_array(), {}, /*symmetric=*/false,
+                         wg.in_offsets(), wg.in_edge_array());
+}
+
+load_options::file_format sniff_format(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  char buf[24] = {};
+  in.read(buf, sizeof(buf));
+  std::string head(buf, static_cast<size_t>(in.gcount()));
+  if (head.rfind("LGRB", 0) == 0) return load_options::file_format::binary;
+  if (head.rfind("AdjacencyGraph", 0) == 0 ||
+      head.rfind("WeightedAdjacencyGraph", 0) == 0)
+    return load_options::file_format::adjacency;
+  return load_options::file_format::edge_list;
+}
+
+}  // namespace
+
+graph_handle registry::load(const std::string& name, const std::string& path,
+                            const load_options& opts) {
+  auto format = opts.format == load_options::file_format::auto_detect
+                    ? sniff_format(path)
+                    : opts.format;
+  auto e = std::make_shared<graph_entry>();
+  if (opts.weighted) {
+    switch (format) {
+      case load_options::file_format::adjacency:
+        e->wg_ = io::read_weighted_adjacency_graph(path, opts.symmetric);
+        break;
+      case load_options::file_format::binary:
+        e->wg_ = io::read_weighted_binary_graph(path);
+        break;
+      default:
+        e->wg_ = io::read_weighted_edge_list(path, opts.symmetric);
+        break;
+    }
+    e->g_ = structure_of(*e->wg_);
+  } else {
+    switch (format) {
+      case load_options::file_format::adjacency:
+        e->g_ = io::read_adjacency_graph(path, opts.symmetric);
+        break;
+      case load_options::file_format::binary:
+        e->g_ = io::read_binary_graph(path);
+        break;
+      default:
+        e->g_ = io::read_edge_list(path, opts.symmetric);
+        break;
+    }
+  }
+  if (opts.compress)
+    e->cg_ = compress::compressed_graph::from_graph(e->g_);
+  e->name_ = name;
+  return insert(std::move(e));
+}
+
+graph_handle registry::add(const std::string& name, graph g, bool compress) {
+  auto e = std::make_shared<graph_entry>();
+  e->name_ = name;
+  e->g_ = std::move(g);
+  if (compress) e->cg_ = compress::compressed_graph::from_graph(e->g_);
+  return insert(std::move(e));
+}
+
+graph_handle registry::add(const std::string& name, wgraph g, bool compress) {
+  auto e = std::make_shared<graph_entry>();
+  e->name_ = name;
+  e->wg_ = std::move(g);
+  e->g_ = structure_of(*e->wg_);
+  if (compress) e->cg_ = compress::compressed_graph::from_graph(e->g_);
+  return insert(std::move(e));
+}
+
+graph_handle registry::insert(std::shared_ptr<graph_entry> e) {
+  e->epoch_ = next_epoch_.fetch_add(1, std::memory_order_relaxed);
+  graph_handle h = std::move(e);
+  std::unique_lock lock(mutex_);
+  entries_[h->name()] = h;
+  return h;
+}
+
+graph_handle registry::get(const std::string& name) const {
+  if (auto h = try_get(name)) return h;
+  throw not_found_error("no graph named '" + name + "' is registered");
+}
+
+graph_handle registry::try_get(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+bool registry::evict(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  return entries_.erase(name) > 0;
+}
+
+void registry::clear() {
+  std::unique_lock lock(mutex_);
+  entries_.clear();
+}
+
+size_t registry::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<entry_info> registry::list() const {
+  std::shared_lock lock(mutex_);
+  std::vector<entry_info> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    out.push_back({name, e->epoch(), e->weighted(), e->compressed() != nullptr,
+                   e->structure().num_vertices(), e->structure().num_edges(),
+                   e->memory_bytes(), e->compressed_bytes()});
+  }
+  return out;
+}
+
+size_t registry::total_memory_bytes() const {
+  std::shared_lock lock(mutex_);
+  size_t total = 0;
+  for (const auto& [name, e] : entries_) total += e->memory_bytes();
+  return total;
+}
+
+}  // namespace ligra::engine

@@ -1,0 +1,148 @@
+// Multi-graph registry: the residency layer of the query engine
+// (docs/ENGINE.md).
+//
+// Named graphs are loaded once and stay resident; queries resolve a name to
+// a refcounted handle (shared_ptr to an immutable graph_entry) under a
+// shared_mutex, so lookups from many request threads proceed concurrently
+// and loads/evictions take the lock exclusively only to swap map entries.
+// Eviction or replacement never invalidates in-flight queries: they hold
+// the handle, and the entry is freed when the last query finishes.
+//
+// Every load gets a fresh monotonically-increasing epoch. The result cache
+// keys on (epoch, query, params), so reloading a name under new data
+// silently invalidates all cached answers for the old incarnation.
+//
+// Weighted graphs keep both the weighted CSR (for SSSP) and an unweighted
+// structural view sharing the same shape (so BFS/PageRank/CC/k-core/triangle
+// queries run on weighted graphs too). With load_options::compress a
+// byte-coded Ligra+ replica of the structure is kept alongside and reported
+// in entry_info — the space/residency trade the memory-tiering follow-up
+// will act on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/compressed_graph.h"
+#include "engine/query.h"
+#include "graph/graph.h"
+
+namespace ligra::engine {
+
+struct load_options {
+  enum class file_format : uint8_t {
+    auto_detect,  // sniff: LGRB magic -> binary, AdjacencyGraph header ->
+                  // adjacency, anything else -> edge list
+    adjacency,    // Ligra/PBBS AdjacencyGraph text
+    binary,       // LGRB
+    edge_list,    // "u v [w]" lines
+  };
+  file_format format = file_format::auto_detect;
+  bool weighted = false;
+  // Text formats only: treat the file's edges as already symmetric
+  // (adjacency) or symmetrize them (edge list). Ignored for binary files,
+  // which record symmetry themselves.
+  bool symmetric = false;
+  // Keep a byte-coded (Ligra+) replica of the structure alongside the CSR.
+  bool compress = false;
+};
+
+// An immutable resident graph plus metadata. Handed out as
+// shared_ptr<const graph_entry>; whoever holds one keeps the graph alive.
+class graph_entry {
+ public:
+  const std::string& name() const { return name_; }
+  uint64_t epoch() const { return epoch_; }
+  bool weighted() const { return wg_.has_value(); }
+
+  // Unweighted structural view — always present.
+  const graph& structure() const { return g_; }
+
+  // Weighted CSR; throws engine_error for unweighted entries.
+  const wgraph& weights() const {
+    if (!wg_) throw engine_error("graph '" + name_ + "' is not weighted");
+    return *wg_;
+  }
+
+  // Byte-coded replica, or nullptr unless loaded with compress=true.
+  const compress::compressed_graph* compressed() const {
+    return cg_ ? &*cg_ : nullptr;
+  }
+
+  // Plain (CSR) footprint, including the weighted CSR if present.
+  size_t memory_bytes() const {
+    return g_.memory_bytes() + (wg_ ? wg_->memory_bytes() : 0);
+  }
+  // Footprint of the compressed replica (0 if none).
+  size_t compressed_bytes() const { return cg_ ? cg_->memory_bytes() : 0; }
+
+ private:
+  friend class registry;
+  std::string name_;
+  uint64_t epoch_ = 0;
+  graph g_;
+  std::optional<wgraph> wg_;
+  std::optional<compress::compressed_graph> cg_;
+};
+
+using graph_handle = std::shared_ptr<const graph_entry>;
+
+// One row of registry::list().
+struct entry_info {
+  std::string name;
+  uint64_t epoch = 0;
+  bool weighted = false;
+  bool compressed = false;
+  vertex_id num_vertices = 0;
+  edge_id num_edges = 0;
+  size_t memory_bytes = 0;
+  size_t compressed_bytes = 0;
+};
+
+class registry {
+ public:
+  registry() = default;
+  registry(const registry&) = delete;
+  registry& operator=(const registry&) = delete;
+
+  // Loads `path` and registers it as `name`, replacing any existing entry
+  // (the old entry stays alive for queries still holding its handle).
+  // Throws std::runtime_error (from graph_io, message includes the path)
+  // on I/O or parse failure.
+  graph_handle load(const std::string& name, const std::string& path,
+                    const load_options& opts = {});
+
+  // Registers an in-memory graph (used by tests, benches, and generators).
+  graph_handle add(const std::string& name, graph g, bool compress = false);
+  graph_handle add(const std::string& name, wgraph g, bool compress = false);
+
+  // Name -> handle; `get` throws not_found_error, `try_get` returns nullptr.
+  graph_handle get(const std::string& name) const;
+  graph_handle try_get(const std::string& name) const;
+
+  // Removes `name`; returns false if absent. In-flight queries holding the
+  // handle are unaffected.
+  bool evict(const std::string& name);
+  void clear();
+
+  size_t size() const;
+  std::vector<entry_info> list() const;
+
+  // Sum of resident plain-CSR bytes across entries.
+  size_t total_memory_bytes() const;
+
+ private:
+  graph_handle insert(std::shared_ptr<graph_entry> e);
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, graph_handle> entries_;
+  std::atomic<uint64_t> next_epoch_{1};
+};
+
+}  // namespace ligra::engine

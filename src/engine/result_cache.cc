@@ -1,0 +1,53 @@
+#include "engine/result_cache.h"
+
+namespace ligra::engine {
+
+std::shared_ptr<const query_result> result_cache::get(const cache_key& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    counters_.misses++;
+    return nullptr;
+  }
+  counters_.hits++;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void result_cache::put(const cache_key& key,
+                       std::shared_ptr<const query_result> value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    counters_.evictions++;
+  }
+  lru_.emplace_front(key, std::move(value));
+  map_[key] = lru_.begin();
+  counters_.insertions++;
+}
+
+void result_cache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  map_.clear();
+}
+
+size_t result_cache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+cache_counters result_cache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace ligra::engine

@@ -1,0 +1,92 @@
+// Engine observability (docs/ENGINE.md): lock-free counters the executor
+// updates on every request, snapshotable at any time for benches and the
+// query_server's report. Latency percentiles are the caller's job (they
+// need every sample); the engine keeps count/total/max per query kind,
+// which is enough for mean latency and saturation monitoring.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "engine/query.h"
+#include "engine/result_cache.h"
+
+namespace ligra::engine {
+
+struct query_kind_stats {
+  uint64_t count = 0;
+  uint64_t total_micros = 0;
+  uint64_t max_micros = 0;
+
+  double mean_micros() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_micros) /
+                            static_cast<double>(count);
+  }
+};
+
+// Point-in-time view of the executor. `queue_depth`/`running` are sampled;
+// the counters are monotone over the executor's lifetime.
+struct engine_stats_snapshot {
+  uint64_t submitted = 0;   // accepted submissions (incl. cache hits)
+  uint64_t completed = 0;   // futures fulfilled with a value
+  uint64_t failed = 0;      // futures fulfilled with an exception
+  uint64_t rejected = 0;    // admission-queue rejections
+  size_t queue_depth = 0;   // admitted, not yet running
+  size_t running = 0;       // currently executing
+  std::array<query_kind_stats, kNumQueryKinds> per_kind{};  // executed only
+  cache_counters cache;
+};
+
+// The executor's live counters. Relaxed atomics: every field is an
+// independent monotone counter, so torn cross-field reads in a snapshot are
+// harmless (a snapshot is approximate by nature while requests are in
+// flight, exact once the executor is idle).
+class engine_stats {
+ public:
+  void record_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void record_completed() { completed_.fetch_add(1, std::memory_order_relaxed); }
+  void record_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void record_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  void record_latency(query_kind kind, double micros) {
+    auto& s = per_kind_[static_cast<size_t>(kind)];
+    auto us = static_cast<uint64_t>(micros);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.total.fetch_add(us, std::memory_order_relaxed);
+    uint64_t prev = s.max.load(std::memory_order_relaxed);
+    while (prev < us &&
+           !s.max.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+    }
+  }
+
+  void fill(engine_stats_snapshot& out) const {
+    out.submitted = submitted_.load(std::memory_order_relaxed);
+    out.completed = completed_.load(std::memory_order_relaxed);
+    out.failed = failed_.load(std::memory_order_relaxed);
+    out.rejected = rejected_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kNumQueryKinds; i++) {
+      out.per_kind[i].count = per_kind_[i].count.load(std::memory_order_relaxed);
+      out.per_kind[i].total_micros =
+          per_kind_[i].total.load(std::memory_order_relaxed);
+      out.per_kind[i].max_micros =
+          per_kind_[i].max.load(std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct per_kind_atomics {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> total{0};
+    std::atomic<uint64_t> max{0};
+  };
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::array<per_kind_atomics, kNumQueryKinds> per_kind_{};
+};
+
+}  // namespace ligra::engine

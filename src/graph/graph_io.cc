@@ -26,12 +26,16 @@ std::string slurp(const std::string& path) {
 }
 
 // Incremental whitespace-separated token scanner over a slurped buffer.
+// Tracks the source path and current line so every parse error pinpoints
+// where the input went wrong ("file.adj:17: bad integer for offset") —
+// essential once files are loaded indirectly through the engine registry.
 class token_scanner {
  public:
-  explicit token_scanner(const std::string& data) : p_(data.data()), end_(p_ + data.size()) {}
+  token_scanner(const std::string& data, std::string path)
+      : p_(data.data()), end_(p_ + data.size()), path_(std::move(path)) {}
 
   bool next_token(const char** tok, size_t* len) {
-    while (p_ < end_ && is_space(*p_)) p_++;
+    skip_ws();
     if (p_ >= end_) return false;
     const char* start = p_;
     while (p_ < end_ && !is_space(*p_)) p_++;
@@ -45,18 +49,18 @@ class token_scanner {
     const char* tok;
     size_t len;
     if (!next_token(&tok, &len))
-      throw std::runtime_error(std::string("unexpected end of file reading ") + what);
+      fail(std::string("unexpected end of file reading ") + what);
     bool neg = false;
     size_t i = 0;
     if (tok[0] == '-') {
       neg = true;
       i = 1;
     }
-    if (i >= len) throw std::runtime_error(std::string("bad integer for ") + what);
+    if (i >= len) fail(std::string("bad integer for ") + what);
     int64_t v = 0;
     for (; i < len; i++) {
       if (tok[i] < '0' || tok[i] > '9')
-        throw std::runtime_error(std::string("bad integer for ") + what);
+        fail(std::string("bad integer for ") + what);
       v = v * 10 + (tok[i] - '0');
     }
     return neg ? -v : v;
@@ -65,7 +69,7 @@ class token_scanner {
   // Advances past whitespace, then returns the next character without
   // consuming it ('\0' at end of input).
   char peek_nonspace() {
-    while (p_ < end_ && is_space(*p_)) p_++;
+    skip_ws();
     return p_ < end_ ? *p_ : '\0';
   }
 
@@ -73,15 +77,32 @@ class token_scanner {
   // handling).
   void skip_line() {
     while (p_ < end_ && *p_ != '\n') p_++;
-    if (p_ < end_) p_++;
+    if (p_ < end_) {
+      p_++;
+      line_++;
+    }
+  }
+
+  // Throws std::runtime_error annotated with "path:line".
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error(path_ + ":" + std::to_string(line_) + ": " +
+                             message);
   }
 
  private:
+  void skip_ws() {
+    while (p_ < end_ && is_space(*p_)) {
+      if (*p_ == '\n') line_++;
+      p_++;
+    }
+  }
   static bool is_space(char c) {
     return c == ' ' || c == '\t' || c == '\n' || c == '\r';
   }
   const char* p_;
   const char* end_;
+  std::string path_;
+  size_t line_ = 1;
 };
 
 template <class W>
@@ -103,7 +124,7 @@ void write_adjacency_impl(const std::string& path, const graph_t<W>& g) {
 template <class W>
 graph_t<W> read_adjacency_impl(const std::string& path, bool symmetric) {
   std::string data = slurp(path);
-  token_scanner scan(data);
+  token_scanner scan(data, path);
   const char* tok;
   size_t len;
   if (!scan.next_token(&tok, &len))
@@ -112,21 +133,21 @@ graph_t<W> read_adjacency_impl(const std::string& path, bool symmetric) {
   std::string header(tok, len);
   const char* expect = weighted ? "WeightedAdjacencyGraph" : "AdjacencyGraph";
   if (header != expect)
-    throw std::runtime_error("bad header in " + path + ": got '" + header +
-                             "', expected '" + expect + "'");
+    scan.fail("bad header: got '" + header + "', expected '" + expect + "'");
   int64_t n64 = scan.next_int("n");
   int64_t m64 = scan.next_int("m");
   // n == 2^32-1 is rejected too: that value is the kNoVertex sentinel.
   if (n64 < 0 || m64 < 0 ||
       n64 >= static_cast<int64_t>(std::numeric_limits<vertex_id>::max()))
-    throw std::runtime_error("bad n/m in " + path);
+    scan.fail("bad n/m (n=" + std::to_string(n64) +
+              ", m=" + std::to_string(m64) + ")");
   auto n = static_cast<vertex_id>(n64);
   auto m = static_cast<edge_id>(m64);
   std::vector<edge_id> offsets(static_cast<size_t>(n) + 1);
   for (vertex_id v = 0; v < n; v++) {
     int64_t o = scan.next_int("offset");
     if (o < 0 || static_cast<edge_id>(o) > m)
-      throw std::runtime_error("offset out of range in " + path);
+      scan.fail("offset out of range: " + std::to_string(o));
     offsets[v] = static_cast<edge_id>(o);
   }
   offsets[n] = m;
@@ -138,7 +159,7 @@ graph_t<W> read_adjacency_impl(const std::string& path, bool symmetric) {
       while (u + 1 <= n - 1 && offsets[u + 1] <= i) u++;
       int64_t t = scan.next_int("edge target");
       if (t < 0 || t >= n64)
-        throw std::runtime_error("edge target out of range in " + path);
+        scan.fail("edge target out of range: " + std::to_string(t));
       edges[i].u = u;
       edges[i].v = static_cast<vertex_id>(t);
     }
@@ -175,11 +196,14 @@ void write_pod_array(std::ofstream& out, const std::vector<T>& v) {
 }
 
 template <class T>
-void read_pod_array(std::ifstream& in, std::vector<T>& v, size_t count) {
+void read_pod_array(std::ifstream& in, std::vector<T>& v, size_t count,
+                    const std::string& path, const char* what) {
   v.resize(count);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(count * sizeof(T)));
-  if (!in) throw std::runtime_error("binary graph: short read");
+  if (!in)
+    throw std::runtime_error(path + ": binary graph: short read reading " +
+                             what);
 }
 
 template <class W>
@@ -221,16 +245,20 @@ graph_t<W> read_binary_impl(const std::string& path) {
   std::vector<edge_id> out_off;
   std::vector<vertex_id> out_edges;
   std::vector<W> out_w;
-  read_pod_array(in, out_off, static_cast<size_t>(h.n) + 1);
-  read_pod_array(in, out_edges, h.m);
-  if constexpr (graph_t<W>::is_weighted) read_pod_array(in, out_w, h.m);
+  read_pod_array(in, out_off, static_cast<size_t>(h.n) + 1, path,
+                 "out-offsets");
+  read_pod_array(in, out_edges, h.m, path, "out-edges");
+  if constexpr (graph_t<W>::is_weighted)
+    read_pod_array(in, out_w, h.m, path, "out-weights");
   std::vector<edge_id> in_off;
   std::vector<vertex_id> in_edges;
   std::vector<W> in_w;
   if (!symmetric) {
-    read_pod_array(in, in_off, static_cast<size_t>(h.n) + 1);
-    read_pod_array(in, in_edges, h.m);
-    if constexpr (graph_t<W>::is_weighted) read_pod_array(in, in_w, h.m);
+    read_pod_array(in, in_off, static_cast<size_t>(h.n) + 1, path,
+                   "in-offsets");
+    read_pod_array(in, in_edges, h.m, path, "in-edges");
+    if constexpr (graph_t<W>::is_weighted)
+      read_pod_array(in, in_w, h.m, path, "in-weights");
   }
   return graph_t<W>::from_csr(h.n, std::move(out_off), std::move(out_edges),
                               std::move(out_w), symmetric, std::move(in_off),
@@ -241,7 +269,7 @@ template <class W>
 graph_t<W> read_edge_list_impl(const std::string& path, bool symmetrize,
                                vertex_id n) {
   std::string data = slurp(path);
-  token_scanner scan(data);
+  token_scanner scan(data, path);
   std::vector<edge_t<W>> edges;
   vertex_id max_id = 0;
   while (true) {
@@ -253,7 +281,9 @@ graph_t<W> read_edge_list_impl(const std::string& path, bool symmetrize,
     }
     int64_t u = scan.next_int("edge source");
     int64_t v = scan.next_int("edge target");
-    if (u < 0 || v < 0) throw std::runtime_error("negative vertex id in " + path);
+    if (u < 0 || v < 0)
+      scan.fail("negative vertex id (" + std::to_string(u) + ", " +
+                std::to_string(v) + ")");
     edge_t<W> e;
     e.u = static_cast<vertex_id>(u);
     e.v = static_cast<vertex_id>(v);

@@ -18,7 +18,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <type_traits>
 
@@ -98,6 +100,18 @@ class scheduler {
   // inline, then joins. Core primitive behind par_do.
   void fork_join(internal::task* t, void (*left)(void*), void* left_arg);
 
+  // Runs `f(arg)` on a pool worker thread and blocks until it completes.
+  // Called from a foreign thread, the closure is queued for an idle worker
+  // and therefore executes in worker context — nested par_do/parallel_for
+  // inside it get full work-stealing parallelism instead of the sequential
+  // degradation foreign threads otherwise see. Called from a pool thread
+  // (or with a 1-worker pool) it runs inline. `f` must not throw (same
+  // contract as par_do closures); callers that can fail must capture their
+  // own exception state. External tasks are only picked up by workers with
+  // no stealable work, so in-flight parallel regions are never delayed.
+  // Do not call set_num_workers while external tasks are outstanding.
+  void run_external(void (*f)(void*), void* arg);
+
   ~scheduler();
 
   scheduler(const scheduler&) = delete;
@@ -110,6 +124,9 @@ class scheduler {
   // One attempt to steal from a random victim and run the task.
   bool try_steal_and_run(uint64_t& rng_state);
   void wait_for(internal::task* t);
+  // Pops one queued external task, or nullptr. Cheap when none are pending
+  // (single relaxed atomic load before taking the lock).
+  internal::task* pop_external();
 
   int num_workers_;
   std::atomic<bool> shutdown_{false};
@@ -119,6 +136,12 @@ class scheduler {
   internal::deque* deques_;  // one per worker, cache-line padded
   std::thread* threads_;     // num_workers_ - 1 pool threads
 
+  // Tasks injected by foreign threads (run_external). Idle workers drain
+  // this queue after their own deque and steal attempts come up empty.
+  std::mutex external_mutex_;
+  std::deque<internal::task*> external_queue_;
+  std::atomic<int> external_pending_{0};
+
   friend struct scheduler_access;
 };
 
@@ -127,6 +150,18 @@ class scheduler {
 inline int num_workers() { return scheduler::instance().num_workers(); }
 inline int worker_id() { return scheduler::worker_id(); }
 inline void set_num_workers(int n) { scheduler::set_num_workers(n); }
+
+// Runs `f()` inside the worker pool and blocks until it completes (see
+// scheduler::run_external). The entry point the concurrent query engine
+// uses to give request threads real parallelism without oversubscribing
+// the pool with a second set of compute threads.
+template <class F>
+void run_on_pool(F&& f) {
+  using Fn = std::remove_reference_t<F>;
+  scheduler::instance().run_external(
+      [](void* a) { (*static_cast<Fn*>(a))(); },
+      const_cast<std::remove_const_t<Fn>*>(std::addressof(f)));
+}
 
 // Runs `left()` and `right()` potentially in parallel; returns when both
 // have completed. May be nested arbitrarily.

@@ -91,6 +91,53 @@ TEST(GraphIo, RejectsOutOfRangeTarget) {
   EXPECT_THROW(io::read_adjacency_graph(f.path(), false), std::runtime_error);
 }
 
+TEST(GraphIo, TextErrorsCarryPathAndLine) {
+  // Every parse error names the file and the 1-based line it occurred on.
+  TempFile f("where.adj");
+  f.write("AdjacencyGraph\n2\n1\n0\n1\nbogus\n");  // bad edge target, line 6
+  try {
+    io::read_adjacency_graph(f.path(), false);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& err) {
+    std::string msg = err.what();
+    EXPECT_NE(msg.find(f.path()), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":6:"), std::string::npos) << msg;
+  }
+}
+
+TEST(GraphIo, EdgeListErrorsCarryPathAndLine) {
+  TempFile f("where.el");
+  f.write("# comment\n0 1\n1 oops\n");  // bad target on line 3
+  try {
+    io::read_edge_list(f.path(), true);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& err) {
+    std::string msg = err.what();
+    EXPECT_NE(msg.find(f.path()), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":3:"), std::string::npos) << msg;
+  }
+}
+
+TEST(GraphIo, BinaryShortReadNamesPath) {
+  TempFile full("full.bin");
+  io::write_binary_graph(full.path(), gen::path_graph(64));
+  std::ifstream in(full.path(), std::ios::binary);
+  in.seekg(0, std::ios::end);
+  std::string data(static_cast<size_t>(in.tellg()) / 2, '\0');
+  in.seekg(0);
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(in.good());
+  TempFile cut("cut.bin");
+  cut.write(data);
+  try {
+    io::read_binary_graph(cut.path());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find(cut.path()), std::string::npos)
+        << err.what();
+  }
+}
+
 TEST(GraphIo, RejectsMissingFile) {
   EXPECT_THROW(io::read_adjacency_graph("/nonexistent/x.adj", true),
                std::runtime_error);
