@@ -9,6 +9,13 @@
 //   ./examples/query_server -requests reqs.txt -load social=g.adj,sym
 //   ./examples/query_server -repl -load road=g.bin,weighted
 //
+// Robustness knobs (docs/ROBUSTNESS.md):
+//   -deadline-ms N      per-query deadline on every replayed request
+//   -cancel-rate F      cancel this fraction of requests right after submit
+//   -low-rate F         mark this fraction low-priority (sheddable)
+//   -shed-watermark N   shed low-priority submissions past this queue depth
+//   -failpoints SPEC    arm failpoints, e.g. "cache.insert=fail,p=0.1"
+//
 // Request-file / REPL line format (one request per line, '#' comments):
 //   <graph> bfs <source> <target>
 //   <graph> sssp <source> <target>
@@ -27,11 +34,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.h"
 #include "graph/generators.h"
 #include "util/cli.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 using namespace ligra;
@@ -124,29 +133,51 @@ bool parse_request(const std::string& line, engine::query_request& out) {
 struct replay_report {
   size_t completed = 0;
   size_t failed = 0;
-  size_t retries = 0;  // submissions re-attempted after admission rejection
+  size_t cancelled = 0;  // caller-cancelled requests (-cancel-rate)
+  size_t deadline = 0;   // requests past their -deadline-ms budget
+  size_t shed = 0;       // low-priority submissions shed under load
+  size_t retries = 0;    // submissions re-attempted after admission rejection
   double wall_seconds = 0;
   double p50 = 0, p99 = 0;  // end-to-end latency, microseconds
 };
 
 // Replays requests through the executor, retrying rejected submissions
-// (bounded backpressure -> the client waits, nothing is dropped). Latency
+// (bounded backpressure -> the client waits, nothing is dropped) and
+// honoring shed advice (sleep retry_after, then drop the request — shed
+// traffic is droppable by contract). A `cancel_rate` fraction of requests
+// is cancelled right after submission to exercise the cancel path. Latency
 // is end-to-end: submission attempt to future resolution.
 replay_report replay(engine::query_executor& ex,
-                     const std::vector<engine::query_request>& requests) {
+                     const std::vector<engine::query_request>& requests,
+                     double cancel_rate = 0.0) {
   replay_report rep;
   std::vector<std::future<engine::query_result>> futures;
   std::vector<clock_type::time_point> starts;
+  std::vector<engine::cancel_source> sources;  // keep cancelled tokens alive
   futures.reserve(requests.size());
   starts.reserve(requests.size());
+  rng cancel_draw(7);
   auto wall0 = clock_type::now();
-  for (const auto& req : requests) {
+  for (size_t i = 0; i < requests.size(); i++) {
+    engine::query_request req = requests[i];
+    bool cancel_this =
+        cancel_rate > 0.0 &&
+        static_cast<double>(cancel_draw[i] % 10000) < cancel_rate * 10000.0;
+    if (cancel_this) {
+      sources.emplace_back();
+      req.token = sources.back().token();
+    }
     auto t0 = clock_type::now();
     while (true) {
       try {
         futures.push_back(ex.submit(req));
         starts.push_back(t0);
+        if (cancel_this) sources.back().request_cancel();
         break;
+      } catch (const engine::shed_error& e) {
+        rep.shed++;
+        std::this_thread::sleep_for(e.retry_after);
+        break;  // shed low-priority work is dropped, not retried
       } catch (const engine::rejected_error&) {
         rep.retries++;
         std::this_thread::sleep_for(std::chrono::microseconds(200));
@@ -160,6 +191,10 @@ replay_report replay(engine::query_executor& ex,
       futures[i].get();
       latencies.push_back(micros_since(starts[i]));
       rep.completed++;
+    } catch (const engine::cancelled_error&) {
+      rep.cancelled++;
+    } catch (const engine::deadline_exceeded_error&) {
+      rep.deadline++;
     } catch (const std::exception& e) {
       rep.failed++;
       std::fprintf(stderr, "request %zu failed: %s\n", i, e.what());
@@ -181,6 +216,9 @@ void print_report(const char* label, const replay_report& r,
       r.p50, r.p99, static_cast<unsigned long long>(snap.cache.hits),
       static_cast<unsigned long long>(snap.cache.misses),
       100.0 * snap.cache.hit_rate(), r.retries);
+  if (r.cancelled || r.deadline || r.shed)
+    std::printf("%-6s %6zu cancelled, %zu deadline-exceeded, %zu shed\n",
+                "", r.cancelled, r.deadline, r.shed);
 }
 
 // Mixed synthetic workload over the registered graphs: mostly point
@@ -238,12 +276,16 @@ void print_stats(engine::query_executor& ex) {
   // settle so the snapshot below reads 0 running after a drained replay.
   ex.wait_idle();
   auto s = ex.stats();
-  std::printf("submitted %llu, completed %llu, failed %llu, rejected %llu; "
+  std::printf("submitted %llu, completed %llu, failed %llu, rejected %llu, "
+              "cancelled %llu, deadline-exceeded %llu, shed %llu; "
               "queue %zu, running %zu\n",
               static_cast<unsigned long long>(s.submitted),
               static_cast<unsigned long long>(s.completed),
               static_cast<unsigned long long>(s.failed),
-              static_cast<unsigned long long>(s.rejected), s.queue_depth,
+              static_cast<unsigned long long>(s.rejected),
+              static_cast<unsigned long long>(s.cancelled),
+              static_cast<unsigned long long>(s.deadline_exceeded),
+              static_cast<unsigned long long>(s.shed), s.queue_depth,
               s.running);
   std::printf("cache: %llu hits, %llu misses, %llu evictions (hit rate %.1f%%)\n",
               static_cast<unsigned long long>(s.cache.hits),
@@ -344,7 +386,22 @@ int main(int argc, char* argv[]) {
   opts.max_queue = static_cast<size_t>(cli.get_int("queue", 256));
   opts.cache_capacity = static_cast<size_t>(cli.get_int("cache", 4096));
   opts.use_pool = !cli.has("no-pool");
+  opts.shed_watermark =
+      static_cast<size_t>(cli.get_int("shed-watermark", 0));
   engine::query_executor ex(reg, opts);
+
+  if (cli.has("failpoints")) {
+    try {
+      ligra::util::failpoint::configure(cli.get_string("failpoints"));
+      if (!ligra::util::failpoint::compiled_in())
+        std::fprintf(stderr,
+                     "warning: failpoints compiled out "
+                     "(LIGRA_FAILPOINTS_ENABLED=OFF); -failpoints ignored\n");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad -failpoints spec: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (cli.has("repl")) {
     repl(ex);
@@ -372,12 +429,25 @@ int main(int argc, char* argv[]) {
     std::printf("replaying %zu synthetic mixed requests\n", requests.size());
   }
 
+  // Robustness knobs applied to the whole workload.
+  const int64_t deadline_ms = cli.get_int("deadline-ms", 0);
+  const double cancel_rate = cli.get_double("cancel-rate", 0.0);
+  const double low_rate = cli.get_double("low-rate", 0.0);
+  if (deadline_ms > 0)
+    for (auto& q : requests) q.deadline = std::chrono::milliseconds(deadline_ms);
+  if (low_rate > 0.0) {
+    rng low_draw(11);
+    for (size_t i = 0; i < requests.size(); i++)
+      if (static_cast<double>(low_draw[i] % 10000) < low_rate * 10000.0)
+        requests[i].priority = engine::query_priority::low;
+  }
+
   // Cold pass (empty cache), then warm pass over the identical workload.
   ex.cache().clear();
-  auto cold = replay(ex, requests);
+  auto cold = replay(ex, requests, cancel_rate);
   auto cold_snap = ex.stats();
   print_report("cold", cold, cold_snap);
-  auto warm = replay(ex, requests);
+  auto warm = replay(ex, requests, cancel_rate);
   auto warm_snap = ex.stats();
   print_report("warm", warm, warm_snap);
 

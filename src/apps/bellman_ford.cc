@@ -39,7 +39,8 @@ struct bf_f {
 }  // namespace
 
 bellman_ford_result bellman_ford(const wgraph& g, vertex_id source,
-                                 const edge_map_options& opts) {
+                                 const edge_map_options& opts,
+                                 const std::function<void()>& poll) {
   if (source >= g.num_vertices())
     throw std::invalid_argument("bellman_ford: source out of range");
   const vertex_id n = g.num_vertices();
@@ -50,6 +51,7 @@ bellman_ford_result bellman_ford(const wgraph& g, vertex_id source,
 
   vertex_subset frontier(n, source);
   while (!frontier.empty()) {
+    if (poll) poll();
     if (result.num_rounds++ == n) {
       result.negative_cycle = true;
       return result;

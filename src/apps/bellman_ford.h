@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/graph.h"
@@ -26,7 +27,10 @@ struct bellman_ford_result {
   size_t num_rounds = 0;
 };
 
+// `poll` (if set) runs once per relaxation round and may throw to abort —
+// the query engine's cancellation hook.
 bellman_ford_result bellman_ford(const wgraph& g, vertex_id source,
-                                 const edge_map_options& opts = {});
+                                 const edge_map_options& opts = {},
+                                 const std::function<void()>& poll = {});
 
 }  // namespace ligra::apps

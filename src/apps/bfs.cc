@@ -59,7 +59,8 @@ std::vector<vertex_id> bfs_parents(const graph& g, vertex_id source) {
   return bfs(g, source).parents;
 }
 
-std::vector<int64_t> bfs_levels(const graph& g, vertex_id source) {
+std::vector<int64_t> bfs_levels(const graph& g, vertex_id source,
+                                const std::function<void()>& poll) {
   if (source >= g.num_vertices())
     throw std::invalid_argument("bfs_levels: source out of range");
   std::vector<int64_t> level(g.num_vertices(), -1);
@@ -84,6 +85,7 @@ std::vector<int64_t> bfs_levels(const graph& g, vertex_id source) {
   vertex_subset frontier(g.num_vertices(), source);
   int64_t round = 0;
   while (!frontier.empty()) {
+    if (poll) poll();
     round++;
     frontier = edge_map(g, frontier, level_f{level.data(), round});
   }

@@ -3,6 +3,7 @@
 // hybrid strategy for free.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/graph.h"
@@ -42,7 +43,9 @@ std::vector<vertex_id> bfs_parents(const graph& g, vertex_id source);
 
 // BFS levels: distance in hops from source, or -1 if unreachable. Derived
 // by running bfs() with a level-stamping functor; used by tests and Radii
-// cross-checks.
-std::vector<int64_t> bfs_levels(const graph& g, vertex_id source);
+// cross-checks. `poll` (if set) is invoked once per round and may throw to
+// abort the traversal — the query engine's cancellation hook.
+std::vector<int64_t> bfs_levels(const graph& g, vertex_id source,
+                                const std::function<void()>& poll = {});
 
 }  // namespace ligra::apps

@@ -41,7 +41,8 @@ struct cc_f {
 }  // namespace
 
 components_result connected_components(const graph& g,
-                                       const edge_map_options& opts) {
+                                       const edge_map_options& opts,
+                                       const std::function<void()>& poll) {
   if (!g.symmetric())
     throw std::invalid_argument(
         "connected_components: requires a symmetric graph");
@@ -53,6 +54,7 @@ components_result connected_components(const graph& g,
 
   vertex_subset frontier = vertex_subset::all(n);
   while (!frontier.empty()) {
+    if (poll) poll();
     result.num_rounds++;
     vertex_map(frontier, [&](vertex_id v) { prev[v] = result.labels[v]; });
     frontier =

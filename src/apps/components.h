@@ -4,6 +4,7 @@
 // labels converge to the minimum vertex id of each component.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/graph.h"
@@ -20,7 +21,10 @@ struct components_result {
 
 // Requires a symmetric graph (label propagation computes weakly-connected
 // components only when both directions are present); throws otherwise.
+// `poll` (if set) runs once per propagation round and may throw to abort —
+// the query engine's cancellation hook.
 components_result connected_components(const graph& g,
-                                       const edge_map_options& opts = {});
+                                       const edge_map_options& opts = {},
+                                       const std::function<void()>& poll = {});
 
 }  // namespace ligra::apps

@@ -30,7 +30,7 @@ vertex_id decrement_to_floor(vertex_id* deg, vertex_id floor) {
 
 }  // namespace
 
-kcore_result kcore(const graph& g) {
+kcore_result kcore(const graph& g, const std::function<void()>& poll) {
   require_symmetric(g, "kcore");
   const vertex_id n = g.num_vertices();
   kcore_result result;
@@ -50,6 +50,7 @@ kcore_result kcore(const graph& g) {
 
   size_t finished = 0;
   while (finished < n) {
+    if (poll) poll();
     auto popped = buckets.next_bucket();
     if (!popped) break;
     const vertex_id k = static_cast<vertex_id>(popped->bucket);

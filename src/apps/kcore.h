@@ -15,6 +15,7 @@
 //                      degree <= k (O(n) scans per sub-round).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/graph.h"
@@ -27,8 +28,10 @@ struct kcore_result {
   size_t num_rounds = 0;  // peeling steps (buckets popped / sub-rounds)
 };
 
-// Requires a symmetric graph; throws otherwise.
-kcore_result kcore(const graph& g);
+// Requires a symmetric graph; throws otherwise. `poll` (if set) runs once
+// per peeling step and may throw to abort — the query engine's cancellation
+// hook.
+kcore_result kcore(const graph& g, const std::function<void()>& poll = {});
 kcore_result kcore_rounds(const graph& g);
 
 }  // namespace ligra::apps

@@ -38,6 +38,7 @@ pagerank_result pagerank(const graph& g, const pagerank_options& opts) {
   vertex_subset all = vertex_subset::all(n);
 
   for (size_t iter = 0; iter < opts.max_iterations; iter++) {
+    if (opts.poll) opts.poll();
     result.num_iterations++;
     parallel::parallel_for(0, n, [&](size_t v) {
       size_t d = g.out_degree(static_cast<vertex_id>(v));
@@ -75,6 +76,7 @@ pagerank_result pagerank_delta(const graph& g,
   vertex_subset frontier = vertex_subset::all(n);
   for (size_t iter = 0; iter < opts.max_iterations && !frontier.empty();
        iter++) {
+    if (opts.poll) opts.poll();
     result.num_iterations++;
     result.active_history.push_back(frontier.size());
     vertex_map(frontier, [&](vertex_id v) {

@@ -17,6 +17,7 @@
 // directly comparable.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/graph.h"
@@ -30,6 +31,9 @@ struct pagerank_options {
   double tolerance = 1e-7;
   size_t max_iterations = 100;
   edge_map_options edge_map;
+  // Runs once per iteration and may throw to abort — the query engine's
+  // cancellation hook.
+  std::function<void()> poll;
 };
 
 struct pagerank_delta_options {
@@ -39,6 +43,8 @@ struct pagerank_delta_options {
   double local_tolerance = 0.01;
   size_t max_iterations = 100;
   edge_map_options edge_map;
+  // Runs once per iteration and may throw to abort.
+  std::function<void()> poll;
 };
 
 struct pagerank_result {

@@ -1,6 +1,7 @@
 #include "apps/query_adapters.h"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -23,27 +24,38 @@ void check_vertex(const char* what, vertex_id v, vertex_id n) {
                                 std::to_string(n) + ")");
 }
 
-}  // namespace
-
-int64_t bfs_hop_distance(const graph& g, vertex_id source, vertex_id target) {
-  check_vertex("bfs_hop_distance source", source, g.num_vertices());
-  check_vertex("bfs_hop_distance target", target, g.num_vertices());
-  return bfs_levels(g, source)[target];
+// An inactive token yields an empty poll hook so the apps skip the
+// per-round branch entirely.
+std::function<void()> poll_of(const engine::cancel_token& cancel) {
+  if (!cancel.active()) return {};
+  return [cancel] { cancel.poll(); };
 }
 
-int64_t sssp_distance(const wgraph& g, vertex_id source, vertex_id target) {
+}  // namespace
+
+int64_t bfs_hop_distance(const graph& g, vertex_id source, vertex_id target,
+                         const engine::cancel_token& cancel) {
+  check_vertex("bfs_hop_distance source", source, g.num_vertices());
+  check_vertex("bfs_hop_distance target", target, g.num_vertices());
+  return bfs_levels(g, source, poll_of(cancel))[target];
+}
+
+int64_t sssp_distance(const wgraph& g, vertex_id source, vertex_id target,
+                      const engine::cancel_token& cancel) {
   check_vertex("sssp_distance source", source, g.num_vertices());
   check_vertex("sssp_distance target", target, g.num_vertices());
-  auto r = bellman_ford(g, source);
+  auto r = bellman_ford(g, source, {}, poll_of(cancel));
   if (r.negative_cycle)
     throw std::runtime_error("sssp_distance: graph has a negative cycle");
   int64_t d = r.distances[target];
   return d >= kInfiniteDistance ? -1 : d;
 }
 
-std::vector<std::pair<vertex_id, double>> pagerank_topk(const graph& g,
-                                                        size_t k) {
-  auto pr = pagerank(g);
+std::vector<std::pair<vertex_id, double>> pagerank_topk(
+    const graph& g, size_t k, const engine::cancel_token& cancel) {
+  pagerank_options opts;
+  opts.poll = poll_of(cancel);
+  auto pr = pagerank(g, opts);
   const vertex_id n = g.num_vertices();
   if (k > n) k = n;
   std::vector<vertex_id> order(n);
@@ -58,18 +70,20 @@ std::vector<std::pair<vertex_id, double>> pagerank_topk(const graph& g,
   return top;
 }
 
-vertex_id component_id(const graph& g, vertex_id v) {
+vertex_id component_id(const graph& g, vertex_id v,
+                       const engine::cancel_token& cancel) {
   check_vertex("component_id", v, g.num_vertices());
-  return connected_components(g).labels[v];
+  return connected_components(g, {}, poll_of(cancel)).labels[v];
 }
 
-vertex_id vertex_coreness(const graph& g, vertex_id v) {
+vertex_id vertex_coreness(const graph& g, vertex_id v,
+                          const engine::cancel_token& cancel) {
   check_vertex("vertex_coreness", v, g.num_vertices());
-  return kcore(g).coreness[v];
+  return kcore(g, poll_of(cancel)).coreness[v];
 }
 
-uint64_t count_triangles(const graph& g) {
-  return triangle_count(g).num_triangles;
+uint64_t count_triangles(const graph& g, const engine::cancel_token& cancel) {
+  return triangle_count(g, poll_of(cancel)).num_triangles;
 }
 
 }  // namespace ligra::apps

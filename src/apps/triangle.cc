@@ -7,7 +7,8 @@
 
 namespace ligra::apps {
 
-triangle_result triangle_count(const graph& g) {
+triangle_result triangle_count(const graph& g,
+                               const std::function<void()>& poll) {
   if (!g.symmetric())
     throw std::invalid_argument("triangle_count: requires a symmetric graph");
   const vertex_id n = g.num_vertices();
@@ -46,27 +47,41 @@ triangle_result triangle_count(const graph& g) {
   };
 
   // For every oriented edge (u, v): count |N+(u) ∩ N+(v)| by sorted merge.
-  result.num_triangles = parallel::reduce_add(n, [&](size_t ui) -> uint64_t {
-    auto u = static_cast<vertex_id>(ui);
-    auto lu = list_of(u);
-    uint64_t local = 0;
-    for (vertex_id v : lu) {
-      auto lv = list_of(v);
-      size_t i = 0, j = 0;
-      while (i < lu.size() && j < lv.size()) {
-        if (lu[i] == lv[j]) {
-          local++;
-          i++;
-          j++;
-        } else if (lu[i] < lv[j]) {
-          i++;
-        } else {
-          j++;
+  auto count_range = [&](size_t lo, size_t hi) -> uint64_t {
+    return parallel::reduce_add(hi - lo, [&](size_t k) -> uint64_t {
+      auto u = static_cast<vertex_id>(lo + k);
+      auto lu = list_of(u);
+      uint64_t local = 0;
+      for (vertex_id v : lu) {
+        auto lv = list_of(v);
+        size_t i = 0, j = 0;
+        while (i < lu.size() && j < lv.size()) {
+          if (lu[i] == lv[j]) {
+            local++;
+            i++;
+            j++;
+          } else if (lu[i] < lv[j]) {
+            i++;
+          } else {
+            j++;
+          }
         }
       }
+      return local;
+    });
+  };
+
+  if (!poll) {
+    result.num_triangles = count_range(0, n);
+  } else {
+    // Chunked so cancellation latency is bounded by one chunk's work, while
+    // the merge loop itself stays branch-free.
+    constexpr size_t kChunk = 8192;
+    for (size_t lo = 0; lo < n; lo += kChunk) {
+      poll();
+      result.num_triangles += count_range(lo, std::min(lo + kChunk, static_cast<size_t>(n)));
     }
-    return local;
-  });
+  }
   return result;
 }
 

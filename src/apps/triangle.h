@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "graph/graph.h"
 
@@ -19,6 +20,10 @@ struct triangle_result {
 };
 
 // Requires a symmetric graph without self-loops; throws otherwise.
-triangle_result triangle_count(const graph& g);
+// Triangle counting has no rounds, so when `poll` is set the counting
+// reduce runs in vertex chunks with `poll` invoked between chunks (the
+// query engine's cancellation hook); unset, it runs as one flat reduce.
+triangle_result triangle_count(const graph& g,
+                               const std::function<void()>& poll = {});
 
 }  // namespace ligra::apps

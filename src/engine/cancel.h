@@ -1,0 +1,148 @@
+// Cooperative cancellation and deadline primitive for the query engine
+// (docs/ROBUSTNESS.md).
+//
+// A `cancel_source` owns a tiny shared state; `cancel_token` is a cheap,
+// copyable observer of it. Query bodies poll the token at *round* boundaries
+// (one relaxed atomic load per edge_map round, so the Ligra kernels stay
+// branch-free inside) and bail out with a typed error — `cancelled_error`
+// for caller-requested cancellation, `deadline_exceeded_error` when the
+// token's deadline passed. The first trigger wins: a query cancelled after
+// its deadline expired still reports the deadline.
+//
+// Sources chain: `cancel_source(parent_token, deadline)` derives a state
+// that trips when either its own reason is set, its deadline passes, or the
+// parent trips — this is how the executor layers a per-query deadline on top
+// of a caller-supplied token without merging ownership.
+//
+// This header is standalone (atomics + chrono only) so the app layer can
+// poll tokens without depending on the rest of the engine. It also anchors
+// the engine error hierarchy: every engine error derives from engine_error.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace ligra::engine {
+
+// Base class of all engine errors (registry lookups, admission, lifecycle).
+class engine_error : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// The query's cancel_source was cancelled before the query finished.
+class cancelled_error : public engine_error {
+  using engine_error::engine_error;
+};
+
+// The query's deadline passed before the query finished.
+class deadline_exceeded_error : public engine_error {
+  using engine_error::engine_error;
+};
+
+namespace detail {
+
+// 0 = running; the nonzero values mirror the error types above.
+inline constexpr uint8_t kStopNone = 0;
+inline constexpr uint8_t kStopCancelled = 1;
+inline constexpr uint8_t kStopDeadline = 2;
+
+struct cancel_state {
+  std::atomic<uint8_t> reason{kStopNone};
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::shared_ptr<const cancel_state> parent;
+
+  uint8_t current() const {
+    if (uint8_t r = reason.load(std::memory_order_relaxed)) return r;
+    if (deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= deadline)
+      return kStopDeadline;
+    if (parent) return parent->current();
+    return kStopNone;
+  }
+};
+
+}  // namespace detail
+
+class cancel_token {
+ public:
+  // A default token never stops anything; poll() is a no-op.
+  cancel_token() = default;
+
+  // True when connected to a source (i.e. stopping is possible at all).
+  bool active() const { return state_ != nullptr; }
+
+  bool should_stop() const {
+    return state_ && state_->current() != detail::kStopNone;
+  }
+  bool cancelled() const {
+    return state_ && state_->current() == detail::kStopCancelled;
+  }
+  bool deadline_exceeded() const {
+    return state_ && state_->current() == detail::kStopDeadline;
+  }
+
+  // Deadline this token enforces itself (not inherited from a parent), or
+  // time_point::max() if none.
+  std::chrono::steady_clock::time_point deadline() const {
+    return state_ ? state_->deadline
+                  : std::chrono::steady_clock::time_point::max();
+  }
+
+  // Throws the typed error matching the trigger; returns if still running.
+  void poll() const {
+    if (!state_) return;
+    switch (state_->current()) {
+      case detail::kStopCancelled:
+        throw cancelled_error("query cancelled");
+      case detail::kStopDeadline:
+        throw deadline_exceeded_error("query deadline exceeded");
+      default:
+        break;
+    }
+  }
+
+ private:
+  friend class cancel_source;
+  explicit cancel_token(std::shared_ptr<const detail::cancel_state> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<const detail::cancel_state> state_;
+};
+
+class cancel_source {
+ public:
+  cancel_source() : state_(std::make_shared<detail::cancel_state>()) {}
+
+  // Derived source: trips when `parent` trips, when `deadline` passes, or
+  // when this source is cancelled/expired directly. An inactive parent token
+  // contributes nothing.
+  explicit cancel_source(const cancel_token& parent,
+                         std::chrono::steady_clock::time_point deadline =
+                             std::chrono::steady_clock::time_point::max())
+      : cancel_source() {
+    state_->parent = parent.state_;
+    state_->deadline = deadline;
+  }
+
+  cancel_token token() const { return cancel_token(state_); }
+
+  // Requests cooperative cancellation; the first trigger wins.
+  void request_cancel() { mark(detail::kStopCancelled); }
+  // Marks the deadline as exceeded (the executor watchdog's trigger).
+  void expire() { mark(detail::kStopDeadline); }
+
+  bool triggered() const { return state_->current() != detail::kStopNone; }
+
+ private:
+  void mark(uint8_t r) {
+    uint8_t expected = detail::kStopNone;
+    state_->reason.compare_exchange_strong(expected, r,
+                                           std::memory_order_relaxed);
+  }
+  std::shared_ptr<detail::cancel_state> state_;
+};
+
+}  // namespace ligra::engine

@@ -3,6 +3,7 @@
 // docs/ENGINE.md for the architecture.
 #pragma once
 
+#include "engine/cancel.h"
 #include "engine/executor.h"
 #include "engine/query.h"
 #include "engine/registry.h"

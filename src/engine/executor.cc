@@ -1,12 +1,13 @@
 #include "engine/executor.h"
 
 #include <algorithm>
-#include <chrono>
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "apps/query_adapters.h"
 #include "parallel/scheduler.h"
+#include "util/failpoint.h"
 
 namespace ligra::engine {
 
@@ -32,6 +33,7 @@ query_executor::query_executor(registry& graphs, executor_options opts)
   dispatchers_.reserve(opts_.max_concurrency);
   for (size_t i = 0; i < opts_.max_concurrency; i++)
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 query_executor::~query_executor() {
@@ -41,6 +43,12 @@ query_executor::~query_executor() {
   }
   work_cv_.notify_all();
   for (auto& t : dispatchers_) t.join();
+  {
+    std::lock_guard<std::mutex> lock(wd_mutex_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  watchdog_.join();
 }
 
 cache_key query_executor::make_key(const query_request& req, uint64_t epoch) {
@@ -68,33 +76,35 @@ cache_key query_executor::make_key(const query_request& req, uint64_t epoch) {
 }
 
 query_result query_executor::execute(const query_request& req,
-                                     const graph_entry& e) {
+                                     const graph_entry& e,
+                                     const cancel_token& token) {
   query_result r;
   r.kind = req.kind;
   switch (req.kind) {
     case query_kind::bfs_distance:
-      r.value = apps::bfs_hop_distance(e.structure(), req.source, req.target);
+      r.value =
+          apps::bfs_hop_distance(e.structure(), req.source, req.target, token);
       break;
     case query_kind::sssp_distance:
-      r.value = apps::sssp_distance(e.weights(), req.source, req.target);
+      r.value = apps::sssp_distance(e.weights(), req.source, req.target, token);
       break;
     case query_kind::pagerank_topk:
-      r.topk = apps::pagerank_topk(e.structure(), req.k);
+      r.topk = apps::pagerank_topk(e.structure(), req.k, token);
       r.value = static_cast<int64_t>(r.topk.size());
       break;
     case query_kind::component_id:
-      r.value = apps::component_id(e.structure(), req.source);
+      r.value = apps::component_id(e.structure(), req.source, token);
       break;
     case query_kind::coreness:
-      r.value = apps::vertex_coreness(e.structure(), req.source);
+      r.value = apps::vertex_coreness(e.structure(), req.source, token);
       break;
     case query_kind::triangle_count:
-      r.value = static_cast<int64_t>(apps::count_triangles(e.structure()));
+      r.value = static_cast<int64_t>(apps::count_triangles(e.structure(), token));
       break;
     case query_kind::custom:
       if (!req.custom)
         throw engine_error("custom query without a callable");
-      r.value = req.custom(e);
+      r.value = req.custom(e, token);
       break;
   }
   return r;
@@ -102,34 +112,60 @@ query_result query_executor::execute(const query_request& req,
 
 std::future<query_result> query_executor::submit(query_request req) {
   stats_.record_submitted();
-  job j;
-  j.req = std::move(req);
-  std::future<query_result> fut = j.promise.get_future();
+  auto j = std::make_shared<job>();
+  j->req = std::move(req);
+  std::future<query_result> fut = j->promise.get_future();
 
-  j.handle = registry_.try_get(j.req.graph);
-  if (!j.handle) {
+  j->handle = registry_.try_get(j->req.graph);
+  if (!j->handle) {
     stats_.record_failed();
-    j.promise.set_exception(std::make_exception_ptr(not_found_error(
-        "no graph named '" + j.req.graph + "' is registered")));
+    j->promise.set_exception(std::make_exception_ptr(not_found_error(
+        "no graph named '" + j->req.graph + "' is registered")));
     return fut;
   }
 
-  j.cacheable =
-      j.req.kind != query_kind::custom && cache_.capacity() > 0;
-  if (j.cacheable) {
-    j.key = make_key(j.req, j.handle->epoch());
-    if (auto cached = cache_.get(j.key)) {
+  j->cacheable =
+      j->req.kind != query_kind::custom && cache_.capacity() > 0;
+  if (j->cacheable) {
+    j->key = make_key(j->req, j->handle->epoch());
+    if (auto cached = cache_.get(j->key)) {
       query_result r = *cached;
       r.cache_hit = true;
       r.micros = 0.0;
       stats_.record_completed();
-      j.promise.set_value(std::move(r));
+      j->promise.set_value(std::move(r));
       return fut;
     }
   }
 
+  // Layer the per-query deadline on top of any caller token. Queries with
+  // neither keep an inactive token: the apps then skip the per-round poll
+  // branch entirely.
+  if (j->req.deadline.count() > 0)
+    j->deadline_at = std::chrono::steady_clock::now() + j->req.deadline;
+  if (j->req.token.active() ||
+      j->deadline_at != std::chrono::steady_clock::time_point::max()) {
+    j->source = cancel_source(j->req.token, j->deadline_at);
+    j->token = j->source.token();
+    j->has_source = true;
+  }
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (opts_.shed_watermark > 0 && queue_.size() >= opts_.shed_watermark &&
+        j->req.priority == query_priority::low) {
+      stats_.record_shed();
+      // Advice scales with how far past the watermark the queue is: the
+      // deeper the backlog, the longer the caller should stay away.
+      auto over = queue_.size() - opts_.shed_watermark + 1;
+      auto advice = std::chrono::milliseconds(
+          std::min<uint64_t>(1000, 20 * static_cast<uint64_t>(over)));
+      throw shed_error("load shedding active (" + std::to_string(queue_.size()) +
+                           " pending >= watermark " +
+                           std::to_string(opts_.shed_watermark) +
+                           "); low-priority query shed",
+                       advice);
+    }
     if (queue_.size() >= opts_.max_queue) {
       stats_.record_rejected();
       throw rejected_error(
@@ -137,9 +173,17 @@ std::future<query_result> query_executor::submit(query_request req) {
           " pending, limit " + std::to_string(opts_.max_queue) +
           "); retry later");
     }
-    queue_.push_back(std::move(j));
+    queue_.push_back(j);
   }
   work_cv_.notify_one();
+
+  if (j->deadline_at != std::chrono::steady_clock::time_point::max()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mutex_);
+      wd_heap_.push(wd_entry{j->deadline_at, j});
+    }
+    wd_cv_.notify_one();
+  }
   return fut;
 }
 
@@ -158,27 +202,80 @@ query_result query_executor::run(const query_request& req) {
       return r;
     }
   }
+  // Synchronous path: deadline enforced by polling only (there is no one to
+  // settle the caller's stack frame early).
+  cancel_token token = req.token;
+  cancel_source source;
+  if (req.deadline.count() > 0) {
+    source = cancel_source(req.token,
+                           std::chrono::steady_clock::now() + req.deadline);
+    token = source.token();
+  }
   auto t0 = std::chrono::steady_clock::now();
   try {
-    query_result r = execute(req, *handle);
+    query_result r = execute(req, *handle, token);
     r.micros = elapsed_micros(t0);
-    if (cacheable) cache_.put(key, std::make_shared<query_result>(r));
+    if (cacheable) {
+      try {
+        cache_.put(key, std::make_shared<query_result>(r));
+      } catch (...) {
+        // Cache insertion failure never fails a completed query.
+      }
+    }
     stats_.record_latency(req.kind, r.micros);
     stats_.record_completed();
     return r;
+  } catch (const cancelled_error&) {
+    stats_.record_cancelled();
+    throw;
+  } catch (const deadline_exceeded_error&) {
+    stats_.record_deadline_exceeded();
+    throw;
   } catch (...) {
     stats_.record_failed();
     throw;
   }
 }
 
-void query_executor::execute_job(job& j) {
+void query_executor::settle_error(const job_ptr& j, std::exception_ptr err) {
+  if (j->settled.exchange(true)) return;  // watchdog got there first
+  try {
+    std::rethrow_exception(err);
+  } catch (const cancelled_error&) {
+    stats_.record_cancelled();
+  } catch (const deadline_exceeded_error&) {
+    stats_.record_deadline_exceeded();
+  } catch (...) {
+    stats_.record_failed();
+  }
+  j->promise.set_exception(std::move(err));
+}
+
+void query_executor::execute_job(const job_ptr& j) {
+  // A queued job whose token already tripped (deadline passed or caller
+  // cancelled while it waited) is settled without running the body.
+  if (j->token.should_stop()) {
+    std::exception_ptr err;
+    if (j->token.deadline_exceeded())
+      err = std::make_exception_ptr(
+          deadline_exceeded_error("query deadline exceeded while queued"));
+    else
+      err = std::make_exception_ptr(
+          cancelled_error("query cancelled while queued"));
+    settle_error(j, std::move(err));
+    return;
+  }
+  if (j->settled.load(std::memory_order_acquire)) return;
+
   auto t0 = std::chrono::steady_clock::now();
   query_result r;
   std::exception_ptr err;
   auto body = [&]() noexcept {
     try {
-      r = execute(j.req, *j.handle);
+      if (LIGRA_FAILPOINT("executor.dispatch"))
+        throw engine_error(
+            "injected dispatch failure (failpoint executor.dispatch)");
+      r = execute(j->req, *j->handle, j->token);
     } catch (...) {
       err = std::current_exception();
     }
@@ -189,34 +286,97 @@ void query_executor::execute_job(job& j) {
     body();
   }
   if (err) {
-    stats_.record_failed();
-    j.promise.set_exception(err);
+    settle_error(j, std::move(err));
     return;
   }
+  if (j->settled.exchange(true)) return;  // late result; watchdog already spoke
   r.micros = elapsed_micros(t0);
-  if (j.cacheable) cache_.put(j.key, std::make_shared<query_result>(r));
-  stats_.record_latency(j.req.kind, r.micros);
+  if (j->cacheable) {
+    try {
+      cache_.put(j->key, std::make_shared<query_result>(r));
+    } catch (...) {
+      // Cache insertion failure (failpoint or allocation) never fails a
+      // completed query — the answer still goes out, just uncached.
+    }
+  }
+  stats_.record_latency(j->req.kind, r.micros);
   stats_.record_completed();
-  j.promise.set_value(std::move(r));
+  j->promise.set_value(std::move(r));
+}
+
+std::deque<query_executor::job_ptr>::iterator
+query_executor::find_eligible_locked() {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    size_t cap = opts_.per_kind_limits[static_cast<size_t>((*it)->req.kind)];
+    if (cap == 0 || running_by_kind_[static_cast<size_t>((*it)->req.kind)] < cap)
+      return it;
+  }
+  return queue_.end();
 }
 
 void query_executor::dispatcher_loop() {
   while (true) {
-    job j;
+    job_ptr j;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      j = std::move(queue_.front());
-      queue_.pop_front();
+      // During shutdown caps are ignored so the queue always drains.
+      work_cv_.wait(lock, [this] {
+        return stop_ ? true : find_eligible_locked() != queue_.end();
+      });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      auto it = stop_ ? queue_.begin() : find_eligible_locked();
+      if (it == queue_.end()) continue;
+      j = std::move(*it);
+      queue_.erase(it);
       running_++;
+      running_by_kind_[static_cast<size_t>(j->req.kind)]++;
     }
     execute_job(j);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       running_--;
+      running_by_kind_[static_cast<size_t>(j->req.kind)]--;
       if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
     }
+    // A kind slot freed up; a queued job previously passed over for its cap
+    // may be eligible now.
+    work_cv_.notify_one();
+  }
+}
+
+void query_executor::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(wd_mutex_);
+  while (true) {
+    if (wd_stop_) return;
+    if (wd_heap_.empty()) {
+      wd_cv_.wait(lock, [this] { return wd_stop_ || !wd_heap_.empty(); });
+      continue;
+    }
+    auto at = wd_heap_.top().at;
+    if (std::chrono::steady_clock::now() < at) {
+      // Sleeps until the earliest deadline or a new (earlier) registration.
+      wd_cv_.wait_until(lock, at);
+      continue;
+    }
+    auto entry = wd_heap_.top();
+    wd_heap_.pop();
+    job_ptr j = entry.j.lock();
+    if (!j) continue;  // settled and destroyed long ago
+    lock.unlock();
+    // Trip the token (so a polling body exits at its next round) and settle
+    // the future now: the caller gets deadline_exceeded at ~the deadline
+    // even if the body never polls. The body's eventual result is discarded
+    // by the settled flag.
+    j->source.expire();
+    if (!j->settled.exchange(true)) {
+      stats_.record_deadline_exceeded();
+      j->promise.set_exception(std::make_exception_ptr(deadline_exceeded_error(
+          "query deadline exceeded (watchdog): body still running")));
+    }
+    lock.lock();
   }
 }
 

@@ -1,11 +1,20 @@
-// Admission-controlled query executor (docs/ENGINE.md).
+// Admission-controlled query executor (docs/ENGINE.md, docs/ROBUSTNESS.md).
 //
 // submit() resolves the graph handle (pinning the graph for the query's
 // lifetime), probes the result cache — a hit returns a ready future without
 // touching the admission queue — and otherwise enqueues the request into a
 // bounded queue drained by `max_concurrency` dispatcher threads. A full
 // queue rejects immediately (rejected_error): callers see backpressure, the
-// engine never deadlocks or grows unboundedly.
+// engine never deadlocks or grows unboundedly. Past `shed_watermark`,
+// low-priority requests are shed immediately (shed_error with retry_after
+// advice) so paying traffic keeps the remaining queue slots.
+//
+// Lifecycle robustness: every query with a deadline or caller token runs
+// under a derived cancel_source. The query body polls the token at round
+// boundaries and bails with a typed error; a watchdog thread additionally
+// settles the future (and trips the token) at the deadline for bodies that
+// never poll, so a future is never late just because a body is
+// uncooperative. Late results from an already-settled job are discarded.
 //
 // Dispatcher threads are deliberately NOT compute threads: with
 // `use_pool = true` (default) each query body is injected into the existing
@@ -17,14 +26,20 @@
 // run at once).
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <vector>
 
+#include "engine/cancel.h"
 #include "engine/query.h"
 #include "engine/registry.h"
 #include "engine/result_cache.h"
@@ -37,6 +52,13 @@ struct executor_options {
   size_t max_concurrency = 0;
   // Admitted-but-not-running requests before submit() rejects.
   size_t max_queue = 256;
+  // Queue depth at/above which low-priority submissions are shed
+  // immediately with shed_error + retry_after advice. 0 disables shedding.
+  size_t shed_watermark = 0;
+  // Per-kind concurrency caps, indexed by query_kind; 0 = unlimited. A
+  // queued query whose kind is at its cap is passed over (later kinds run
+  // ahead of it) until a slot frees up.
+  std::array<size_t, kNumQueryKinds> per_kind_limits{};
   // Result-cache entries; 0 disables caching.
   size_t cache_capacity = 1024;
   // Run query bodies inside the work-stealing pool (see header comment).
@@ -46,18 +68,20 @@ struct executor_options {
 class query_executor {
  public:
   explicit query_executor(registry& graphs, executor_options opts = {});
-  ~query_executor();  // drains the queue, then joins the dispatchers
+  ~query_executor();  // drains the queue, then joins dispatchers + watchdog
 
   query_executor(const query_executor&) = delete;
   query_executor& operator=(const query_executor&) = delete;
 
   // Asynchronous submission. Throws rejected_error if the admission queue
-  // is full. Query-level failures (unknown graph, bad vertex, unweighted
-  // graph asked for SSSP, ...) surface through the future.
+  // is full, shed_error if the request was load-shed. Query-level failures
+  // (unknown graph, bad vertex, cancellation, deadline, ...) surface
+  // through the future as typed exceptions.
   std::future<query_result> submit(query_request req);
 
   // Synchronous execution on the calling thread (same cache, same stats,
-  // no admission control) — the REPL/test path.
+  // no admission control, no watchdog — deadlines are enforced by polling
+  // only) — the REPL/test path.
   query_result run(const query_request& req);
 
   engine_stats_snapshot stats() const;
@@ -75,13 +99,33 @@ class query_executor {
     bool cacheable = false;
     cache_key key;
     std::promise<query_result> promise;
+    // Derived from req.token + req.deadline; inactive token when neither
+    // is set (zero per-round polling cost).
+    cancel_source source;
+    cancel_token token;
+    bool has_source = false;
+    std::chrono::steady_clock::time_point deadline_at =
+        std::chrono::steady_clock::time_point::max();
+    // Whoever exchanges this false->true owns the promise; the loser (a
+    // dispatcher finishing after the watchdog fired, or vice versa)
+    // discards its result.
+    std::atomic<bool> settled{false};
   };
+  using job_ptr = std::shared_ptr<job>;
 
   void dispatcher_loop();
-  // Runs one query (cache already missed), fulfilling the promise.
-  void execute_job(job& j);
+  void watchdog_loop();
+  // Runs one query (cache already missed), settling the promise unless the
+  // watchdog got there first.
+  void execute_job(const job_ptr& j);
+  // Settles `j` with `err` (if unsettled) and records the outcome in stats.
+  void settle_error(const job_ptr& j, std::exception_ptr err);
+  // First queued job whose kind is under its concurrency cap; queue_.end()
+  // if none. Caller holds mutex_.
+  std::deque<job_ptr>::iterator find_eligible_locked();
   // The query body proper; throws on bad requests.
-  static query_result execute(const query_request& req, const graph_entry& e);
+  static query_result execute(const query_request& req, const graph_entry& e,
+                              const cancel_token& token);
   static cache_key make_key(const query_request& req, uint64_t epoch);
 
   registry& registry_;
@@ -92,10 +136,26 @@ class query_executor {
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::deque<job> queue_;
+  std::deque<job_ptr> queue_;
   size_t running_ = 0;
+  std::array<size_t, kNumQueryKinds> running_by_kind_{};
   bool stop_ = false;
   std::vector<std::thread> dispatchers_;
+
+  // Deadline watchdog: min-heap of (deadline, job) the watchdog thread
+  // sleeps on; jobs register at submit() when they carry a deadline.
+  struct wd_entry {
+    std::chrono::steady_clock::time_point at;
+    std::weak_ptr<job> j;
+    friend bool operator>(const wd_entry& a, const wd_entry& b) {
+      return a.at > b.at;
+    }
+  };
+  std::mutex wd_mutex_;
+  std::condition_variable wd_cv_;
+  std::priority_queue<wd_entry, std::vector<wd_entry>, std::greater<>> wd_heap_;
+  bool wd_stop_ = false;
+  std::thread watchdog_;
 };
 
 }  // namespace ligra::engine

@@ -8,6 +8,7 @@
 // format of the query_server request files.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
@@ -15,19 +16,29 @@
 #include <utility>
 #include <vector>
 
+#include "engine/cancel.h"
 #include "graph/graph.h"
 
 namespace ligra::engine {
 
-// Base class of all engine errors (registry lookups, admission, shutdown).
-class engine_error : public std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
+// engine_error (the base of the hierarchy), cancelled_error, and
+// deadline_exceeded_error live in engine/cancel.h so the app layer can poll
+// tokens without pulling in the rest of the engine.
 
 // Thrown by query_executor::submit when the admission queue is full —
 // backpressure surfaces to the caller instead of blocking or deadlocking.
 class rejected_error : public engine_error {
   using engine_error::engine_error;
+};
+
+// Thrown by query_executor::submit when load shedding is active (queue depth
+// past the watermark) and the request is low priority. Unlike rejected_error
+// this carries advice: wait `retry_after` before resubmitting.
+class shed_error : public engine_error {
+ public:
+  shed_error(const std::string& message, std::chrono::milliseconds advice)
+      : engine_error(message), retry_after(advice) {}
+  std::chrono::milliseconds retry_after;
 };
 
 // Named graph is not (or no longer) registered.
@@ -62,15 +73,30 @@ inline const char* query_kind_name(query_kind k) {
 
 class graph_entry;  // registry.h
 
+// Admission priority under load shedding: past the executor's queue-depth
+// watermark, `low` submissions are shed immediately with retry_after advice
+// while `normal`/`high` keep being admitted until the queue is full.
+enum class query_priority : uint8_t { low, normal, high };
+
 struct query_request {
   std::string graph;  // registry name
   query_kind kind = query_kind::bfs_distance;
   vertex_id source = 0;           // bfs/sssp source; cc/kcore subject vertex
   vertex_id target = kNoVertex;   // bfs/sssp destination
   uint32_t k = 10;                // pagerank_topk list size
+  query_priority priority = query_priority::normal;
+  // Wall-clock budget from submission; 0 = none. Enforced cooperatively by
+  // round-boundary polling in the query body and, for bodies that never
+  // poll, by the executor watchdog resolving the future at the deadline.
+  std::chrono::milliseconds deadline{0};
+  // Optional caller-held cancellation; the executor layers the deadline on
+  // top of it, so cancelling the source stops the query either way.
+  cancel_token token;
   // kind == custom only: runs with the entry pinned; the returned value
   // lands in query_result::value. Not cached (closures have no identity).
-  std::function<int64_t(const graph_entry&)> custom;
+  // The token combines the request's token with the executor deadline —
+  // long-running closures should poll it.
+  std::function<int64_t(const graph_entry&, const cancel_token&)> custom;
 };
 
 struct query_result {

@@ -1,9 +1,15 @@
 #include "engine/registry.h"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <new>
+#include <thread>
 #include <utility>
 
 #include "graph/graph_io.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
 
 namespace ligra::engine {
 
@@ -23,7 +29,7 @@ graph structure_of(const wgraph& wg) {
 
 load_options::file_format sniff_format(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open file: " + path);
+  if (!in) throw io::io_error("cannot open file: " + path);
   char buf[24] = {};
   in.read(buf, sizeof(buf));
   std::string head(buf, static_cast<size_t>(in.gcount()));
@@ -34,13 +40,51 @@ load_options::file_format sniff_format(const std::string& path) {
   return load_options::file_format::edge_list;
 }
 
+// Backoff before retry `attempt` (1-based): base doubled per attempt,
+// capped, with deterministic jitter in [1/2, 1] of the capped value so
+// concurrent reloads of many graphs don't retry in lockstep.
+std::chrono::milliseconds backoff_for(const retry_options& r, size_t attempt) {
+  uint64_t ms = r.base_backoff_ms;
+  for (size_t i = 1; i < attempt && ms < r.max_backoff_ms; i++) ms *= 2;
+  ms = std::min<uint64_t>(ms, r.max_backoff_ms);
+  uint64_t half = ms / 2;
+  uint64_t jitter = half == 0 ? 0 : hash64(r.jitter_seed ^ attempt) % (half + 1);
+  return std::chrono::milliseconds(ms - half + jitter);
+}
+
 }  // namespace
 
 graph_handle registry::load(const std::string& name, const std::string& path,
                             const load_options& opts) {
+  const size_t max_attempts = std::max<size_t>(1, opts.retry.max_attempts);
+  for (size_t attempt = 1;; attempt++) {
+    try {
+      return load_once(name, path, opts);
+    } catch (const io::format_error& e) {
+      // Corrupt content: retrying rereads the same bytes, so fail now.
+      throw load_error("loading '" + name + "' from " + path + ": " + e.what(),
+                       attempt);
+    } catch (const std::invalid_argument& e) {
+      throw load_error("loading '" + name + "' from " + path + ": " + e.what(),
+                       attempt);
+    } catch (const std::exception& e) {
+      if (attempt >= max_attempts)
+        throw load_error("loading '" + name + "' from " + path + " failed after " +
+                             std::to_string(attempt) +
+                             " attempts: " + e.what(),
+                         attempt);
+      std::this_thread::sleep_for(backoff_for(opts.retry, attempt));
+    }
+  }
+}
+
+graph_handle registry::load_once(const std::string& name,
+                                 const std::string& path,
+                                 const load_options& opts) {
   auto format = opts.format == load_options::file_format::auto_detect
                     ? sniff_format(path)
                     : opts.format;
+  if (LIGRA_FAILPOINT("registry.load.alloc")) throw std::bad_alloc();
   auto e = std::make_shared<graph_entry>();
   if (opts.weighted) {
     switch (format) {
@@ -67,6 +111,12 @@ graph_handle registry::load(const std::string& name, const std::string& path,
         e->g_ = io::read_edge_list(path, opts.symmetric);
         break;
     }
+  }
+  // Validate *before* compressing or publishing: nothing below this point
+  // may fail after the new epoch becomes visible (all-or-nothing reload).
+  if (opts.validate) {
+    io::validate_graph(e->g_, path);
+    if (e->wg_) io::validate_graph(*e->wg_, path);
   }
   if (opts.compress)
     e->cg_ = compress::compressed_graph::from_graph(e->g_);

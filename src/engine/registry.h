@@ -35,6 +35,16 @@
 
 namespace ligra::engine {
 
+// Retry policy for transient load failures (capped exponential backoff
+// with deterministic jitter). Structural errors (io::format_error) are
+// permanent and never retried.
+struct retry_options {
+  size_t max_attempts = 3;      // total tries, including the first
+  uint32_t base_backoff_ms = 5; // doubles per attempt...
+  uint32_t max_backoff_ms = 200;  // ...capped here
+  uint64_t jitter_seed = 0;     // perturbs backoff deterministically
+};
+
 struct load_options {
   enum class file_format : uint8_t {
     auto_detect,  // sniff: LGRB magic -> binary, AdjacencyGraph header ->
@@ -51,6 +61,20 @@ struct load_options {
   bool symmetric = false;
   // Keep a byte-coded (Ligra+) replica of the structure alongside the CSR.
   bool compress = false;
+  // Run io::validate_graph on the loaded graph (and weighted view) before
+  // publishing the new epoch; validation failure aborts the load and any
+  // previously registered entry under the same name keeps serving.
+  bool validate = true;
+  retry_options retry;
+};
+
+// A load that failed after exhausting its retry budget (or immediately, for
+// permanent errors). `attempts` is how many tries were made.
+class load_error : public engine_error {
+ public:
+  load_error(const std::string& what, size_t attempts_made)
+      : engine_error(what), attempts(attempts_made) {}
+  size_t attempts;
 };
 
 // An immutable resident graph plus metadata. Handed out as
@@ -113,8 +137,11 @@ class registry {
 
   // Loads `path` and registers it as `name`, replacing any existing entry
   // (the old entry stays alive for queries still holding its handle).
-  // Throws std::runtime_error (from graph_io, message includes the path)
-  // on I/O or parse failure.
+  // All-or-nothing: reading, structural validation, and compression all
+  // happen *before* the new epoch is published, so a failed (re)load leaves
+  // the previous entry serving untouched. Transient I/O failures are
+  // retried per opts.retry; throws load_error once the budget is exhausted
+  // or immediately on permanent (format/validation) errors.
   graph_handle load(const std::string& name, const std::string& path,
                     const load_options& opts = {});
 
@@ -138,6 +165,8 @@ class registry {
   size_t total_memory_bytes() const;
 
  private:
+  graph_handle load_once(const std::string& name, const std::string& path,
+                         const load_options& opts);
   graph_handle insert(std::shared_ptr<graph_entry> e);
 
   mutable std::shared_mutex mutex_;

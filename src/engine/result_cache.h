@@ -6,11 +6,15 @@
 // immutable query_results, so a hit costs one pointer copy under the lock
 // and readers never block on each other's result data.
 //
-// A single mutex guards map + list + counters. Query results are milliseconds
-// of work; a sub-microsecond critical section per probe is nowhere near the
-// bottleneck, and it keeps eviction/recency updates trivially correct.
+// A single mutex guards map + list. Query results are milliseconds of work;
+// a sub-microsecond critical section per probe is nowhere near the
+// bottleneck, and it keeps eviction/recency updates trivially correct. The
+// counters, however, are relaxed atomics bumped *outside* the critical
+// section: they are pure observability and keeping them out of the lock
+// means a stats scrape never contends with the hit path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -46,11 +50,20 @@ struct cache_counters {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  uint64_t insert_failures = 0;  // failpoint-injected or allocation failures
 
   double hit_rate() const {
     uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+};
+
+// One consistent point-in-time view: counters plus occupancy, taken
+// together so callers never pair a fresh size with stale counters.
+struct cache_snapshot {
+  cache_counters counters;
+  size_t size = 0;
+  size_t capacity = 0;
 };
 
 class result_cache {
@@ -75,15 +88,28 @@ class result_cache {
   size_t capacity() const { return capacity_; }
   cache_counters counters() const;
 
+  // Counters + size + capacity in one call (size is sampled under the lock;
+  // the relaxed counters are read immediately after, so the view is
+  // consistent to within in-flight operations).
+  cache_snapshot snapshot() const;
+
  private:
   using lru_list =
       std::list<std::pair<cache_key, std::shared_ptr<const query_result>>>;
+
+  cache_counters load_counters() const;
 
   size_t capacity_;
   mutable std::mutex mutex_;
   lru_list lru_;  // front = most recently used
   std::unordered_map<cache_key, lru_list::iterator, cache_key_hash> map_;
-  cache_counters counters_;
+
+  // Observability only; bumped with relaxed atomics outside mutex_.
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insert_failures_{0};
 };
 
 }  // namespace ligra::engine

@@ -32,8 +32,11 @@ struct query_kind_stats {
 struct engine_stats_snapshot {
   uint64_t submitted = 0;   // accepted submissions (incl. cache hits)
   uint64_t completed = 0;   // futures fulfilled with a value
-  uint64_t failed = 0;      // futures fulfilled with an exception
-  uint64_t rejected = 0;    // admission-queue rejections
+  uint64_t failed = 0;      // futures fulfilled with an exception (other than below)
+  uint64_t rejected = 0;    // admission-queue rejections (queue full)
+  uint64_t cancelled = 0;   // futures settled with cancelled_error
+  uint64_t deadline_exceeded = 0;  // futures settled with deadline_exceeded_error
+  uint64_t shed = 0;        // low-priority queries shed past the watermark
   size_t queue_depth = 0;   // admitted, not yet running
   size_t running = 0;       // currently executing
   std::array<query_kind_stats, kNumQueryKinds> per_kind{};  // executed only
@@ -50,6 +53,11 @@ class engine_stats {
   void record_completed() { completed_.fetch_add(1, std::memory_order_relaxed); }
   void record_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
   void record_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void record_cancelled() { cancelled_.fetch_add(1, std::memory_order_relaxed); }
+  void record_deadline_exceeded() {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
 
   void record_latency(query_kind kind, double micros) {
     auto& s = per_kind_[static_cast<size_t>(kind)];
@@ -67,6 +75,9 @@ class engine_stats {
     out.completed = completed_.load(std::memory_order_relaxed);
     out.failed = failed_.load(std::memory_order_relaxed);
     out.rejected = rejected_.load(std::memory_order_relaxed);
+    out.cancelled = cancelled_.load(std::memory_order_relaxed);
+    out.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+    out.shed = shed_.load(std::memory_order_relaxed);
     for (size_t i = 0; i < kNumQueryKinds; i++) {
       out.per_kind[i].count = per_kind_[i].count.load(std::memory_order_relaxed);
       out.per_kind[i].total_micros =
@@ -86,6 +97,9 @@ class engine_stats {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> shed_{0};
   std::array<per_kind_atomics, kNumQueryKinds> per_kind_{};
 };
 

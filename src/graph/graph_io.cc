@@ -1,5 +1,6 @@
 #include "graph/graph_io.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -7,21 +8,26 @@
 #include <stdexcept>
 #include <vector>
 
+#include "graph/stats.h"
+#include "util/failpoint.h"
+
 namespace ligra::io {
 
 namespace {
 
-// Reads an entire file into a string; throws on failure.
+// Reads an entire file into a string; throws io_error on failure.
 std::string slurp(const std::string& path) {
+  if (LIGRA_FAILPOINT("graph_io.read"))
+    throw io_error("injected read failure (failpoint graph_io.read): " + path);
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open file: " + path);
+  if (!in) throw io_error("cannot open file: " + path);
   in.seekg(0, std::ios::end);
   auto size = in.tellg();
-  if (size < 0) throw std::runtime_error("cannot stat file: " + path);
+  if (size < 0) throw io_error("cannot stat file: " + path);
   std::string data(static_cast<size_t>(size), '\0');
   in.seekg(0);
   in.read(data.data(), size);
-  if (!in) throw std::runtime_error("short read: " + path);
+  if (!in) throw io_error("short read: " + path);
   return data;
 }
 
@@ -83,10 +89,9 @@ class token_scanner {
     }
   }
 
-  // Throws std::runtime_error annotated with "path:line".
+  // Throws format_error annotated with "path:line".
   [[noreturn]] void fail(const std::string& message) const {
-    throw std::runtime_error(path_ + ":" + std::to_string(line_) + ": " +
-                             message);
+    throw format_error(path_, line_, message);
   }
 
  private:
@@ -128,7 +133,7 @@ graph_t<W> read_adjacency_impl(const std::string& path, bool symmetric) {
   const char* tok;
   size_t len;
   if (!scan.next_token(&tok, &len))
-    throw std::runtime_error("empty graph file: " + path);
+    throw format_error(path, "empty graph file");
   constexpr bool weighted = graph_t<W>::is_weighted;
   std::string header(tok, len);
   const char* expect = weighted ? "WeightedAdjacencyGraph" : "AdjacencyGraph";
@@ -202,8 +207,8 @@ void read_pod_array(std::ifstream& in, std::vector<T>& v, size_t count,
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(count * sizeof(T)));
   if (!in)
-    throw std::runtime_error(path + ": binary graph: short read reading " +
-                             what);
+    throw format_error(path, std::string("binary graph: short read reading ") +
+                                 what);
 }
 
 template <class W>
@@ -228,20 +233,55 @@ void write_binary_impl(const std::string& path, const graph_t<W>& g) {
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
+// The expected byte size of a binary graph file with header `h`, or 0 if
+// the sizes overflow (absurd n/m — certainly corrupt).
+template <class W>
+uint64_t expected_binary_size(const binary_header& h) {
+  // Generous sanity bound well above any representable graph: offsets alone
+  // would exceed 2^61 bytes past this.
+  constexpr uint64_t kLimit = uint64_t{1} << 58;
+  if (h.m > kLimit) return 0;
+  const uint64_t offsets_bytes = (uint64_t{h.n} + 1) * sizeof(edge_id);
+  uint64_t per_dir = offsets_bytes + h.m * sizeof(vertex_id);
+  if constexpr (graph_t<W>::is_weighted) per_dir += h.m * sizeof(W);
+  const bool symmetric = (h.flags & 2u) != 0;
+  return sizeof(binary_header) + (symmetric ? per_dir : 2 * per_dir);
+}
+
 template <class W>
 graph_t<W> read_binary_impl(const std::string& path) {
+  if (LIGRA_FAILPOINT("graph_io.read"))
+    throw io_error("injected read failure (failpoint graph_io.read): " + path);
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open file: " + path);
+  if (!in) throw io_error("cannot open file: " + path);
+  in.seekg(0, std::ios::end);
+  auto file_size = in.tellg();
+  if (file_size < 0) throw io_error("cannot stat file: " + path);
+  in.seekg(0);
   binary_header h{};
   in.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (!in || std::memcmp(h.magic, kBinaryMagic, 4) != 0)
-    throw std::runtime_error("not a binary graph file: " + path);
+    throw format_error(path, "not a binary graph file");
   if (h.version != kBinaryVersion)
-    throw std::runtime_error("unsupported binary graph version in " + path);
+    throw format_error(path, "unsupported binary graph version " +
+                                 std::to_string(h.version));
   bool weighted = (h.flags & 1u) != 0;
   bool symmetric = (h.flags & 2u) != 0;
   if (weighted != graph_t<W>::is_weighted)
-    throw std::runtime_error("weighted/unweighted mismatch reading " + path);
+    throw format_error(path, "weighted/unweighted mismatch");
+  // n == 2^32-1 is the kNoVertex sentinel and can never be a vertex count.
+  if (h.n >= std::numeric_limits<vertex_id>::max())
+    throw format_error(path, "bad vertex count n=" + std::to_string(h.n));
+  // Exact size precheck: a truncated file or a corrupt (huge) n/m is
+  // rejected *before* any array allocation, so corrupt headers cannot
+  // trigger multi-gigabyte allocations or partial reads.
+  const uint64_t want = expected_binary_size<W>(h);
+  if (want == 0 || static_cast<uint64_t>(file_size) != want)
+    throw format_error(
+        path, "binary graph: file size " + std::to_string(file_size) +
+                  " does not match header (n=" + std::to_string(h.n) +
+                  ", m=" + std::to_string(h.m) + " wants " +
+                  std::to_string(want) + " bytes) — truncated or corrupt");
   std::vector<edge_id> out_off;
   std::vector<vertex_id> out_edges;
   std::vector<W> out_w;
@@ -260,9 +300,16 @@ graph_t<W> read_binary_impl(const std::string& path) {
     if constexpr (graph_t<W>::is_weighted)
       read_pod_array(in, in_w, h.m, path, "in-weights");
   }
-  return graph_t<W>::from_csr(h.n, std::move(out_off), std::move(out_edges),
-                              std::move(out_w), symmetric, std::move(in_off),
-                              std::move(in_edges), std::move(in_w));
+  // from_csr checks offset monotonicity/endpoints and target ranges;
+  // translate its invalid_argument into the typed I/O error so callers see
+  // a uniform "corrupt file" signal with the path attached.
+  try {
+    return graph_t<W>::from_csr(h.n, std::move(out_off), std::move(out_edges),
+                                std::move(out_w), symmetric, std::move(in_off),
+                                std::move(in_edges), std::move(in_w));
+  } catch (const std::invalid_argument& e) {
+    throw format_error(path, std::string("binary graph: ") + e.what());
+  }
 }
 
 template <class W>
@@ -331,6 +378,73 @@ graph read_edge_list(const std::string& path, bool symmetrize, vertex_id n) {
 wgraph read_weighted_edge_list(const std::string& path, bool symmetrize,
                                vertex_id n) {
   return read_edge_list_impl<int32_t>(path, symmetrize, n);
+}
+
+namespace {
+
+template <class W>
+void validate_graph_impl(const graph_t<W>& g, const std::string& context) {
+  const vertex_id n = g.num_vertices();
+  const auto& off = g.out_offsets();
+  if (off.size() != static_cast<size_t>(n) + 1)
+    throw format_error(context, "validate: out-offsets size " +
+                                    std::to_string(off.size()) +
+                                    " != n+1 = " + std::to_string(n + 1));
+  if (off.front() != 0 || off.back() != g.num_edges())
+    throw format_error(context, "validate: out-offset endpoints [" +
+                                    std::to_string(off.front()) + ", " +
+                                    std::to_string(off.back()) +
+                                    "] != [0, m]");
+  // Per-vertex structural checks in parallel; remember the first bad vertex
+  // (by id) so the error names a concrete location.
+  std::atomic<vertex_id> first_bad{kNoVertex};
+  parallel::parallel_for(0, n, [&](size_t vi) {
+    auto v = static_cast<vertex_id>(vi);
+    bool bad = off[vi] > off[vi + 1];
+    if (!bad) {
+      auto nbrs = g.out_neighbors(v);
+      for (size_t j = 0; j < nbrs.size(); j++) {
+        if (nbrs[j] >= n || (j > 0 && nbrs[j] < nbrs[j - 1])) {
+          bad = true;
+          break;
+        }
+      }
+    }
+    if (bad) {
+      vertex_id prev = first_bad.load(std::memory_order_relaxed);
+      while (v < prev && !first_bad.compare_exchange_weak(
+                             prev, v, std::memory_order_relaxed)) {
+      }
+    }
+  });
+  if (vertex_id v = first_bad.load(); v != kNoVertex)
+    throw format_error(context,
+                       "validate: vertex " + std::to_string(v) +
+                           " has a non-monotone offset, out-of-range "
+                           "target, or unsorted adjacency list");
+  if (!g.symmetric()) {
+    edge_id in_total = parallel::reduce_add(n, [&](size_t v) -> edge_id {
+      return g.in_degree(static_cast<vertex_id>(v));
+    });
+    if (in_total != g.num_edges())
+      throw format_error(context, "validate: in-edge count " +
+                                      std::to_string(in_total) +
+                                      " != out-edge count " +
+                                      std::to_string(g.num_edges()));
+  } else if (!edges_are_symmetric(g)) {
+    throw format_error(context,
+                       "validate: graph is flagged symmetric but some edge "
+                       "(u, v) is missing its reverse (v, u)");
+  }
+}
+
+}  // namespace
+
+void validate_graph(const graph& g, const std::string& context) {
+  validate_graph_impl(g, context);
+}
+void validate_graph(const wgraph& g, const std::string& context) {
+  validate_graph_impl(g, context);
 }
 
 }  // namespace ligra::io

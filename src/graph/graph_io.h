@@ -18,15 +18,44 @@
 //    CSRs, and loads without parsing — used by the examples to cache
 //    generated inputs.
 //
-// All readers validate and throw std::runtime_error on malformed input —
-// failures happen before any parallel region starts.
+// All readers validate and throw typed errors on malformed input —
+// io_error for I/O-level failures (missing file, short read) and
+// format_error for structurally invalid content (bad header, out-of-range
+// vertex ids, non-monotone offsets, truncated arrays). Both derive from
+// std::runtime_error, so pre-existing catch sites keep working. Failures
+// happen before any parallel region starts.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "graph/graph.h"
 
 namespace ligra::io {
+
+// I/O-level failure: the file could not be opened, statted, or fully read.
+// The engine registry treats these as transient and retries them.
+class io_error : public std::runtime_error {
+ public:
+  explicit io_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Structurally invalid content. Permanent: retrying cannot help, so the
+// registry fails the load immediately (keeping any previously published
+// epoch serving).
+class format_error : public io_error {
+ public:
+  format_error(std::string path, const std::string& what)
+      : io_error(path + ": " + what), path_(std::move(path)) {}
+  // Text-format parse errors pinpoint the 1-based line: "path:line: what".
+  format_error(std::string path, size_t line, const std::string& what)
+      : io_error(path + ":" + std::to_string(line) + ": " + what),
+        path_(std::move(path)) {}
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 // --- AdjacencyGraph text format ---------------------------------------------
 
@@ -53,5 +82,16 @@ graph read_edge_list(const std::string& path, bool symmetrize,
                      vertex_id n = 0);
 wgraph read_weighted_edge_list(const std::string& path, bool symmetrize,
                                vertex_id n = 0);
+
+// --- structural validation ------------------------------------------------------
+
+// Deep structural invariant check, shared by the binary reader and the
+// engine registry's pre-publish validation: offset monotonicity and
+// endpoints, edge targets in range, sorted adjacency lists, in/out edge
+// count consistency, and — for graphs built as symmetric — that every edge
+// (u, v) has its reverse (v, u). Throws format_error naming `context` (a
+// path or registry name) on the first violated invariant.
+void validate_graph(const graph& g, const std::string& context);
+void validate_graph(const wgraph& g, const std::string& context);
 
 }  // namespace ligra::io

@@ -1,0 +1,102 @@
+// Failpoint fault-injection framework (docs/ROBUSTNESS.md).
+//
+// A failpoint is a named site in the code — `LIGRA_FAILPOINT("graph_io.read")`
+// — that normally costs one relaxed atomic load and a never-taken branch.
+// Tests (or the LIGRA_FAILPOINTS environment variable) can *arm* a site to
+// misbehave: throw a failpoint_error, report an injectable error to the site
+// (the macro returns true and the site decides what "error" means there), or
+// sleep for N milliseconds — each optionally with a firing probability and a
+// bounded trigger count. This is how the robustness tests drive I/O failures,
+// slow dispatches, and cache faults through otherwise-unreachable paths.
+//
+// Compile-time gate: building with -DLIGRA_FAILPOINTS_ENABLED=0 (CMake option
+// LIGRA_FAILPOINTS_ENABLED=OFF) turns every site into a constant-false branch
+// the optimizer deletes; arm/disarm still compile but evaluation never fires.
+//
+// Environment format (parsed once at startup):
+//   LIGRA_FAILPOINTS="graph_io.read=throw;cache.insert=sleep(10),p=0.5,count=3"
+// Grammar per site: <site>=<action>[,p=<prob>][,count=<n>] joined with ';',
+// where <action> is one of: off | throw | throw(message) | fail | sleep(ms).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef LIGRA_FAILPOINTS_ENABLED
+#define LIGRA_FAILPOINTS_ENABLED 1
+#endif
+
+namespace ligra::util::failpoint {
+
+// Thrown by sites armed with the `throw` action.
+class failpoint_error : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class action : uint8_t {
+  off,          // site disarmed (configure's way to cancel an env spec)
+  throw_error,  // eval throws failpoint_error
+  fail,         // eval returns true; the site injects its own error path
+  sleep_ms,     // eval sleeps, then behaves as unarmed (latency injection)
+};
+
+struct spec {
+  failpoint::action act = action::off;
+  uint32_t sleep_millis = 0;  // sleep_ms only
+  double probability = 1.0;   // chance each eval fires, in [0, 1]
+  int64_t count = -1;         // firings before auto-disarm; -1 = unlimited
+  std::string message;        // appended to throw_error's what()
+};
+
+// True when failpoints were compiled in; tests skip injection cases when not.
+constexpr bool compiled_in() { return LIGRA_FAILPOINTS_ENABLED != 0; }
+
+// Arms `site` with `s` (replacing any previous arming). action::off disarms.
+void arm(const std::string& site, spec s);
+
+// Disarms `site`; returns false if it was not armed.
+bool disarm(const std::string& site);
+void disarm_all();
+
+// Parses and applies a spec string (the LIGRA_FAILPOINTS format above).
+// Throws std::invalid_argument on malformed input.
+void configure(const std::string& spec_string);
+
+// Currently armed sites (order unspecified).
+std::vector<std::pair<std::string, spec>> list();
+
+// Times `site` has fired since process start (survives disarm; for tests).
+uint64_t hits(const std::string& site);
+
+namespace detail {
+extern std::atomic<int> num_armed;
+bool eval_slow(const char* site);
+}  // namespace detail
+
+// Evaluation at a site. Returns true when the armed action is `fail`; throws
+// for `throw`; sleeps (and returns false) for `sleep`. The fast path — no
+// site armed anywhere — is one relaxed load.
+inline bool eval(const char* site) {
+#if LIGRA_FAILPOINTS_ENABLED
+  if (detail::num_armed.load(std::memory_order_relaxed) == 0) return false;
+  return detail::eval_slow(site);
+#else
+  (void)site;
+  return false;
+#endif
+}
+
+}  // namespace ligra::util::failpoint
+
+// Site marker. Usage:
+//   if (LIGRA_FAILPOINT("graph_io.read")) throw io_error("injected");
+// or, for throw/sleep-only sites, as a bare statement.
+#if LIGRA_FAILPOINTS_ENABLED
+#define LIGRA_FAILPOINT(site) ::ligra::util::failpoint::eval(site)
+#else
+#define LIGRA_FAILPOINT(site) (false)
+#endif

@@ -127,3 +127,35 @@ TEST(EngineCache, ConcurrentGetPut) {
   EXPECT_EQ(c.hits + c.misses,
             static_cast<uint64_t>(threads) * static_cast<uint64_t>(iters));
 }
+
+TEST(EngineCache, SnapshotReportsCountersSizeAndCapacity) {
+  e::result_cache cache(4);
+  cache.put(key(1, 0), value(1));
+  cache.put(key(1, 1), value(2));
+  cache.get(key(1, 0));
+  cache.get(key(9, 9));  // miss
+  auto snap = cache.snapshot();
+  EXPECT_EQ(snap.size, 2u);
+  EXPECT_EQ(snap.capacity, 4u);
+  EXPECT_EQ(snap.counters.hits, 1u);
+  EXPECT_EQ(snap.counters.misses, 1u);
+  EXPECT_EQ(snap.counters.insertions, 2u);
+  EXPECT_EQ(snap.counters.insert_failures, 0u);
+}
+
+TEST(EngineCache, ConcurrentCounterUpdatesDoNotTear) {
+  // Counters are atomics bumped outside the LRU mutex; hammer the same keys
+  // from many threads and check the totals add up exactly.
+  e::result_cache cache(64);
+  constexpr int kThreads = 8, kOps = 2048;  // whole number of 32-key cycles
+  for (uint64_t i = 0; i < 16; i++) cache.put(key(1, i), value(int64_t(i)));
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; t++)
+    ts.emplace_back([&] {
+      for (int i = 0; i < kOps; i++) cache.get(key(1, uint64_t(i) % 32));
+    });
+  for (auto& t : ts) t.join();
+  auto c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses, uint64_t(kThreads) * kOps);
+  EXPECT_EQ(c.hits, uint64_t(kThreads) * kOps / 2);  // half the keys exist
+}

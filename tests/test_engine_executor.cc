@@ -63,7 +63,7 @@ struct blocker {
     e::query_request q;
     q.graph = g;
     q.kind = e::query_kind::custom;
-    q.custom = [this](const e::graph_entry&) -> int64_t {
+    q.custom = [this](const e::graph_entry&, const e::cancel_token&) -> int64_t {
       started.fetch_add(1);
       gate.wait();
       return 7;
@@ -169,7 +169,7 @@ TEST(EngineExecutor, CustomQueriesBypassCache) {
   e::query_request q;
   q.graph = "social";
   q.kind = e::query_kind::custom;
-  q.custom = [&](const e::graph_entry& entry) -> int64_t {
+  q.custom = [&](const e::graph_entry& entry, const e::cancel_token&) -> int64_t {
     calls.fetch_add(1);
     return static_cast<int64_t>(entry.structure().num_vertices());
   };
@@ -187,7 +187,7 @@ TEST(EngineExecutor, QueriesRunInsideWorkerPool) {
   e::query_request q;
   q.graph = "social";
   q.kind = e::query_kind::custom;
-  q.custom = [](const e::graph_entry&) -> int64_t {
+  q.custom = [](const e::graph_entry&, const e::cancel_token&) -> int64_t {
     return parallel::worker_id();
   };
   EXPECT_GE(ex.submit(q).get().value, 0);  // worker context, not foreign

@@ -1,0 +1,136 @@
+// Tests for the failpoint fault-injection framework (docs/ROBUSTNESS.md):
+// arming/disarming, the three actions, probability and count options, the
+// env/configure grammar, and hit accounting. Injection cases skip when the
+// build compiled failpoints out (LIGRA_FAILPOINTS_ENABLED=OFF).
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+namespace fp = ligra::util::failpoint;
+
+namespace {
+
+// Every test leaves the global registry clean for the next one.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::disarm_all(); }
+  void TearDown() override { fp::disarm_all(); }
+};
+
+}  // namespace
+
+TEST_F(FailpointTest, UnarmedSiteIsFalse) {
+  EXPECT_FALSE(LIGRA_FAILPOINT("test.nowhere"));
+}
+
+TEST_F(FailpointTest, FailActionReturnsTrueAndCountsDown) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  fp::spec s;
+  s.act = fp::action::fail;
+  s.count = 2;
+  fp::arm("test.fail", s);
+  uint64_t base = fp::hits("test.fail");
+  EXPECT_TRUE(LIGRA_FAILPOINT("test.fail"));
+  EXPECT_TRUE(LIGRA_FAILPOINT("test.fail"));
+  // count exhausted -> auto-disarmed
+  EXPECT_FALSE(LIGRA_FAILPOINT("test.fail"));
+  EXPECT_EQ(fp::hits("test.fail"), base + 2);
+  EXPECT_FALSE(fp::disarm("test.fail"));  // already gone
+}
+
+TEST_F(FailpointTest, ThrowActionThrowsWithMessage) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  fp::spec s;
+  s.act = fp::action::throw_error;
+  s.message = "synthetic disk error";
+  fp::arm("test.throw", s);
+  try {
+    LIGRA_FAILPOINT("test.throw");
+    FAIL() << "expected failpoint_error";
+  } catch (const fp::failpoint_error& e) {
+    EXPECT_NE(std::string(e.what()).find("synthetic disk error"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test.throw"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, SleepActionDelaysAndReturnsFalse) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  fp::spec s;
+  s.act = fp::action::sleep_ms;
+  s.sleep_millis = 30;
+  fp::arm("test.sleep", s);
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(LIGRA_FAILPOINT("test.sleep"));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST_F(FailpointTest, ProbabilityFiresRoughlyProportionally) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  fp::spec s;
+  s.act = fp::action::fail;
+  s.probability = 0.5;
+  fp::arm("test.prob", s);
+  int fired = 0;
+  for (int i = 0; i < 400; i++)
+    if (LIGRA_FAILPOINT("test.prob")) fired++;
+  // Deterministic RNG; wide interval so the assertion is draw-order-proof.
+  EXPECT_GT(fired, 100);
+  EXPECT_LT(fired, 300);
+}
+
+TEST_F(FailpointTest, ConfigureParsesTheEnvGrammar) {
+  fp::configure(
+      "test.a=fail,count=3;test.b=sleep(10),p=0.25;test.c=throw(boom)");
+  auto armed = fp::list();
+  ASSERT_EQ(armed.size(), 3u);
+  for (const auto& [site, s] : armed) {
+    if (site == "test.a") {
+      EXPECT_EQ(s.act, fp::action::fail);
+      EXPECT_EQ(s.count, 3);
+    } else if (site == "test.b") {
+      EXPECT_EQ(s.act, fp::action::sleep_ms);
+      EXPECT_EQ(s.sleep_millis, 10u);
+      EXPECT_DOUBLE_EQ(s.probability, 0.25);
+    } else if (site == "test.c") {
+      EXPECT_EQ(s.act, fp::action::throw_error);
+      EXPECT_EQ(s.message, "boom");
+    } else {
+      ADD_FAILURE() << "unexpected site " << site;
+    }
+  }
+  // "off" disarms an armed site through the same grammar.
+  fp::configure("test.a=off");
+  EXPECT_EQ(fp::list().size(), 2u);
+  fp::disarm_all();
+  EXPECT_TRUE(fp::list().empty());
+}
+
+TEST_F(FailpointTest, ConfigureRejectsMalformedSpecs) {
+  EXPECT_THROW(fp::configure("noequals"), std::invalid_argument);
+  EXPECT_THROW(fp::configure("site=explode"), std::invalid_argument);
+  EXPECT_THROW(fp::configure("site=fail,p=1.5"), std::invalid_argument);
+  EXPECT_THROW(fp::configure("site=fail,count=-2"), std::invalid_argument);
+  EXPECT_THROW(fp::configure("site=sleep(abc)"), std::invalid_argument);
+  EXPECT_THROW(fp::configure("=fail"), std::invalid_argument);
+  EXPECT_TRUE(fp::list().empty());
+}
+
+TEST_F(FailpointTest, RearmReplacesSpec) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  fp::spec s;
+  s.act = fp::action::fail;
+  fp::arm("test.rearm", s);
+  EXPECT_TRUE(LIGRA_FAILPOINT("test.rearm"));
+  s.act = fp::action::sleep_ms;
+  s.sleep_millis = 0;
+  fp::arm("test.rearm", s);  // replace, not duplicate
+  EXPECT_FALSE(LIGRA_FAILPOINT("test.rearm"));
+  EXPECT_EQ(fp::list().size(), 1u);
+  EXPECT_TRUE(fp::disarm("test.rearm"));
+}

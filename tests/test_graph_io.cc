@@ -271,3 +271,97 @@ TEST(GraphIo, EmptyGraphRoundTrip) {
   EXPECT_EQ(g2.num_vertices(), 3u);
   EXPECT_EQ(g2.num_edges(), 0u);
 }
+
+// --- typed errors & binary structural hardening (docs/ROBUSTNESS.md) --------
+
+TEST(GraphIo, ErrorsAreTyped) {
+  // All I/O failures derive from io::io_error; parse/structure failures are
+  // the io::format_error subtype carrying the offending path.
+  EXPECT_THROW(io::read_adjacency_graph("/nonexistent/x.adj", true),
+               io::io_error);
+  TempFile f("typed.adj");
+  f.write("NotAGraph\n1\n0\n0\n");
+  try {
+    io::read_adjacency_graph(f.path(), true);
+    FAIL() << "expected io::format_error";
+  } catch (const io::format_error& err) {
+    EXPECT_EQ(err.path(), f.path());
+  }
+}
+
+namespace {
+
+// Writes a well-formed binary graph, then lets the test stomp on bytes at a
+// given offset before reading it back.
+std::string binary_bytes_of(const graph& g, TempFile& f) {
+  io::write_binary_graph(f.path(), g);
+  std::ifstream in(f.path(), std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+constexpr size_t kBinHeaderBytes = 24;  // magic + version + flags + n + m
+
+}  // namespace
+
+TEST(GraphIo, BinaryOutOfRangeTargetIsFormatError) {
+  TempFile f("oor.bin");
+  auto g = gen::rmat_graph(7, 1 << 9, 11);
+  std::string data = binary_bytes_of(g, f);
+  // First edge target lives right after the offsets array.
+  const size_t pos =
+      kBinHeaderBytes + (static_cast<size_t>(g.num_vertices()) + 1) * sizeof(edge_id);
+  const uint32_t bad = 0xFFFFFFFEu;
+  data.replace(pos, sizeof(bad),
+               std::string(reinterpret_cast<const char*>(&bad), sizeof(bad)));
+  f.write(data);
+  EXPECT_THROW(io::read_binary_graph(f.path()), io::format_error);
+}
+
+TEST(GraphIo, BinaryNonMonotoneOffsetsAreFormatError) {
+  TempFile f("mono.bin");
+  auto g = gen::rmat_graph(7, 1 << 9, 12);
+  std::string data = binary_bytes_of(g, f);
+  // Bump offsets[1] past offsets[n]: the offset array is no longer
+  // monotone, which must be caught before the graph is published.
+  const size_t pos = kBinHeaderBytes + sizeof(edge_id);
+  const edge_id bad = g.num_edges() + 100;
+  data.replace(pos, sizeof(bad),
+               std::string(reinterpret_cast<const char*>(&bad), sizeof(bad)));
+  f.write(data);
+  EXPECT_THROW(io::read_binary_graph(f.path()), io::format_error);
+}
+
+TEST(GraphIo, BinaryHugeEdgeCountRejectedBeforeAllocation) {
+  // A corrupt header claiming 2^59 edges must be rejected by the size
+  // precheck, not by attempting a massive allocation.
+  TempFile f("huge.bin");
+  std::string data = binary_bytes_of(gen::path_graph(8), f);
+  const uint64_t huge_m = uint64_t{1} << 59;
+  data.replace(16, sizeof(huge_m),
+               std::string(reinterpret_cast<const char*>(&huge_m),
+                           sizeof(huge_m)));
+  f.write(data);
+  EXPECT_THROW(io::read_binary_graph(f.path()), io::format_error);
+}
+
+TEST(GraphIo, BinarySentinelVertexCountRejected) {
+  // n == kNoVertex would make the sentinel a valid id; the reader rejects it.
+  TempFile f("sentinel.bin");
+  std::string data = binary_bytes_of(gen::path_graph(8), f);
+  const uint32_t bad_n = 0xFFFFFFFFu;
+  data.replace(12, sizeof(bad_n),
+               std::string(reinterpret_cast<const char*>(&bad_n),
+                           sizeof(bad_n)));
+  f.write(data);
+  EXPECT_THROW(io::read_binary_graph(f.path()), io::format_error);
+}
+
+TEST(GraphIo, ValidateGraphAcceptsRoundTrips) {
+  auto g = gen::rmat_graph(8, 1 << 10, 13);
+  EXPECT_NO_THROW(io::validate_graph(g, "unit"));
+  auto d = gen::rmat_digraph(8, 1 << 10, 14);
+  EXPECT_NO_THROW(io::validate_graph(d, "unit"));
+  auto w = gen::add_random_weights(g, 1, 9, 15);
+  EXPECT_NO_THROW(io::validate_graph(w, "unit"));
+}
