@@ -19,6 +19,7 @@
 #include "graph/generators.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 using namespace ligra;
 
@@ -73,7 +74,7 @@ std::vector<engine::query_request> workload(size_t count) {
 
 double replay_seconds(engine::query_executor& ex,
                       const std::vector<engine::query_request>& reqs) {
-  auto t0 = std::chrono::steady_clock::now();
+  const monotonic_time t0 = mono_now();
   std::vector<std::future<engine::query_result>> futs;
   futs.reserve(reqs.size());
   for (const auto& q : reqs) {
@@ -87,8 +88,7 @@ double replay_seconds(engine::query_executor& ex,
     }
   }
   for (auto& f : futs) f.get();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+  return seconds_since(t0);
 }
 
 void print_summary() {

@@ -19,6 +19,7 @@
 #include "apps/apps.h"
 #include "baseline/serial.h"
 #include "bench/inputs.h"
+#include "obs/metrics.h"
 #include "parallel/scheduler.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -66,8 +67,32 @@ const std::vector<app_row>& app_rows() {
   return rows;
 }
 
-double time_run(const std::function<void()>& f) {
-  return time_best_of(bench_rounds(), f);
+// Every timed round lands in a per-(app, input, workers) histogram in this
+// registry; the TABLE2_JSON line at the end is its render_json() — the same
+// digests (count/sum/max/p50/...) the engine exposes, reused for
+// machine-readable bench output (parsed by the CI bench-smoke step).
+obs::metrics_registry& bench_metrics() {
+  static obs::metrics_registry reg;
+  return reg;
+}
+
+// Best-of-k like time_best_of, but records every round into `h`.
+double time_run(const std::function<void()>& f, obs::histogram* h = nullptr) {
+  double best = 0;
+  const int rounds = bench_rounds();
+  for (int i = 0; i < rounds; i++) {
+    double t = time_it(f);
+    if (h != nullptr) h->record(static_cast<uint64_t>(t * 1e6));
+    if (i == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+obs::histogram& run_hist(const std::string& app, const std::string& input,
+                         int workers) {
+  return bench_metrics().get_histogram(
+      "bench_run_micros{app=\"" + app + "\",input=\"" + input +
+      "\",workers=\"" + std::to_string(workers) + "\"}");
 }
 
 void print_table2() {
@@ -82,9 +107,11 @@ void print_table2() {
       double serial = 0;
       if (app.serial_run) serial = time_run([&] { app.serial_run(in.g); });
       parallel::set_num_workers(1);
-      double t1 = time_run([&] { app.parallel_run(in.g); });
+      double t1 = time_run([&] { app.parallel_run(in.g); },
+                           &run_hist(app.name, in.name, 1));
       parallel::set_num_workers(max_workers);
-      double tp = time_run([&] { app.parallel_run(in.g); });
+      double tp = time_run([&] { app.parallel_run(in.g); },
+                           &run_hist(app.name, in.name, max_workers));
       t.add_row({app.name, in.name,
                  app.serial_run ? format_double(serial, 3) : "--",
                  format_double(t1, 3), format_double(tp, 3),
@@ -96,15 +123,19 @@ void print_table2() {
   for (const auto& [name, wg] : bench::weighted_inputs()) {
     double serial = time_run([&] { baseline::dijkstra(wg, 0); });
     parallel::set_num_workers(1);
-    double t1 = time_run([&] { apps::bellman_ford(wg, 0); });
+    double t1 = time_run([&] { apps::bellman_ford(wg, 0); },
+                         &run_hist("Bellman-Ford", name, 1));
     parallel::set_num_workers(max_workers);
-    double tp = time_run([&] { apps::bellman_ford(wg, 0); });
+    double tp = time_run([&] { apps::bellman_ford(wg, 0); },
+                         &run_hist("Bellman-Ford", name, max_workers));
     t.add_row({"Bellman-Ford", name, format_double(serial, 3),
                format_double(t1, 3), format_double(tp, 3),
                format_double(t1 / tp, 2)});
   }
   t.print();
   std::printf("\n");
+  // One line, machine-readable: every timed round's histogram digest.
+  std::printf("TABLE2_JSON %s\n\n", bench_metrics().render_json().c_str());
 }
 
 // --- machine-readable per-app benchmarks (all workers) -----------------------

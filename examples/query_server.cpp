@@ -16,6 +16,12 @@
 //   -shed-watermark N   shed low-priority submissions past this queue depth
 //   -failpoints SPEC    arm failpoints, e.g. "cache.insert=fail,p=0.1"
 //
+// Observability knobs (docs/OBSERVABILITY.md):
+//   -stats-interval S   every S seconds, print per-kind p50/p95/p99 latency
+//                       and queue/running depth from the shared registry
+//   -metrics-dump FMT   dump the full metrics registry at exit
+//                       (FMT = text | json; default text)
+//
 // Request-file / REPL line format (one request per line, '#' comments):
 //   <graph> bfs <source> <target>
 //   <graph> sssp <source> <target>
@@ -23,11 +29,13 @@
 //   <graph> cc <vertex>
 //   <graph> kcore <vertex>
 //   <graph> triangles
-// REPL extras: graphs | stats | clear-cache | help | quit
+// REPL extras: graphs | stats | metrics | trace <request> | clear-cache |
+//              help | quit
 //
 // Every replay runs twice — cold (empty cache) and warm (same requests
 // again) — so the cache's effect on p50 is visible directly.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -39,20 +47,17 @@
 
 #include "engine/engine.h"
 #include "graph/generators.h"
+#include "obs/collectors.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 using namespace ligra;
 
 namespace {
-
-using clock_type = std::chrono::steady_clock;
-
-double micros_since(clock_type::time_point t0) {
-  return std::chrono::duration<double, std::micro>(clock_type::now() - t0)
-      .count();
-}
 
 double percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0.0;
@@ -152,12 +157,12 @@ replay_report replay(engine::query_executor& ex,
                      double cancel_rate = 0.0) {
   replay_report rep;
   std::vector<std::future<engine::query_result>> futures;
-  std::vector<clock_type::time_point> starts;
+  std::vector<monotonic_time> starts;
   std::vector<engine::cancel_source> sources;  // keep cancelled tokens alive
   futures.reserve(requests.size());
   starts.reserve(requests.size());
   rng cancel_draw(7);
-  auto wall0 = clock_type::now();
+  const monotonic_time wall0 = mono_now();
   for (size_t i = 0; i < requests.size(); i++) {
     engine::query_request req = requests[i];
     bool cancel_this =
@@ -167,7 +172,7 @@ replay_report replay(engine::query_executor& ex,
       sources.emplace_back();
       req.token = sources.back().token();
     }
-    auto t0 = clock_type::now();
+    const monotonic_time t0 = mono_now();
     while (true) {
       try {
         futures.push_back(ex.submit(req));
@@ -292,15 +297,75 @@ void print_stats(engine::query_executor& ex) {
               static_cast<unsigned long long>(s.cache.misses),
               static_cast<unsigned long long>(s.cache.evictions),
               100.0 * s.cache.hit_rate());
+  if (s.submitted > 0)
+    std::printf("admission: shed %.1f%%, rejected %.1f%% of %llu submissions\n",
+                100.0 * static_cast<double>(s.shed) /
+                    static_cast<double>(s.submitted),
+                100.0 * static_cast<double>(s.rejected) /
+                    static_cast<double>(s.submitted),
+                static_cast<unsigned long long>(s.submitted));
   for (size_t i = 0; i < engine::kNumQueryKinds; i++) {
     const auto& k = s.per_kind[i];
     if (k.count == 0) continue;
-    std::printf("  %-10s %6llu executed, mean %9.1f us, max %9.1f us\n",
+    std::printf("  %-10s %6llu executed, mean %9.1f us, p50 %9.1f, "
+                "p95 %9.1f, p99 %9.1f, max %9.1f us\n",
                 engine::query_kind_name(static_cast<engine::query_kind>(i)),
                 static_cast<unsigned long long>(k.count), k.mean_micros(),
+                k.p50_micros, k.p95_micros, k.p99_micros,
                 static_cast<double>(k.max_micros));
   }
 }
+
+// -stats-interval: a background thread that reports per-kind latency
+// digests (from the shared metrics registry, via the executor's histogram
+// snapshots) and queue/running depth every `seconds` while work is in
+// flight. Reports incremental counts since the previous tick so bursts are
+// visible.
+class periodic_reporter {
+ public:
+  periodic_reporter(engine::query_executor& ex, double seconds)
+      : ex_(ex), seconds_(seconds) {
+    if (seconds_ > 0) thread_ = std::thread([this] { loop(); });
+  }
+  ~periodic_reporter() {
+    if (!thread_.joinable()) return;
+    stop_.store(true);
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    const monotonic_time start = mono_now();
+    double next = seconds_;
+    uint64_t last_count[engine::kNumQueryKinds] = {};
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (seconds_since(start) < next) continue;
+      next += seconds_;
+      auto s = ex_.stats();  // histogram-backed p50/p95/p99 per kind
+      std::printf("[stats %6.1fs] queue %zu running %zu\n",
+                  seconds_since(start), s.queue_depth, s.running);
+      for (size_t i = 0; i < engine::kNumQueryKinds; i++) {
+        const auto& k = s.per_kind[i];
+        if (k.count == 0) continue;
+        std::printf("[stats %6.1fs]   %-10s %6llu done (+%llu), p50 %9.1f, "
+                    "p95 %9.1f, p99 %9.1f us\n",
+                    seconds_since(start),
+                    engine::query_kind_name(static_cast<engine::query_kind>(i)),
+                    static_cast<unsigned long long>(k.count),
+                    static_cast<unsigned long long>(k.count - last_count[i]),
+                    k.p50_micros, k.p95_micros, k.p99_micros);
+        last_count[i] = k.count;
+      }
+      std::fflush(stdout);
+    }
+  }
+
+  engine::query_executor& ex_;
+  double seconds_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 void repl(engine::query_executor& ex) {
   std::printf("query> "); std::fflush(stdout);
@@ -311,7 +376,21 @@ void repl(engine::query_executor& ex) {
       if (line == "help") {
         std::printf("  <graph> bfs <s> <t> | sssp <s> <t> | pagerank <k> | "
                     "cc <v> | kcore <v> | triangles\n"
-                    "  graphs | stats | clear-cache | quit\n");
+                    "  trace <request>   run a query with traversal tracing, "
+                    "print the trace JSON\n"
+                    "  graphs | stats | metrics | clear-cache | quit\n");
+      } else if (line == "metrics") {
+        std::fputs(ex.metrics().render_text().c_str(), stdout);
+      } else if (line.rfind("trace ", 0) == 0) {
+        engine::query_request req;
+        if (parse_request(line.substr(6), req)) {
+          obs::query_trace trace;
+          req.trace = &trace;
+          auto r = ex.run(req);
+          std::printf("  = %lld   (%.1f us)\n", static_cast<long long>(r.value),
+                      r.micros);
+          std::printf("%s\n", trace.to_json().c_str());
+        }
       } else if (line == "graphs") {
         for (const auto& g : ex.graphs().list())
           std::printf("  %-12s epoch %llu, %u vertices, %llu edges, %.1f MB%s\n",
@@ -349,7 +428,13 @@ void repl(engine::query_executor& ex) {
 
 int main(int argc, char* argv[]) {
   command_line cli(argc, argv);
-  engine::registry reg;
+  // One shared metrics registry for the whole process: graph residency,
+  // executor, cache, scheduler, and failpoints all publish into it, so
+  // `-metrics-dump` / the REPL `metrics` command scrape everything at once.
+  obs::metrics_registry metrics;
+  obs::install_failpoint_collector(metrics);
+  obs::install_scheduler_collector(metrics);
+  engine::registry reg(&metrics);
 
   // Graphs: explicit -load specs, else the built-in demo pair.
   bool loaded = false;
@@ -388,6 +473,7 @@ int main(int argc, char* argv[]) {
   opts.use_pool = !cli.has("no-pool");
   opts.shed_watermark =
       static_cast<size_t>(cli.get_int("shed-watermark", 0));
+  opts.metrics = &metrics;
   engine::query_executor ex(reg, opts);
 
   if (cli.has("failpoints")) {
@@ -403,8 +489,18 @@ int main(int argc, char* argv[]) {
     }
   }
 
+  // -metrics-dump [text|json]: full registry exposition at exit.
+  auto maybe_dump_metrics = [&] {
+    if (!cli.has("metrics-dump")) return;
+    if (cli.get_string("metrics-dump") == "json")
+      std::printf("%s\n", metrics.render_json().c_str());
+    else
+      std::fputs(metrics.render_text().c_str(), stdout);
+  };
+
   if (cli.has("repl")) {
     repl(ex);
+    maybe_dump_metrics();
     return 0;
   }
 
@@ -443,6 +539,7 @@ int main(int argc, char* argv[]) {
   }
 
   // Cold pass (empty cache), then warm pass over the identical workload.
+  periodic_reporter reporter(ex, cli.get_double("stats-interval", 0.0));
   ex.cache().clear();
   auto cold = replay(ex, requests, cancel_rate);
   auto cold_snap = ex.stats();
@@ -459,5 +556,6 @@ int main(int argc, char* argv[]) {
               requests.size());
   std::printf("\n");
   print_stats(ex);
+  maybe_dump_metrics();
   return 0;
 }

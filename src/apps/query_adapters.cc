@@ -12,6 +12,7 @@
 #include "apps/kcore.h"
 #include "apps/pagerank.h"
 #include "apps/triangle.h"
+#include "obs/trace.h"
 
 namespace ligra::apps {
 
@@ -37,6 +38,7 @@ int64_t bfs_hop_distance(const graph& g, vertex_id source, vertex_id target,
                          const engine::cancel_token& cancel) {
   check_vertex("bfs_hop_distance source", source, g.num_vertices());
   check_vertex("bfs_hop_distance target", target, g.num_vertices());
+  obs::span_scope rounds("rounds");
   return bfs_levels(g, source, poll_of(cancel))[target];
 }
 
@@ -44,6 +46,7 @@ int64_t sssp_distance(const wgraph& g, vertex_id source, vertex_id target,
                       const engine::cancel_token& cancel) {
   check_vertex("sssp_distance source", source, g.num_vertices());
   check_vertex("sssp_distance target", target, g.num_vertices());
+  obs::span_scope rounds("rounds");
   auto r = bellman_ford(g, source, {}, poll_of(cancel));
   if (r.negative_cycle)
     throw std::runtime_error("sssp_distance: graph has a negative cycle");
@@ -55,7 +58,14 @@ std::vector<std::pair<vertex_id, double>> pagerank_topk(
     const graph& g, size_t k, const engine::cancel_token& cancel) {
   pagerank_options opts;
   opts.poll = poll_of(cancel);
-  auto pr = pagerank(g, opts);
+  pagerank_result pr;
+  {
+    obs::span_scope rounds("rounds");
+    pr = pagerank(g, opts);
+  }
+  // Rank extraction is a separate phase from the power iteration: on large
+  // graphs the partial_sort is visible in traces.
+  obs::span_scope finalize("finalize");
   const vertex_id n = g.num_vertices();
   if (k > n) k = n;
   std::vector<vertex_id> order(n);
@@ -73,16 +83,19 @@ std::vector<std::pair<vertex_id, double>> pagerank_topk(
 vertex_id component_id(const graph& g, vertex_id v,
                        const engine::cancel_token& cancel) {
   check_vertex("component_id", v, g.num_vertices());
+  obs::span_scope rounds("rounds");
   return connected_components(g, {}, poll_of(cancel)).labels[v];
 }
 
 vertex_id vertex_coreness(const graph& g, vertex_id v,
                           const engine::cancel_token& cancel) {
   check_vertex("vertex_coreness", v, g.num_vertices());
+  obs::span_scope rounds("rounds");
   return kcore(g, poll_of(cancel)).coreness[v];
 }
 
 uint64_t count_triangles(const graph& g, const engine::cancel_token& cancel) {
+  obs::span_scope rounds("rounds");
   return triangle_count(g, poll_of(cancel)).num_triangles;
 }
 

@@ -6,23 +6,24 @@
 #include <utility>
 
 #include "apps/query_adapters.h"
+#include "obs/trace.h"
 #include "parallel/scheduler.h"
 #include "util/failpoint.h"
+#include "util/timer.h"
 
 namespace ligra::engine {
 
-namespace {
-
-double elapsed_micros(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-}  // namespace
-
 query_executor::query_executor(registry& graphs, executor_options opts)
-    : registry_(graphs), opts_(opts), cache_(opts.cache_capacity) {
+    : registry_(graphs),
+      opts_(opts),
+      owned_metrics_(opts.metrics == nullptr
+                         ? std::make_unique<obs::metrics_registry>()
+                         : nullptr),
+      metrics_(opts.metrics != nullptr ? opts.metrics : owned_metrics_.get()),
+      cache_(opts.cache_capacity, metrics_),
+      stats_(*metrics_),
+      g_queue_depth_(&metrics_->get_gauge("engine_queue_depth")),
+      g_running_(&metrics_->get_gauge("engine_running")) {
   // Force pool construction from this thread before any dispatcher starts:
   // lazy construction from a dispatcher would adopt it as worker 0 and
   // alias deque ownership with the caller's thread.
@@ -124,8 +125,8 @@ std::future<query_result> query_executor::submit(query_request req) {
     return fut;
   }
 
-  j->cacheable =
-      j->req.kind != query_kind::custom && cache_.capacity() > 0;
+  j->cacheable = j->req.kind != query_kind::custom && cache_.capacity() > 0 &&
+                 j->req.trace == nullptr;
   if (j->cacheable) {
     j->key = make_key(j->req, j->handle->epoch());
     if (auto cached = cache_.get(j->key)) {
@@ -174,7 +175,10 @@ std::future<query_result> query_executor::submit(query_request req) {
           "); retry later");
     }
     queue_.push_back(j);
+    g_queue_depth_->set(static_cast<int64_t>(queue_.size()));
   }
+  if (j->req.trace != nullptr)
+    j->queued_span = j->req.trace->begin_span("queued");
   work_cv_.notify_one();
 
   if (j->deadline_at != std::chrono::steady_clock::time_point::max()) {
@@ -190,7 +194,8 @@ std::future<query_result> query_executor::submit(query_request req) {
 query_result query_executor::run(const query_request& req) {
   stats_.record_submitted();
   graph_handle handle = registry_.get(req.graph);
-  bool cacheable = req.kind != query_kind::custom && cache_.capacity() > 0;
+  bool cacheable = req.kind != query_kind::custom && cache_.capacity() > 0 &&
+                   req.trace == nullptr;
   cache_key key;
   if (cacheable) {
     key = make_key(req, handle->epoch());
@@ -211,10 +216,15 @@ query_result query_executor::run(const query_request& req) {
                            std::chrono::steady_clock::now() + req.deadline);
     token = source.token();
   }
-  auto t0 = std::chrono::steady_clock::now();
+  const monotonic_time t0 = mono_now();
   try {
-    query_result r = execute(req, *handle, token);
-    r.micros = elapsed_micros(t0);
+    query_result r;
+    {
+      obs::trace_scope tracing(req.trace);
+      obs::span_scope span("execute");
+      r = execute(req, *handle, token);
+    }
+    r.micros = micros_since(t0);
     if (cacheable) {
       try {
         cache_.put(key, std::make_shared<query_result>(r));
@@ -252,6 +262,8 @@ void query_executor::settle_error(const job_ptr& j, std::exception_ptr err) {
 }
 
 void query_executor::execute_job(const job_ptr& j) {
+  if (j->req.trace != nullptr && j->queued_span != SIZE_MAX)
+    j->req.trace->end_span(j->queued_span);
   // A queued job whose token already tripped (deadline passed or caller
   // cancelled while it waited) is settled without running the body.
   if (j->token.should_stop()) {
@@ -267,10 +279,16 @@ void query_executor::execute_job(const job_ptr& j) {
   }
   if (j->settled.load(std::memory_order_acquire)) return;
 
-  auto t0 = std::chrono::steady_clock::now();
+  const monotonic_time t0 = mono_now();
   query_result r;
   std::exception_ptr err;
+  // The trace is installed *inside* the body closure: with use_pool the
+  // body runs on a pool worker thread, and that is where edge_map must see
+  // it (query bodies execute whole on one worker — run_on_pool injects the
+  // closure, it does not split it).
   auto body = [&]() noexcept {
+    obs::trace_scope tracing(j->req.trace);
+    obs::span_scope span("execute");
     try {
       if (LIGRA_FAILPOINT("executor.dispatch"))
         throw engine_error(
@@ -290,7 +308,7 @@ void query_executor::execute_job(const job_ptr& j) {
     return;
   }
   if (j->settled.exchange(true)) return;  // late result; watchdog already spoke
-  r.micros = elapsed_micros(t0);
+  r.micros = micros_since(t0);
   if (j->cacheable) {
     try {
       cache_.put(j->key, std::make_shared<query_result>(r));
@@ -333,12 +351,15 @@ void query_executor::dispatcher_loop() {
       queue_.erase(it);
       running_++;
       running_by_kind_[static_cast<size_t>(j->req.kind)]++;
+      g_queue_depth_->set(static_cast<int64_t>(queue_.size()));
+      g_running_->set(static_cast<int64_t>(running_));
     }
     execute_job(j);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       running_--;
       running_by_kind_[static_cast<size_t>(j->req.kind)]--;
+      g_running_->set(static_cast<int64_t>(running_));
       if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
     }
     // A kind slot freed up; a queued job previously passed over for its cap

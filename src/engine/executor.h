@@ -31,6 +31,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -44,6 +45,7 @@
 #include "engine/registry.h"
 #include "engine/result_cache.h"
 #include "engine/stats.h"
+#include "obs/metrics.h"
 
 namespace ligra::engine {
 
@@ -63,6 +65,11 @@ struct executor_options {
   size_t cache_capacity = 1024;
   // Run query bodies inside the work-stealing pool (see header comment).
   bool use_pool = true;
+  // Publish stats/cache/queue metrics into this registry (so one exposition
+  // covers the executor alongside the graph registry, scheduler, and
+  // failpoints). Null = the executor creates and owns a private registry,
+  // reachable via metrics() — per-executor counts stay isolated by default.
+  obs::metrics_registry* metrics = nullptr;
 };
 
 class query_executor {
@@ -87,6 +94,10 @@ class query_executor {
   engine_stats_snapshot stats() const;
   result_cache& cache() { return cache_; }
   registry& graphs() { return registry_; }
+  // The registry every engine_* metric lands in (the caller-provided one,
+  // or the executor's private registry when executor_options::metrics was
+  // null). render_text()/render_json() on it is the scrape endpoint.
+  obs::metrics_registry& metrics() { return *metrics_; }
 
   size_t queue_depth() const;
   // Blocks until no request is queued or running.
@@ -104,6 +115,8 @@ class query_executor {
     cancel_source source;
     cancel_token token;
     bool has_source = false;
+    // Open "queued" span in req.trace; SIZE_MAX when untraced.
+    size_t queued_span = SIZE_MAX;
     std::chrono::steady_clock::time_point deadline_at =
         std::chrono::steady_clock::time_point::max();
     // Whoever exchanges this false->true owns the promise; the loser (a
@@ -130,8 +143,14 @@ class query_executor {
 
   registry& registry_;
   executor_options opts_;
+  // Declared before cache_/stats_: both resolve their metric handles against
+  // *metrics_ during construction.
+  std::unique_ptr<obs::metrics_registry> owned_metrics_;
+  obs::metrics_registry* metrics_;
   result_cache cache_;
   engine_stats stats_;
+  obs::gauge* g_queue_depth_;  // engine_queue_depth
+  obs::gauge* g_running_;      // engine_running
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;

@@ -18,6 +18,7 @@
 
 #include "engine/cancel.h"
 #include "graph/graph.h"
+#include "obs/trace.h"
 
 namespace ligra::engine {
 
@@ -92,6 +93,12 @@ struct query_request {
   // Optional caller-held cancellation; the executor layers the deadline on
   // top of it, so cancelling the source stops the query either way.
   cancel_token token;
+  // Optional traversal trace (docs/OBSERVABILITY.md): the executor installs
+  // it on the thread running the body, so edge_map records every round's
+  // direction decision and the adapters annotate their phases. The caller
+  // owns the object and must keep it alive until the future settles. Traced
+  // queries bypass the result cache (a cached answer has no rounds to show).
+  obs::query_trace* trace = nullptr;
   // kind == custom only: runs with the entry pinned; the returned value
   // lands in query_result::value. Not cached (closures have no identity).
   // The token combines the request's token with the executor deadline —

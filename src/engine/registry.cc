@@ -10,6 +10,7 @@
 #include "graph/graph_io.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace ligra::engine {
 
@@ -54,25 +55,47 @@ std::chrono::milliseconds backoff_for(const retry_options& r, size_t attempt) {
 
 }  // namespace
 
+registry::registry(obs::metrics_registry* metrics) : metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    m_loads_ = &metrics_->get_counter("engine_graph_loads_total");
+    m_load_retries_ = &metrics_->get_counter("engine_graph_load_retries_total");
+    m_load_failures_ =
+        &metrics_->get_counter("engine_graph_load_failures_total");
+    m_load_micros_ = &metrics_->get_histogram("engine_graph_load_micros");
+    m_resident_ = &metrics_->get_gauge("engine_graphs_resident");
+    m_memory_bytes_ = &metrics_->get_gauge("engine_graph_memory_bytes");
+  }
+}
+
 graph_handle registry::load(const std::string& name, const std::string& path,
                             const load_options& opts) {
   const size_t max_attempts = std::max<size_t>(1, opts.retry.max_attempts);
+  const monotonic_time t0 = mono_now();
   for (size_t attempt = 1;; attempt++) {
     try {
-      return load_once(name, path, opts);
+      graph_handle h = load_once(name, path, opts);
+      if (m_loads_ != nullptr) m_loads_->inc();
+      if (m_load_micros_ != nullptr)
+        m_load_micros_->record(static_cast<uint64_t>(micros_since(t0)));
+      return h;
     } catch (const io::format_error& e) {
       // Corrupt content: retrying rereads the same bytes, so fail now.
+      if (m_load_failures_ != nullptr) m_load_failures_->inc();
       throw load_error("loading '" + name + "' from " + path + ": " + e.what(),
                        attempt);
     } catch (const std::invalid_argument& e) {
+      if (m_load_failures_ != nullptr) m_load_failures_->inc();
       throw load_error("loading '" + name + "' from " + path + ": " + e.what(),
                        attempt);
     } catch (const std::exception& e) {
-      if (attempt >= max_attempts)
+      if (attempt >= max_attempts) {
+        if (m_load_failures_ != nullptr) m_load_failures_->inc();
         throw load_error("loading '" + name + "' from " + path + " failed after " +
                              std::to_string(attempt) +
                              " attempts: " + e.what(),
                          attempt);
+      }
+      if (m_load_retries_ != nullptr) m_load_retries_->inc();
       std::this_thread::sleep_for(backoff_for(opts.retry, attempt));
     }
   }
@@ -144,9 +167,29 @@ graph_handle registry::add(const std::string& name, wgraph g, bool compress) {
 graph_handle registry::insert(std::shared_ptr<graph_entry> e) {
   e->epoch_ = next_epoch_.fetch_add(1, std::memory_order_relaxed);
   graph_handle h = std::move(e);
-  std::unique_lock lock(mutex_);
-  entries_[h->name()] = h;
+  {
+    std::unique_lock lock(mutex_);
+    entries_[h->name()] = h;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->get_gauge("engine_graph_epoch{graph=\"" + h->name() + "\"}")
+        .set(static_cast<int64_t>(h->epoch()));
+    publish_residency();
+  }
   return h;
+}
+
+void registry::publish_residency() {
+  if (metrics_ == nullptr) return;
+  size_t count = 0;
+  size_t bytes = 0;
+  {
+    std::shared_lock lock(mutex_);
+    count = entries_.size();
+    for (const auto& [name, e] : entries_) bytes += e->memory_bytes();
+  }
+  m_resident_->set(static_cast<int64_t>(count));
+  m_memory_bytes_->set(static_cast<int64_t>(bytes));
 }
 
 graph_handle registry::get(const std::string& name) const {
@@ -161,13 +204,21 @@ graph_handle registry::try_get(const std::string& name) const {
 }
 
 bool registry::evict(const std::string& name) {
-  std::unique_lock lock(mutex_);
-  return entries_.erase(name) > 0;
+  bool erased = false;
+  {
+    std::unique_lock lock(mutex_);
+    erased = entries_.erase(name) > 0;
+  }
+  if (erased) publish_residency();
+  return erased;
 }
 
 void registry::clear() {
-  std::unique_lock lock(mutex_);
-  entries_.clear();
+  {
+    std::unique_lock lock(mutex_);
+    entries_.clear();
+  }
+  publish_residency();
 }
 
 size_t registry::size() const {

@@ -32,6 +32,7 @@
 #include "compress/compressed_graph.h"
 #include "engine/query.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace ligra::engine {
 
@@ -131,7 +132,12 @@ struct entry_info {
 
 class registry {
  public:
-  registry() = default;
+  // With `metrics` set, the residency layer publishes into the registry:
+  // load outcome counters (engine_graph_loads_total / _load_retries_total /
+  // _load_failures_total), the engine_graph_load_micros histogram,
+  // engine_graphs_resident + engine_graph_memory_bytes gauges, and a
+  // per-graph engine_graph_epoch{graph="..."} gauge (docs/OBSERVABILITY.md).
+  explicit registry(obs::metrics_registry* metrics = nullptr);
   registry(const registry&) = delete;
   registry& operator=(const registry&) = delete;
 
@@ -168,10 +174,21 @@ class registry {
   graph_handle load_once(const std::string& name, const std::string& path,
                          const load_options& opts);
   graph_handle insert(std::shared_ptr<graph_entry> e);
+  // Refreshes the residency gauges; caller must NOT hold mutex_.
+  void publish_residency();
 
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, graph_handle> entries_;
   std::atomic<uint64_t> next_epoch_{1};
+
+  // Null when constructed without a metrics registry.
+  obs::metrics_registry* metrics_ = nullptr;
+  obs::counter* m_loads_ = nullptr;
+  obs::counter* m_load_retries_ = nullptr;
+  obs::counter* m_load_failures_ = nullptr;
+  obs::histogram* m_load_micros_ = nullptr;
+  obs::gauge* m_resident_ = nullptr;
+  obs::gauge* m_memory_bytes_ = nullptr;
 };
 
 }  // namespace ligra::engine

@@ -14,10 +14,13 @@ std::shared_ptr<const query_result> result_cache::get(const cache_key& key) {
       found = it->second->second;
     }
   }
-  if (found)
+  if (found) {
     hits_.fetch_add(1, std::memory_order_relaxed);
-  else
+    if (m_hits_ != nullptr) m_hits_->inc();
+  } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (m_misses_ != nullptr) m_misses_->inc();
+  }
   return found;
 }
 
@@ -26,10 +29,12 @@ void result_cache::put(const cache_key& key,
   if (capacity_ == 0) return;
   if (LIGRA_FAILPOINT("cache.insert")) {
     insert_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (m_insert_failures_ != nullptr) m_insert_failures_->inc();
     return;
   }
   bool evicted = false;
   bool inserted = false;
+  size_t entries = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(key);
@@ -46,15 +51,24 @@ void result_cache::put(const cache_key& key,
     lru_.emplace_front(key, std::move(value));
     map_[key] = lru_.begin();
     inserted = true;
+    entries = lru_.size();
   }
-  if (evicted) evictions_.fetch_add(1, std::memory_order_relaxed);
-  if (inserted) insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (m_evictions_ != nullptr) m_evictions_->inc();
+  }
+  if (inserted) {
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    if (m_insertions_ != nullptr) m_insertions_->inc();
+    if (m_size_ != nullptr) m_size_->set(static_cast<int64_t>(entries));
+  }
 }
 
 void result_cache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   map_.clear();
+  if (m_size_ != nullptr) m_size_->set(0);
 }
 
 size_t result_cache::size() const {

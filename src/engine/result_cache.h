@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "engine/query.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace ligra::engine {
@@ -69,7 +70,23 @@ struct cache_snapshot {
 class result_cache {
  public:
   // capacity 0 disables the cache (get always misses, put is a no-op).
-  explicit result_cache(size_t capacity = 1024) : capacity_(capacity) {}
+  // With `metrics` set, every counter is mirrored into the registry under
+  // the `engine_cache_*` names (docs/OBSERVABILITY.md) so one scrape covers
+  // the cache alongside the executor; the typed counters()/snapshot() API
+  // stays the per-cache source of truth.
+  explicit result_cache(size_t capacity = 1024,
+                        obs::metrics_registry* metrics = nullptr)
+      : capacity_(capacity) {
+    if (metrics != nullptr) {
+      m_hits_ = &metrics->get_counter("engine_cache_hits_total");
+      m_misses_ = &metrics->get_counter("engine_cache_misses_total");
+      m_insertions_ = &metrics->get_counter("engine_cache_insertions_total");
+      m_evictions_ = &metrics->get_counter("engine_cache_evictions_total");
+      m_insert_failures_ =
+          &metrics->get_counter("engine_cache_insert_failures_total");
+      m_size_ = &metrics->get_gauge("engine_cache_entries");
+    }
+  }
   result_cache(const result_cache&) = delete;
   result_cache& operator=(const result_cache&) = delete;
 
@@ -110,6 +127,15 @@ class result_cache {
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> insert_failures_{0};
+
+  // Mirrors into the owning executor's metrics registry; null when the
+  // cache was constructed without one.
+  obs::counter* m_hits_ = nullptr;
+  obs::counter* m_misses_ = nullptr;
+  obs::counter* m_insertions_ = nullptr;
+  obs::counter* m_evictions_ = nullptr;
+  obs::counter* m_insert_failures_ = nullptr;
+  obs::gauge* m_size_ = nullptr;
 };
 
 }  // namespace ligra::engine

@@ -1,24 +1,31 @@
-// Engine observability (docs/ENGINE.md): lock-free counters the executor
-// updates on every request, snapshotable at any time for benches and the
-// query_server's report. Latency percentiles are the caller's job (they
-// need every sample); the engine keeps count/total/max per query kind,
-// which is enough for mean latency and saturation monitoring.
+// Engine observability (docs/ENGINE.md, docs/OBSERVABILITY.md): the
+// executor's counters and per-kind latency distributions, backed by the
+// obs metrics registry so the same numbers feed engine_stats_snapshot
+// (typed, per-executor) and the registry's text/JSON exposition
+// (operational scrape). Latency lives in lock-free log-bucketed histograms
+// (obs/histogram.h), so snapshots carry p50/p95/p99 — not just the
+// count/total/max the first engine iteration punted on.
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "engine/query.h"
 #include "engine/result_cache.h"
+#include "obs/metrics.h"
 
 namespace ligra::engine {
 
+// Per-kind latency digest, derived from the kind's histogram.
 struct query_kind_stats {
   uint64_t count = 0;
   uint64_t total_micros = 0;
   uint64_t max_micros = 0;
+  double p50_micros = 0.0;
+  double p95_micros = 0.0;
+  double p99_micros = 0.0;
 
   double mean_micros() const {
     return count == 0 ? 0.0
@@ -43,64 +50,70 @@ struct engine_stats_snapshot {
   cache_counters cache;
 };
 
-// The executor's live counters. Relaxed atomics: every field is an
-// independent monotone counter, so torn cross-field reads in a snapshot are
-// harmless (a snapshot is approximate by nature while requests are in
-// flight, exact once the executor is idle).
+// The executor's live counters, resolved once against a metrics registry
+// (handles are stable; the hot path never takes the registry lock). Every
+// metric is also visible through the registry's exposition under the
+// `engine_*` names in docs/OBSERVABILITY.md.
 class engine_stats {
  public:
-  void record_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
-  void record_completed() { completed_.fetch_add(1, std::memory_order_relaxed); }
-  void record_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
-  void record_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
-  void record_cancelled() { cancelled_.fetch_add(1, std::memory_order_relaxed); }
-  void record_deadline_exceeded() {
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void record_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
-
-  void record_latency(query_kind kind, double micros) {
-    auto& s = per_kind_[static_cast<size_t>(kind)];
-    auto us = static_cast<uint64_t>(micros);
-    s.count.fetch_add(1, std::memory_order_relaxed);
-    s.total.fetch_add(us, std::memory_order_relaxed);
-    uint64_t prev = s.max.load(std::memory_order_relaxed);
-    while (prev < us &&
-           !s.max.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+  explicit engine_stats(obs::metrics_registry& reg)
+      : submitted_(reg.get_counter("engine_queries_submitted_total")),
+        completed_(reg.get_counter("engine_queries_completed_total")),
+        failed_(reg.get_counter("engine_queries_failed_total")),
+        rejected_(reg.get_counter("engine_queries_rejected_total")),
+        cancelled_(reg.get_counter("engine_queries_cancelled_total")),
+        deadline_exceeded_(
+            reg.get_counter("engine_queries_deadline_exceeded_total")),
+        shed_(reg.get_counter("engine_queries_shed_total")) {
+    for (size_t i = 0; i < kNumQueryKinds; i++) {
+      latency_[i] = &reg.get_histogram(
+          std::string("engine_query_latency_micros{kind=\"") +
+          query_kind_name(static_cast<query_kind>(i)) + "\"}");
     }
   }
 
+  void record_submitted() { submitted_.inc(); }
+  void record_completed() { completed_.inc(); }
+  void record_failed() { failed_.inc(); }
+  void record_rejected() { rejected_.inc(); }
+  void record_cancelled() { cancelled_.inc(); }
+  void record_deadline_exceeded() { deadline_exceeded_.inc(); }
+  void record_shed() { shed_.inc(); }
+
+  void record_latency(query_kind kind, double micros) {
+    latency_[static_cast<size_t>(kind)]->record(
+        static_cast<uint64_t>(micros));
+  }
+
   void fill(engine_stats_snapshot& out) const {
-    out.submitted = submitted_.load(std::memory_order_relaxed);
-    out.completed = completed_.load(std::memory_order_relaxed);
-    out.failed = failed_.load(std::memory_order_relaxed);
-    out.rejected = rejected_.load(std::memory_order_relaxed);
-    out.cancelled = cancelled_.load(std::memory_order_relaxed);
-    out.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-    out.shed = shed_.load(std::memory_order_relaxed);
+    out.submitted = submitted_.value();
+    out.completed = completed_.value();
+    out.failed = failed_.value();
+    out.rejected = rejected_.value();
+    out.cancelled = cancelled_.value();
+    out.deadline_exceeded = deadline_exceeded_.value();
+    out.shed = shed_.value();
     for (size_t i = 0; i < kNumQueryKinds; i++) {
-      out.per_kind[i].count = per_kind_[i].count.load(std::memory_order_relaxed);
-      out.per_kind[i].total_micros =
-          per_kind_[i].total.load(std::memory_order_relaxed);
-      out.per_kind[i].max_micros =
-          per_kind_[i].max.load(std::memory_order_relaxed);
+      auto snap = latency_[i]->snapshot();
+      auto& k = out.per_kind[i];
+      k.count = snap.count;
+      k.total_micros = snap.sum;
+      k.max_micros = snap.max;
+      k.p50_micros = snap.p50();
+      k.p95_micros = snap.p95();
+      k.p99_micros = snap.p99();
     }
   }
 
  private:
-  struct per_kind_atomics {
-    std::atomic<uint64_t> count{0};
-    std::atomic<uint64_t> total{0};
-    std::atomic<uint64_t> max{0};
-  };
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> cancelled_{0};
-  std::atomic<uint64_t> deadline_exceeded_{0};
-  std::atomic<uint64_t> shed_{0};
-  std::array<per_kind_atomics, kNumQueryKinds> per_kind_{};
+  obs::counter& submitted_;
+  obs::counter& completed_;
+  obs::counter& failed_;
+  obs::counter& rejected_;
+  obs::counter& cancelled_;
+  obs::counter& deadline_exceeded_;
+  obs::counter& shed_;
+  std::array<obs::histogram*, kNumQueryKinds> latency_{};
 };
 
 }  // namespace ligra::engine

@@ -40,8 +40,10 @@
 
 #include "graph/graph.h"
 #include "ligra/vertex_subset.h"
+#include "obs/trace.h"
 #include "parallel/atomics.h"
 #include "parallel/primitives.h"
+#include "util/timer.h"
 
 namespace ligra {
 
@@ -221,14 +223,20 @@ vertex_subset edge_map(const G& g, vertex_subset& frontier, F f,
                        const edge_map_options& opts = {}) {
   if (frontier.universe_size() != g.num_vertices())
     throw std::invalid_argument("edge_map: frontier universe != graph size");
+  // Per-query traversal tracing (docs/OBSERVABILITY.md): when a trace is
+  // installed on this thread, every edge_map call appends one round event.
+  // Disabled cost: the thread-local load below and a few never-taken
+  // branches per round — never per edge.
+  obs::query_trace* trace = obs::current_trace();
   traversal mode = opts.strategy;
+  const uint64_t threshold =
+      g.num_edges() / std::max<uint64_t>(1, opts.threshold_denominator);
   edge_id out_degrees = 0;
-  if (mode == traversal::automatic || opts.stats != nullptr) {
+  if (mode == traversal::automatic || opts.stats != nullptr ||
+      trace != nullptr) {
     out_degrees = frontier.out_degree_sum(g);
   }
   if (mode == traversal::automatic) {
-    uint64_t threshold =
-        g.num_edges() / std::max<uint64_t>(1, opts.threshold_denominator);
     bool dense = frontier.size() + out_degrees > threshold;
     mode = dense ? (opts.prefer_dense_forward ? traversal::dense_forward
                                               : traversal::dense)
@@ -239,20 +247,31 @@ vertex_subset edge_map(const G& g, vertex_subset& frontier, F f,
     opts.stats->frontier_edges = out_degrees;
     opts.stats->used = mode;
   }
-  switch (mode) {
-    case traversal::sparse:
-      frontier.to_sparse();
-      return detail::edge_map_sparse(g, frontier.sparse(), f, opts);
-    case traversal::dense:
-      frontier.to_dense();
-      return detail::edge_map_dense(g, frontier.dense(), f, opts);
-    case traversal::dense_forward:
-      frontier.to_dense();
-      return detail::edge_map_dense_forward(g, frontier.dense(), f, opts);
-    case traversal::automatic:
-      break;
+  const size_t frontier_size = frontier.size();
+  monotonic_time t0{};
+  if (trace != nullptr) t0 = mono_now();
+  auto run = [&]() -> vertex_subset {
+    switch (mode) {
+      case traversal::sparse:
+        frontier.to_sparse();
+        return detail::edge_map_sparse(g, frontier.sparse(), f, opts);
+      case traversal::dense:
+        frontier.to_dense();
+        return detail::edge_map_dense(g, frontier.dense(), f, opts);
+      case traversal::dense_forward:
+        frontier.to_dense();
+        return detail::edge_map_dense_forward(g, frontier.dense(), f, opts);
+      case traversal::automatic:
+        break;
+    }
+    throw std::logic_error("edge_map: unreachable");
+  };
+  vertex_subset out = run();
+  if (trace != nullptr) {
+    trace->add_round(traversal_name(mode), frontier_size, out_degrees,
+                     threshold, micros_since(t0));
   }
-  throw std::logic_error("edge_map: unreachable");
+  return out;
 }
 
 // Ligra's "edgeMap with no output": applies updates but skips constructing

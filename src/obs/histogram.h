@@ -1,0 +1,160 @@
+// Lock-free log-bucketed latency histogram (docs/OBSERVABILITY.md).
+//
+// Values (microseconds, by convention) land in log-linear buckets: 8
+// sub-buckets per power of two, so the relative bucket width — and with it
+// the worst-case quantile error — is bounded by 12.5%. Small values (< 8)
+// get exact unit buckets. Values at or above 2^32 us (~71 minutes) clamp
+// into the top bucket; nothing a query engine measures lives up there.
+//
+// Recording is wait-free: a thread hashes itself onto one of a small fixed
+// set of shards and bumps three relaxed atomics (bucket, sum, count) plus a
+// CAS-max — no locks, no allocation, no false sharing between shards
+// (shards are cache-line aligned). `snapshot()` merges the shards into a
+// plain struct that supports quantile/mean/max queries; a snapshot taken
+// while writers are active is approximate in the usual monotone-counter
+// sense (it never reads torn values, it may miss in-flight increments).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace ligra::obs {
+
+namespace hist_detail {
+
+inline constexpr int kSubBits = 3;                  // 8 sub-buckets / octave
+inline constexpr size_t kSub = size_t{1} << kSubBits;
+inline constexpr int kMaxOctave = 32;               // clamp at 2^32 us
+inline constexpr size_t kNumBuckets =
+    (kMaxOctave - kSubBits) * kSub + kSub;          // 240 buckets
+
+// Bucket index for a value. Exact for v < 8; otherwise the top kSubBits
+// bits below the most significant bit select the sub-bucket.
+constexpr size_t bucket_of(uint64_t v) {
+  if (v < kSub) return static_cast<size_t>(v);
+  int msb = 63 - std::countl_zero(v);
+  if (msb >= kMaxOctave) return kNumBuckets - 1;
+  size_t sub = static_cast<size_t>(v >> (msb - kSubBits)) & (kSub - 1);
+  return static_cast<size_t>(msb - kSubBits + 1) * kSub + sub;
+}
+
+// Smallest value mapping to bucket `idx` (inverse of bucket_of).
+constexpr uint64_t bucket_lower(size_t idx) {
+  if (idx < kSub) return idx;
+  int msb = static_cast<int>(idx / kSub) - 1 + kSubBits;
+  uint64_t sub = idx & (kSub - 1);
+  return (kSub + sub) << (msb - kSubBits);
+}
+
+// One-past-the-largest value mapping to bucket `idx`.
+constexpr uint64_t bucket_upper(size_t idx) {
+  if (idx + 1 >= kNumBuckets) return bucket_lower(idx) * 2;
+  return bucket_lower(idx + 1);
+}
+
+}  // namespace hist_detail
+
+// Merged, immutable view of a histogram at one point in time.
+struct histogram_snapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;   // sum of recorded values
+  uint64_t max = 0;   // largest recorded value (exact, not bucketed)
+  std::array<uint64_t, hist_detail::kNumBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  // Quantile estimate, q in [0, 1]: the midpoint of the bucket where the
+  // cumulative count crosses ceil(q * count). q=1 returns the exact max.
+  double quantile(double q) const {
+    if (count == 0) return 0.0;
+    if (q <= 0.0) q = 0.0;
+    if (q >= 1.0) return static_cast<double>(max);
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (target >= count) target = count - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); i++) {
+      seen += buckets[i];
+      if (seen > target) {
+        double lo = static_cast<double>(hist_detail::bucket_lower(i));
+        double hi = static_cast<double>(hist_detail::bucket_upper(i));
+        double mid = (lo + hi) / 2.0;
+        // Never report beyond the observed max (top-bucket clamp).
+        return mid < static_cast<double>(max) ? mid
+                                              : static_cast<double>(max);
+      }
+    }
+    return static_cast<double>(max);
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+};
+
+class histogram {
+ public:
+  histogram() = default;
+  histogram(const histogram&) = delete;
+  histogram& operator=(const histogram&) = delete;
+
+  void record(uint64_t value) {
+    shard& s = shards_[shard_index()];
+    s.buckets[hist_detail::bucket_of(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = s.max.load(std::memory_order_relaxed);
+    while (prev < value && !s.max.compare_exchange_weak(
+                               prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  histogram_snapshot snapshot() const {
+    histogram_snapshot out;
+    for (const shard& s : shards_) {
+      out.count += s.count.load(std::memory_order_relaxed);
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      uint64_t m = s.max.load(std::memory_order_relaxed);
+      if (m > out.max) out.max = m;
+      for (size_t i = 0; i < out.buckets.size(); i++)
+        out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  uint64_t count() const {
+    uint64_t c = 0;
+    for (const shard& s : shards_)
+      c += s.count.load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct alignas(64) shard {
+    std::array<std::atomic<uint64_t>, hist_detail::kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  // Threads are spread round-robin over the shards; the assignment is
+  // sticky per thread so a thread's increments stay on one cache line set.
+  static size_t shard_index() {
+    static std::atomic<size_t> next{0};
+    thread_local size_t mine =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return mine;
+  }
+
+  std::array<shard, kShards> shards_;
+};
+
+}  // namespace ligra::obs

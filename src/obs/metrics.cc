@@ -1,0 +1,231 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ligra::obs {
+
+namespace {
+
+// Splits "base{a="b"}" into ("base", "a=\"b\"") — empty labels when bare.
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  size_t open = name.find('{');
+  if (open == std::string::npos || name.back() != '}')
+    return {name, std::string()};
+  return {name.substr(0, open), name.substr(open + 1, name.size() - open - 2)};
+}
+
+// "base" + suffix + original labels, e.g. ("lat{kind="bfs"}", "_count")
+// -> "lat_count{kind="bfs"}".
+std::string with_suffix(const std::string& name, const std::string& suffix) {
+  auto [base, labels] = split_labels(name);
+  if (labels.empty()) return base + suffix;
+  return base + suffix + "{" + labels + "}";
+}
+
+// "base" + original labels + one extra label.
+std::string with_label(const std::string& name, const std::string& label) {
+  auto [base, labels] = split_labels(name);
+  if (labels.empty()) return base + "{" + label + "}";
+  return base + "{" + labels + "," + label + "}";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+metrics_registry::entry& metrics_registry::find_or_insert(
+    const std::string& name, kind k) {
+  if (name.empty())
+    throw std::invalid_argument("metrics_registry: empty metric name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& e : entries_) {
+    if (e->name != name) continue;
+    if (e->k != k)
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with a different type");
+    return *e;
+  }
+  auto e = std::make_unique<entry>();
+  e->name = name;
+  e->k = k;
+  switch (k) {
+    case kind::counter_k: e->c = std::make_unique<counter>(); break;
+    case kind::gauge_k: e->g = std::make_unique<gauge>(); break;
+    case kind::histogram_k: e->h = std::make_unique<histogram>(); break;
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+counter& metrics_registry::get_counter(const std::string& name) {
+  return *find_or_insert(name, kind::counter_k).c;
+}
+
+gauge& metrics_registry::get_gauge(const std::string& name) {
+  return *find_or_insert(name, kind::gauge_k).g;
+}
+
+histogram& metrics_registry::get_histogram(const std::string& name) {
+  return *find_or_insert(name, kind::histogram_k).h;
+}
+
+uint64_t metrics_registry::add_collector(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(collectors_mutex_);
+  uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void metrics_registry::remove_collector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(collectors_mutex_);
+  for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
+    if (it->first == id) {
+      collectors_.erase(it);
+      return;
+    }
+  }
+}
+
+void metrics_registry::run_collectors() const {
+  // Held across the calls so remove_collector (an owner tearing down)
+  // cannot race a collector touching the owner's state.
+  std::lock_guard<std::mutex> lock(collectors_mutex_);
+  for (const auto& [id, fn] : collectors_) fn();
+}
+
+void metrics_registry::visit(
+    const std::function<void(const std::string&, const counter&)>& c,
+    const std::function<void(const std::string&, const gauge&)>& g,
+    const std::function<void(const std::string&, const histogram&)>& h) const {
+  run_collectors();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    switch (e->k) {
+      case kind::counter_k:
+        if (c) c(e->name, *e->c);
+        break;
+      case kind::gauge_k:
+        if (g) g(e->name, *e->g);
+        break;
+      case kind::histogram_k:
+        if (h) h(e->name, *e->h);
+        break;
+    }
+  }
+}
+
+std::string metrics_registry::render_text() const {
+  std::string out;
+  visit(
+      [&](const std::string& name, const counter& c) {
+        out += name + " " + std::to_string(c.value()) + "\n";
+      },
+      [&](const std::string& name, const gauge& g) {
+        out += name + " " + std::to_string(g.value()) + "\n";
+      },
+      [&](const std::string& name, const histogram& h) {
+        auto snap = h.snapshot();
+        auto line = [&](const std::string& n, const std::string& v) {
+          out += n;
+          out += " ";
+          out += v;
+          out += "\n";
+        };
+        line(with_suffix(name, "_count"), std::to_string(snap.count));
+        line(with_suffix(name, "_sum"), std::to_string(snap.sum));
+        line(with_suffix(name, "_max"), std::to_string(snap.max));
+        for (auto [q, label] : {std::pair{0.5, "0.5"},
+                                std::pair{0.95, "0.95"},
+                                std::pair{0.99, "0.99"}}) {
+          std::string lbl = "quantile=\"";
+          lbl += label;
+          lbl += "\"";
+          line(with_label(name, lbl), format_double(snap.quantile(q)));
+        }
+      });
+  return out;
+}
+
+std::string metrics_registry::render_json() const {
+  std::string counters, gauges, histograms;
+  auto append = [](std::string& dst, const std::string& item) {
+    if (!dst.empty()) dst += ",";
+    dst += item;
+  };
+  auto scalar = [&](std::string& dst, const std::string& name,
+                    const std::string& value) {
+    std::string item = "\"";
+    item += json_escape(name);
+    item += "\":";
+    item += value;
+    append(dst, item);
+  };
+  visit(
+      [&](const std::string& name, const counter& c) {
+        scalar(counters, name, std::to_string(c.value()));
+      },
+      [&](const std::string& name, const gauge& g) {
+        scalar(gauges, name, std::to_string(g.value()));
+      },
+      [&](const std::string& name, const histogram& h) {
+        auto snap = h.snapshot();
+        std::string item = "{\"count\":";
+        item += std::to_string(snap.count);
+        item += ",\"sum\":";
+        item += std::to_string(snap.sum);
+        item += ",\"max\":";
+        item += std::to_string(snap.max);
+        item += ",\"mean\":";
+        item += format_double(snap.mean());
+        item += ",\"p50\":";
+        item += format_double(snap.p50());
+        item += ",\"p95\":";
+        item += format_double(snap.p95());
+        item += ",\"p99\":";
+        item += format_double(snap.p99());
+        item += "}";
+        scalar(histograms, name, item);
+      });
+  std::string out = "{\"counters\":{";
+  out += counters;
+  out += "},\"gauges\":{";
+  out += gauges;
+  out += "},\"histograms\":{";
+  out += histograms;
+  out += "}}";
+  return out;
+}
+
+metrics_registry& metrics_registry::global() {
+  static metrics_registry* r = new metrics_registry();  // never destroyed
+  return *r;
+}
+
+}  // namespace ligra::obs

@@ -1,0 +1,118 @@
+// Metrics registry (docs/OBSERVABILITY.md): named counters, gauges, and
+// log-bucketed latency histograms, with Prometheus-style text and JSON
+// exposition.
+//
+// Names follow the Prometheus convention: `snake_case_total` for monotone
+// counters, bare `snake_case` for gauges, `_micros` suffix for latency
+// histograms. A name may carry a label suffix in braces —
+// `query_latency_micros{kind="bfs"}` — which the registry treats as part of
+// of the identity (it does no label algebra; the exposition formats pass
+// the string through, which Prometheus parses as a labelled series).
+//
+// get_or_create handles (`counter&`, `gauge&`, `histogram&`) are stable for
+// the registry's lifetime: registration takes a mutex once, after which the
+// hot path is a relaxed atomic bump with no registry involvement. Callers
+// cache the reference, never the name lookup.
+//
+// Collectors bridge pull-model sources (failpoint hit counts, scheduler
+// worker counters, queue depths) into the registry: a collector is a
+// callback invoked at exposition time that refreshes gauges it captured at
+// install time. See obs/collectors.h for the stock ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace ligra::obs {
+
+// Monotone event counter.
+class counter {
+ public:
+  void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Point-in-time level (queue depth, resident bytes, armed failpoints...).
+class gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class metrics_registry {
+ public:
+  metrics_registry() = default;
+  metrics_registry(const metrics_registry&) = delete;
+  metrics_registry& operator=(const metrics_registry&) = delete;
+
+  // Get-or-create by name. The returned reference stays valid for the
+  // registry's lifetime. Throws std::invalid_argument if `name` already
+  // names a metric of a different type.
+  counter& get_counter(const std::string& name);
+  gauge& get_gauge(const std::string& name);
+  histogram& get_histogram(const std::string& name);
+
+  // Registers a pull callback run at the start of every exposition /
+  // visit; returns an id for remove_collector. A collector may call get_*
+  // (dynamic sources grow their metric set at collect time) but must not
+  // add or remove collectors — the collector lock is held while it runs.
+  uint64_t add_collector(std::function<void()> fn);
+  void remove_collector(uint64_t id);
+
+  // Prometheus-style text: one `name value` line per counter/gauge, and
+  // `name_count` / `name_sum` / `name_max` / `name{quantile="..."}` lines
+  // per histogram (label-suffixed names merge their labels correctly).
+  std::string render_text() const;
+
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {count, sum, max, mean, p50, p95, p99}}}.
+  std::string render_json() const;
+
+  // Visits every metric in registration order (runs collectors first).
+  void visit(const std::function<void(const std::string&, const counter&)>& c,
+             const std::function<void(const std::string&, const gauge&)>& g,
+             const std::function<void(const std::string&, const histogram&)>&
+                 h) const;
+
+  // The process-wide default registry, for metrics with no natural owner
+  // (scheduler, failpoints). Subsystems with an owner (a query_executor)
+  // default to a private registry so their counters stay isolated.
+  static metrics_registry& global();
+
+ private:
+  enum class kind : uint8_t { counter_k, gauge_k, histogram_k };
+  struct entry {
+    std::string name;
+    kind k;
+    std::unique_ptr<counter> c;
+    std::unique_ptr<gauge> g;
+    std::unique_ptr<histogram> h;
+  };
+
+  entry& find_or_insert(const std::string& name, kind k);
+  void run_collectors() const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<entry>> entries_;  // registration order
+
+  mutable std::mutex collectors_mutex_;
+  std::vector<std::pair<uint64_t, std::function<void()>>> collectors_;
+  uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace ligra::obs

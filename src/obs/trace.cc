@@ -1,0 +1,71 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace ligra::obs {
+
+namespace detail {
+thread_local query_trace* tl_trace = nullptr;
+}  // namespace detail
+
+query_trace::query_trace() : start_(mono_now()) {}
+
+void query_trace::add_round(const char* direction, uint64_t frontier_size,
+                            uint64_t frontier_edges, uint64_t threshold,
+                            double micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rounds_.push_back({static_cast<uint32_t>(rounds_.size() + 1), direction,
+                     frontier_size, frontier_edges, threshold, micros});
+}
+
+size_t query_trace::begin_span(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back({name, micros_since(start_), -1.0});
+  return spans_.size() - 1;
+}
+
+void query_trace::end_span(size_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (token >= spans_.size()) return;
+  trace_span& s = spans_[token];
+  if (s.micros < 0.0) s.micros = micros_since(start_) - s.start_micros;
+}
+
+std::vector<trace_round> query_trace::rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_;
+}
+
+std::vector<trace_span> query_trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string query_trace::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"rounds\":[";
+  char buf[256];
+  for (size_t i = 0; i < rounds_.size(); i++) {
+    const trace_round& r = rounds_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"round\":%u,\"dir\":\"%s\",\"frontier\":%llu,"
+                  "\"out_edges\":%llu,\"threshold\":%llu,\"micros\":%.3f}",
+                  i == 0 ? "" : ",", r.index, r.direction,
+                  static_cast<unsigned long long>(r.frontier_size),
+                  static_cast<unsigned long long>(r.frontier_edges),
+                  static_cast<unsigned long long>(r.threshold), r.micros);
+    out += buf;
+  }
+  out += "],\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); i++) {
+    const trace_span& s = spans_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"start_micros\":%.3f,\"micros\":%.3f}",
+                  i == 0 ? "" : ",", s.name.c_str(), s.start_micros, s.micros);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ligra::obs

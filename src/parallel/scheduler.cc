@@ -109,6 +109,7 @@ int scheduler::worker_id() { return tl_worker_id; }
 
 scheduler::scheduler(int num_workers) : num_workers_(num_workers) {
   deques_ = new internal::deque[num_workers_];
+  counters_ = new worker_counter_slot[num_workers_];
   tl_worker_id = 0;  // constructing thread is worker 0
   threads_ = static_cast<std::thread*>(
       ::operator new[](sizeof(std::thread) * (num_workers_ > 1 ? num_workers_ - 1 : 1)));
@@ -129,6 +130,18 @@ scheduler::~scheduler() {
   }
   ::operator delete[](threads_);
   delete[] deques_;
+  delete[] counters_;
+}
+
+std::vector<worker_counters> scheduler::worker_stats() const {
+  std::vector<worker_counters> out(static_cast<size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; i++) {
+    out[i].steals = counters_[i].steals.load(std::memory_order_relaxed);
+    out[i].external_tasks =
+        counters_[i].external_tasks.load(std::memory_order_relaxed);
+    out[i].parks = counters_[i].parks.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 bool scheduler::try_steal_and_run(uint64_t& rng_state) {
@@ -140,6 +153,7 @@ bool scheduler::try_steal_and_run(uint64_t& rng_state) {
     if (victim >= num_workers_) victim -= num_workers_;
     if (victim == tl_worker_id) continue;
     if (internal::task* t = deques_[victim].steal_top()) {
+      counters_[tl_worker_id].steals.fetch_add(1, std::memory_order_relaxed);
       t->execute();
       return true;
     }
@@ -161,6 +175,7 @@ void scheduler::worker_loop(int id) {
     // Only an otherwise-idle worker picks up injected external work, so
     // foreign-thread submissions never preempt an in-flight parallel region.
     if (internal::task* ext = pop_external()) {
+      counters_[id].external_tasks.fetch_add(1, std::memory_order_relaxed);
       ext->execute();
       failures = 0;
       continue;
@@ -171,6 +186,7 @@ void scheduler::worker_loop(int id) {
     }
     // Park with a timeout: a lost wakeup costs at most 1 ms of latency.
     failures = 0;
+    counters_[id].parks.fetch_add(1, std::memory_order_relaxed);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     {
       std::unique_lock<std::mutex> lock(park_mutex);

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <vector>
 
 namespace ligra::parallel {
 
@@ -74,6 +75,16 @@ class deque {
 
 }  // namespace internal
 
+// Per-worker activity counters (observability; see docs/OBSERVABILITY.md).
+// All bumps happen off the fork-join fast path: a successful steal already
+// paid a CAS, external tasks and parks are idle-path events. Counters reset
+// when the pool is rebuilt by set_num_workers.
+struct worker_counters {
+  uint64_t steals = 0;          // tasks taken from another worker's deque
+  uint64_t external_tasks = 0;  // injected (run_on_pool) tasks executed
+  uint64_t parks = 0;           // 1 ms park episodes (idle-time proxy)
+};
+
 // The global scheduler. Not constructed directly — use the free functions
 // below (`num_workers`, `par_do_impl` via par_do). The pool is created
 // lazily on first use with `default_num_workers()` threads.
@@ -112,6 +123,11 @@ class scheduler {
   // Do not call set_num_workers while external tasks are outstanding.
   void run_external(void (*f)(void*), void* arg);
 
+  // Point-in-time copy of every worker's counters (index = worker id).
+  // Relaxed reads of monotone counters: approximate while work is in
+  // flight, exact when the pool is quiescent.
+  std::vector<worker_counters> worker_stats() const;
+
   ~scheduler();
 
   scheduler(const scheduler&) = delete;
@@ -135,6 +151,15 @@ class scheduler {
   std::atomic<int> sleepers_{0};
   internal::deque* deques_;  // one per worker, cache-line padded
   std::thread* threads_;     // num_workers_ - 1 pool threads
+
+  // One padded slot per worker; owner-only relaxed writes, so bumps never
+  // contend and stats reads are tear-free per field.
+  struct alignas(64) worker_counter_slot {
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> external_tasks{0};
+    std::atomic<uint64_t> parks{0};
+  };
+  worker_counter_slot* counters_;  // one per worker
 
   // Tasks injected by foreign threads (run_external). Idle workers drain
   // this queue after their own deque and steal attempts come up empty.

@@ -176,6 +176,16 @@ uint64_t hits(const std::string& site) {
   return it == r.hit_counts.end() ? 0 : it->second;
 }
 
+std::vector<std::pair<std::string, uint64_t>> all_hits() {
+  auto& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return {r.hit_counts.begin(), r.hit_counts.end()};
+}
+
+int armed_count() {
+  return detail::num_armed.load(std::memory_order_relaxed);
+}
+
 namespace detail {
 
 bool eval_slow(const char* site) {

@@ -72,6 +72,14 @@ std::vector<std::pair<std::string, spec>> list();
 // Times `site` has fired since process start (survives disarm; for tests).
 uint64_t hits(const std::string& site);
 
+// Every site that has ever fired, with its lifetime hit count (order
+// unspecified). Feeds the metrics registry's failpoint collector so
+// robustness tests and operators can assert a site actually fired.
+std::vector<std::pair<std::string, uint64_t>> all_hits();
+
+// Number of currently armed sites (0 when the fast path is active).
+int armed_count();
+
 namespace detail {
 extern std::atomic<int> num_armed;
 bool eval_slow(const char* site);

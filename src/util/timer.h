@@ -4,9 +4,31 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 
 namespace ligra {
+
+// The one monotonic clock every subsystem times against (benches, the
+// engine's latency accounting, the observability layer). Alias + helpers so
+// call sites never repeat the duration-cast incantation.
+using monotonic_clock = std::chrono::steady_clock;
+using monotonic_time = monotonic_clock::time_point;
+
+inline monotonic_time mono_now() { return monotonic_clock::now(); }
+
+// Microseconds between two points / since a point.
+inline double micros_between(monotonic_time t0, monotonic_time t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+inline double micros_since(monotonic_time t0) {
+  return micros_between(t0, mono_now());
+}
+
+// Seconds since a point (wall-clock style reporting).
+inline double seconds_since(monotonic_time t0) {
+  return std::chrono::duration<double>(mono_now() - t0).count();
+}
 
 // A stopwatch that can be stopped and restarted; `elapsed()` accumulates
 // across start/stop pairs. Construction starts the timer unless
@@ -35,7 +57,7 @@ class timer {
   bool running() const { return running_; }
 
  private:
-  using clock = std::chrono::steady_clock;
+  using clock = monotonic_clock;
   clock::time_point start_{};
   double total_ = 0.0;
   bool running_ = false;
