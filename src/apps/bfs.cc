@@ -40,10 +40,15 @@ bfs_result bfs(const graph& g, vertex_id source, const bfs_options& options) {
 
   vertex_subset frontier(g.num_vertices(), source);
   const bool want_trace = options.edge_map.stats != nullptr;
+  // One traversal scratch for the whole BFS: every round after the first
+  // reuses its buffers, so steady-state rounds allocate nothing beyond the
+  // next frontier itself (unless the caller already supplied a scratch).
+  edge_map_scratch scratch;
   while (!frontier.empty()) {
     edge_map_stats stats;
     edge_map_options opts = options.edge_map;
     opts.stats = &stats;
+    if (opts.scratch == nullptr) opts.scratch = &scratch;
     frontier = edge_map(g, frontier, bfs_f{result.parents.data()}, opts);
     result.num_rounds++;
     result.num_reached += frontier.size();
@@ -83,11 +88,14 @@ std::vector<int64_t> bfs_levels(const graph& g, vertex_id source,
   };
 
   vertex_subset frontier(g.num_vertices(), source);
+  edge_map_scratch scratch;
+  edge_map_options opts;
+  opts.scratch = &scratch;
   int64_t round = 0;
   while (!frontier.empty()) {
     if (poll) poll();
     round++;
-    frontier = edge_map(g, frontier, level_f{level.data(), round});
+    frontier = edge_map(g, frontier, level_f{level.data(), round}, opts);
   }
   return level;
 }

@@ -53,12 +53,17 @@ components_result connected_components(const graph& g,
   std::vector<vertex_id> prev(result.labels);
 
   vertex_subset frontier = vertex_subset::all(n);
+  // One traversal scratch for the whole label-propagation loop: rounds
+  // after the first reuse its buffers (unless the caller supplied one).
+  edge_map_scratch scratch;
+  edge_map_options round_opts = opts;
+  if (round_opts.scratch == nullptr) round_opts.scratch = &scratch;
   while (!frontier.empty()) {
     if (poll) poll();
     result.num_rounds++;
     vertex_map(frontier, [&](vertex_id v) { prev[v] = result.labels[v]; });
-    frontier =
-        edge_map(g, frontier, cc_f{result.labels.data(), prev.data()}, opts);
+    frontier = edge_map(g, frontier, cc_f{result.labels.data(), prev.data()},
+                        round_opts);
   }
   result.num_components = parallel::count_if_index(
       n, [&](size_t v) { return result.labels[v] == v; });

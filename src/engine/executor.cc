@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "apps/query_adapters.h"
+#include "ligra/edge_map.h"
 #include "obs/trace.h"
 #include "parallel/scheduler.h"
 #include "util/failpoint.h"
@@ -261,7 +262,8 @@ void query_executor::settle_error(const job_ptr& j, std::exception_ptr err) {
   j->promise.set_exception(std::move(err));
 }
 
-void query_executor::execute_job(const job_ptr& j) {
+void query_executor::execute_job(const job_ptr& j,
+                                 edge_map_scratch* scratch) {
   if (j->req.trace != nullptr && j->queued_span != SIZE_MAX)
     j->req.trace->end_span(j->queued_span);
   // A queued job whose token already tripped (deadline passed or caller
@@ -282,12 +284,17 @@ void query_executor::execute_job(const job_ptr& j) {
   const monotonic_time t0 = mono_now();
   query_result r;
   std::exception_ptr err;
-  // The trace is installed *inside* the body closure: with use_pool the
-  // body runs on a pool worker thread, and that is where edge_map must see
-  // it (query bodies execute whole on one worker — run_on_pool injects the
-  // closure, it does not split it).
+  // The trace and the dispatcher's round scratch are installed *inside*
+  // the body closure: with use_pool the body runs on a pool worker thread,
+  // and that is where edge_map must see them (query bodies execute whole
+  // on one worker — run_on_pool injects the closure, it does not split
+  // it). The scratch is owned by the dispatcher, which runs one body at a
+  // time, so consecutive queries through the same dispatcher reuse warmed
+  // buffers; the scope nests, so a body injected onto a worker that is
+  // mid-join in another query never sees that query's scratch.
   auto body = [&]() noexcept {
     obs::trace_scope tracing(j->req.trace);
+    edge_map_scratch_scope scratch_scope(scratch);
     obs::span_scope span("execute");
     try {
       if (LIGRA_FAILPOINT("executor.dispatch"))
@@ -333,6 +340,9 @@ query_executor::find_eligible_locked() {
 }
 
 void query_executor::dispatcher_loop() {
+  // This dispatcher's traversal working memory, reused by every query it
+  // runs for the executor's lifetime (ligra/edge_map.h scratch contract).
+  edge_map_scratch scratch;
   while (true) {
     job_ptr j;
     {
@@ -354,7 +364,7 @@ void query_executor::dispatcher_loop() {
       g_queue_depth_->set(static_cast<int64_t>(queue_.size()));
       g_running_->set(static_cast<int64_t>(running_));
     }
-    execute_job(j);
+    execute_job(j, &scratch);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       running_--;

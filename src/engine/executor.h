@@ -47,6 +47,10 @@
 #include "engine/stats.h"
 #include "obs/metrics.h"
 
+namespace ligra {
+struct edge_map_scratch;  // ligra/edge_map.h
+}  // namespace ligra
+
 namespace ligra::engine {
 
 struct executor_options {
@@ -129,8 +133,11 @@ class query_executor {
   void dispatcher_loop();
   void watchdog_loop();
   // Runs one query (cache already missed), settling the promise unless the
-  // watchdog got there first.
-  void execute_job(const job_ptr& j);
+  // watchdog got there first. `scratch` is the calling dispatcher's
+  // edge_map round scratch, installed around the query body so every
+  // traversal round the query runs reuses it — a dispatcher's steady-state
+  // queries allocate no traversal working memory.
+  void execute_job(const job_ptr& j, edge_map_scratch* scratch);
   // Settles `j` with `err` (if unsettled) and records the outcome in stats.
   void settle_error(const job_ptr& j, std::exception_ptr err);
   // First queued job whose kind is under its concurrency cap; queue_.end()

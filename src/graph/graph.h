@@ -170,6 +170,21 @@ class graph_t {
     }
   }
 
+  // Edge iteration restricted to out-edge indices [jlo, jhi) — what the
+  // blocked edge_map kernel consumes when a vertex's edge range straddles a
+  // block boundary. Direct CSR indexing, so a high-degree vertex split
+  // across many blocks costs each block only its own slice (graph types
+  // without random access, e.g. the compressed CSR, fall back to a
+  // skip-decode inside edge_map).
+  template <class F>
+  void decode_out_range(vertex_id v, size_t jlo, size_t jhi, F&& f) const {
+    auto nbrs = out_neighbors(v);
+    if (jhi > nbrs.size()) jhi = nbrs.size();
+    for (size_t j = jlo; j < jhi; j++) {
+      if (!f(nbrs[j], out_weight(v, j), j)) return;
+    }
+  }
+
   // True iff edge (u, v) exists (binary search over u's sorted list).
   bool has_edge(vertex_id u, vertex_id v) const {
     auto nbrs = out_neighbors(u);

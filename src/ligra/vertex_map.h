@@ -7,6 +7,8 @@
 // visited exactly once, so no atomicity is needed for per-vertex state).
 #pragma once
 
+#include <bit>
+
 #include "ligra/vertex_subset.h"
 #include "parallel/primitives.h"
 
@@ -19,7 +21,8 @@ void vertex_map(const vertex_subset& subset, F&& f) {
 
 // Returns the members of `subset` for which f(v) is true. The result keeps
 // the input's physical representation (sparse stays sparse, dense stays
-// dense) to avoid gratuitous conversions mid-algorithm.
+// dense, bitmap stays bitmap) to avoid gratuitous conversions
+// mid-algorithm.
 template <class F>
 vertex_subset vertex_filter(const vertex_subset& subset, F&& f) {
   const vertex_id n = subset.universe_size();
@@ -30,6 +33,25 @@ vertex_subset vertex_filter(const vertex_subset& subset, F&& f) {
       if (flags[v] && f(static_cast<vertex_id>(v))) out[v] = 1;
     });
     return vertex_subset::from_dense(n, std::move(out));
+  }
+  if (subset.is_bitmap()) {
+    // One thread per word (no races on the output word); zero words are
+    // dismissed with a single load.
+    const auto& words = subset.bitmap();
+    std::vector<uint64_t> out(words.size(), 0);
+    parallel::parallel_for(0, words.size(), [&](size_t wi) {
+      uint64_t word = words[wi];
+      uint64_t keep = 0;
+      while (word != 0) {
+        const int b = std::countr_zero(word);
+        word &= word - 1;
+        const auto v =
+            static_cast<vertex_id>(wi * 64 + static_cast<size_t>(b));
+        if (f(v)) keep |= uint64_t{1} << b;
+      }
+      out[wi] = keep;
+    });
+    return vertex_subset::from_bitmap(n, std::move(out));
   }
   const auto& ids = subset.sparse();
   auto out = parallel::pack(

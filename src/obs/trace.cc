@@ -12,10 +12,12 @@ query_trace::query_trace() : start_(mono_now()) {}
 
 void query_trace::add_round(const char* direction, uint64_t frontier_size,
                             uint64_t frontier_edges, uint64_t threshold,
-                            double micros) {
+                            double micros, uint64_t blocks,
+                            uint64_t scratch_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   rounds_.push_back({static_cast<uint32_t>(rounds_.size() + 1), direction,
-                     frontier_size, frontier_edges, threshold, micros});
+                     frontier_size, frontier_edges, threshold, micros, blocks,
+                     scratch_bytes});
 }
 
 size_t query_trace::begin_span(const std::string& name) {
@@ -44,16 +46,19 @@ std::vector<trace_span> query_trace::spans() const {
 std::string query_trace::to_json() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"rounds\":[";
-  char buf[256];
+  char buf[320];
   for (size_t i = 0; i < rounds_.size(); i++) {
     const trace_round& r = rounds_[i];
     std::snprintf(buf, sizeof(buf),
                   "%s{\"round\":%u,\"dir\":\"%s\",\"frontier\":%llu,"
-                  "\"out_edges\":%llu,\"threshold\":%llu,\"micros\":%.3f}",
+                  "\"out_edges\":%llu,\"threshold\":%llu,\"micros\":%.3f,"
+                  "\"blocks\":%llu,\"scratch_bytes\":%llu}",
                   i == 0 ? "" : ",", r.index, r.direction,
                   static_cast<unsigned long long>(r.frontier_size),
                   static_cast<unsigned long long>(r.frontier_edges),
-                  static_cast<unsigned long long>(r.threshold), r.micros);
+                  static_cast<unsigned long long>(r.threshold), r.micros,
+                  static_cast<unsigned long long>(r.blocks),
+                  static_cast<unsigned long long>(r.scratch_bytes));
     out += buf;
   }
   out += "],\"spans\":[";

@@ -36,6 +36,8 @@ struct trace_round {
   uint64_t frontier_edges = 0; // outdeg(U)
   uint64_t threshold = 0;      // dense iff |U| + outdeg(U) > threshold
   double micros = 0.0;         // wall time of the traversal itself
+  uint64_t blocks = 0;         // edge blocks processed (blocked sparse only)
+  uint64_t scratch_bytes = 0;  // round-scratch capacity backing this call
 };
 
 // One phase of the query (load, rounds, finalize, queued, execute...).
@@ -54,7 +56,8 @@ class query_trace {
   query_trace& operator=(const query_trace&) = delete;
 
   void add_round(const char* direction, uint64_t frontier_size,
-                 uint64_t frontier_edges, uint64_t threshold, double micros);
+                 uint64_t frontier_edges, uint64_t threshold, double micros,
+                 uint64_t blocks = 0, uint64_t scratch_bytes = 0);
 
   // Opens a span; the returned token closes it. Tokens index into the span
   // list, so spans from different threads can interleave safely.
@@ -64,7 +67,8 @@ class query_trace {
   std::vector<trace_round> rounds() const;
   std::vector<trace_span> spans() const;
 
-  // {"rounds": [{round, dir, frontier, out_edges, threshold, micros}...],
+  // {"rounds": [{round, dir, frontier, out_edges, threshold, micros,
+  //              blocks, scratch_bytes}...],
   //  "spans": [{name, start_micros, micros}...]}
   std::string to_json() const;
 

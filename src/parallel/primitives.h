@@ -200,6 +200,45 @@ std::vector<T> filter(const std::vector<T>& in, Pred&& pred) {
       [&](size_t i) { return pred(in[i]); });
 }
 
+// ---- block search / scatter -------------------------------------------------
+
+// Largest index i in [0, n) with data[i] <= value, for ascending `data`
+// (runs of equal values allowed). Requires n > 0 and data[0] <= value.
+// The blocked edge_map kernel uses this to locate, in a degree prefix-sum
+// array, the frontier vertex whose edge range contains a block boundary:
+// with data[i] <= value < data[i+1] the result's range is never empty even
+// when zero-degree vertices produce runs of equal offsets.
+template <class T>
+size_t binary_search_leq(const T* data, size_t n, T value) {
+  size_t lo = 0, hi = n;  // invariant: data[lo] <= value, data[hi] > value
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (data[mid] <= value) lo = mid;
+    else hi = mid;
+  }
+  return lo;
+}
+
+// Compacts fixed-stride per-block buffers into a contiguous output: block
+// b's items occupy src[b*stride ..) and land in [offsets[b], offsets[b+1])
+// of `out`, where `offsets` is the exclusive scan of the per-block counts
+// (offsets[nblocks] = total). The companion of the blocked edge_map's
+// per-block local buffers: one scan over block counts plus this scatter
+// replaces a full-width sentinel pack over every traversed edge.
+template <class T, class Off>
+void scatter_blocks(const T* src, size_t stride, const Off* offsets,
+                    size_t nblocks, T* out) {
+  parallel_for(
+      0, nblocks,
+      [&](size_t b) {
+        const size_t cnt = static_cast<size_t>(offsets[b + 1] - offsets[b]);
+        const T* s = src + b * stride;
+        T* d = out + offsets[b];
+        for (size_t i = 0; i < cnt; i++) d[i] = s[i];
+      },
+      1);
+}
+
 // ---- map -------------------------------------------------------------------
 
 template <class F>

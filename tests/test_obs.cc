@@ -215,8 +215,8 @@ TEST(MetricsRegistry, CollectorsRunAtExpositionAndCanBeRemoved) {
 
 TEST(Trace, RoundsAndSpansAccumulate) {
   obs::query_trace t;
-  t.add_round("sparse", 1, 10, 100, 5.0);
-  t.add_round("dense", 50, 900, 100, 7.5);
+  t.add_round("sparse", 1, 10, 100, 5.0, /*blocks=*/3, /*scratch_bytes=*/4096);
+  t.add_round("dense", 50, 900, 100, 7.5);  // defaults: blocks/scratch omitted
   size_t span = t.begin_span("rounds");
   t.end_span(span);
   auto rounds = t.rounds();
@@ -224,9 +224,12 @@ TEST(Trace, RoundsAndSpansAccumulate) {
   EXPECT_EQ(rounds[0].index, 1u);
   EXPECT_STREQ(rounds[0].direction, "sparse");
   EXPECT_EQ(rounds[1].index, 2u);
+  EXPECT_EQ(rounds[0].blocks, 3u);
+  EXPECT_EQ(rounds[0].scratch_bytes, 4096u);
   EXPECT_EQ(rounds[1].frontier_size, 50u);
   EXPECT_EQ(rounds[1].frontier_edges, 900u);
   EXPECT_EQ(rounds[1].threshold, 100u);
+  EXPECT_EQ(rounds[1].blocks, 0u);
   auto spans = t.spans();
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_EQ(spans[0].name, "rounds");
@@ -234,6 +237,8 @@ TEST(Trace, RoundsAndSpansAccumulate) {
   std::string json = t.to_json();
   EXPECT_TRUE(contains(json, "\"dir\":\"sparse\""));
   EXPECT_TRUE(contains(json, "\"frontier\":50"));
+  EXPECT_TRUE(contains(json, "\"blocks\":3"));
+  EXPECT_TRUE(contains(json, "\"scratch_bytes\":4096"));
   EXPECT_TRUE(contains(json, "\"name\":\"rounds\""));
 }
 

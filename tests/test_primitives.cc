@@ -186,3 +186,62 @@ TEST(Primitives, PackAllOrNothing) {
       n, [](size_t i) { return i; }, [](size_t) { return false; });
   EXPECT_TRUE(none.empty());
 }
+
+TEST(Primitives, BinarySearchLeqFindsLastMatch) {
+  // Exclusive degree prefix with zero-degree runs: equal adjacent values.
+  // binary_search_leq must return the LAST index <= value, so a block
+  // boundary landing on a zero-degree run resolves to the vertex whose
+  // (non-empty) edge range actually contains it.
+  std::vector<uint64_t> prefix = {0, 0, 0, 5, 5, 9, 12};
+  EXPECT_EQ(p::binary_search_leq(prefix.data(), prefix.size(), uint64_t{0}),
+            2u);
+  EXPECT_EQ(p::binary_search_leq(prefix.data(), prefix.size(), uint64_t{3}),
+            2u);
+  EXPECT_EQ(p::binary_search_leq(prefix.data(), prefix.size(), uint64_t{5}),
+            4u);
+  EXPECT_EQ(p::binary_search_leq(prefix.data(), prefix.size(), uint64_t{8}),
+            4u);
+  EXPECT_EQ(p::binary_search_leq(prefix.data(), prefix.size(), uint64_t{11}),
+            5u);
+  EXPECT_EQ(p::binary_search_leq(prefix.data(), prefix.size(), uint64_t{100}),
+            6u);
+}
+
+TEST(Primitives, BinarySearchLeqMatchesLinearScan) {
+  std::vector<uint64_t> prefix = {0};
+  uint64_t acc = 0;
+  for (size_t i = 0; i < 300; i++) {
+    acc += (i * 7 + 3) % 5;  // includes zero increments
+    prefix.push_back(acc);
+  }
+  for (uint64_t v = 0; v <= acc; v += 3) {
+    size_t expect = 0;
+    for (size_t i = 0; i < prefix.size(); i++)
+      if (prefix[i] <= v) expect = i;
+    EXPECT_EQ(p::binary_search_leq(prefix.data(), prefix.size(), v), expect)
+        << "value " << v;
+  }
+}
+
+TEST(Primitives, ScatterBlocksCompactsStridedBuffers) {
+  // 4 blocks of stride 8, partially filled; offsets = exclusive prefix of
+  // the per-block counts. scatter_blocks must place block b's first count[b]
+  // entries contiguously at offsets[b].
+  const size_t stride = 8;
+  std::vector<size_t> counts = {3, 0, 8, 5};
+  std::vector<int> src(counts.size() * stride, -1);
+  std::vector<int> expect;
+  int next = 0;
+  for (size_t b = 0; b < counts.size(); b++)
+    for (size_t i = 0; i < counts[b]; i++) {
+      src[b * stride + i] = next;
+      expect.push_back(next++);
+    }
+  std::vector<size_t> offsets(counts.size() + 1, 0);
+  for (size_t b = 0; b < counts.size(); b++)
+    offsets[b + 1] = offsets[b] + counts[b];
+  std::vector<int> out(offsets.back(), -2);
+  p::scatter_blocks(src.data(), stride, offsets.data(), counts.size(),
+                    out.data());
+  EXPECT_EQ(out, expect);
+}
