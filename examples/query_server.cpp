@@ -29,8 +29,15 @@
 //   <graph> cc <vertex>
 //   <graph> kcore <vertex>
 //   <graph> triangles
+//   <graph> update <file>            # apply an edge-update batch (file
+//   <graph> update +u,v -u,v ...     #   or inline); mutable graphs only
+//     batch file lines: "u v" / "+ u v" (insert), "- u v" (delete)
 // REPL extras: graphs | stats | metrics | trace <request> | clear-cache |
 //              help | quit
+//
+// Load specs accept a `mutable` option (-load feed=g.adj,sym,mutable) to
+// register the graph through add_mutable so `update` requests work on it;
+// the demo set includes a mutable "feed" graph (docs/DYNAMIC.md).
 //
 // Every replay runs twice — cold (empty cache) and warm (same requests
 // again) — so the cache's effect on p50 is visible directly.
@@ -66,7 +73,7 @@ double percentile(std::vector<double> v, double p) {
   return v[idx];
 }
 
-// Parses "name=path[,weighted][,sym][,compress]" and loads it.
+// Parses "name=path[,weighted][,sym][,compress][,mutable]" and loads it.
 void load_spec(engine::registry& reg, const std::string& spec) {
   auto eq = spec.find('=');
   if (eq == std::string::npos)
@@ -74,6 +81,7 @@ void load_spec(engine::registry& reg, const std::string& spec) {
   std::string name = spec.substr(0, eq);
   std::string rest = spec.substr(eq + 1);
   engine::load_options opts;
+  bool want_mutable = false;
   std::string path;
   std::stringstream ss(rest);
   std::string part;
@@ -88,16 +96,57 @@ void load_spec(engine::registry& reg, const std::string& spec) {
       opts.symmetric = true;
     } else if (part == "compress") {
       opts.compress = true;
+    } else if (part == "mutable") {
+      want_mutable = true;
     } else {
       throw std::runtime_error("unknown -load option: " + part);
     }
   }
+  if (want_mutable && opts.weighted)
+    throw std::runtime_error(
+        "mutable graphs are unweighted (drop 'weighted' from: " + spec + ")");
   auto h = reg.load(name, path, opts);
-  std::printf("loaded '%s' from %s: %u vertices, %llu edges%s%s\n",
-              name.c_str(), path.c_str(), h->structure().num_vertices(),
-              static_cast<unsigned long long>(h->structure().num_edges()),
+  if (want_mutable) {
+    // Re-register through add_mutable so `update` requests work on it
+    // (replaces the just-loaded static entry under the same name).
+    h = reg.add_mutable(name, graph(h->structure()));
+  }
+  std::printf("loaded '%s' from %s: %u vertices, %llu edges%s%s%s\n",
+              name.c_str(), path.c_str(), h->num_vertices(),
+              static_cast<unsigned long long>(h->num_edges()),
               h->weighted() ? ", weighted" : "",
-              h->compressed() ? ", compressed replica" : "");
+              h->compressed() ? ", compressed replica" : "",
+              h->is_mutable() ? ", mutable" : "");
+}
+
+// One batch file line: "u v" or "+ u v" inserts, "- u v" deletes,
+// '#' comments and blank lines skipped.
+void read_batch_file(const std::string& path, dynamic::update_batch& batch) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open batch file: " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    std::stringstream ls(line);
+    std::string first;
+    if (!(ls >> first) || first[0] == '#') continue;
+    bool is_delete = false;
+    uint64_t u = 0, v = 0;
+    if (first == "+" || first == "-") {
+      is_delete = first == "-";
+      if (!(ls >> u >> v))
+        throw std::runtime_error("bad batch line " + std::to_string(lineno) +
+                                 " in " + path + ": " + line);
+    } else {
+      u = std::stoull(first);
+      if (!(ls >> v))
+        throw std::runtime_error("bad batch line " + std::to_string(lineno) +
+                                 " in " + path + ": " + line);
+    }
+    edge e{static_cast<vertex_id>(u), static_cast<vertex_id>(v)};
+    (is_delete ? batch.deletes : batch.inserts).push_back(e);
+  }
 }
 
 // Parses one request line; returns false on blank/comment lines.
@@ -129,6 +178,27 @@ bool parse_request(const std::string& line, engine::query_request& out) {
     out.source = static_cast<vertex_id>(a);
   } else if (kind == "triangles") {
     out.kind = engine::query_kind::triangle_count;
+  } else if (kind == "update") {
+    out.kind = engine::query_kind::update;
+    auto batch = std::make_shared<dynamic::update_batch>();
+    std::string tok;
+    while (ss >> tok) {
+      if (tok[0] == '+' || tok[0] == '-') {
+        auto comma = tok.find(',');
+        if (comma == std::string::npos || comma + 1 >= tok.size())
+          throw std::runtime_error("want +u,v (insert) or -u,v (delete): " +
+                                   tok);
+        edge e{static_cast<vertex_id>(std::stoull(tok.substr(1, comma - 1))),
+               static_cast<vertex_id>(std::stoull(tok.substr(comma + 1)))};
+        (tok[0] == '+' ? batch->inserts : batch->deletes).push_back(e);
+      } else {
+        read_batch_file(tok, *batch);
+      }
+    }
+    if (batch->empty())
+      throw std::runtime_error(
+          "want '<graph> update <file | +u,v -u,v ...>': " + line);
+    out.updates = std::move(batch);
   } else {
     throw std::runtime_error("unknown query kind '" + kind + "' in: " + line);
   }
@@ -376,6 +446,8 @@ void repl(engine::query_executor& ex) {
       if (line == "help") {
         std::printf("  <graph> bfs <s> <t> | sssp <s> <t> | pagerank <k> | "
                     "cc <v> | kcore <v> | triangles\n"
+                    "  <graph> update <file | +u,v -u,v ...>   apply an edge "
+                    "batch (mutable graphs; returns the new epoch)\n"
                     "  trace <request>   run a query with traversal tracing, "
                     "print the trace JSON\n"
                     "  graphs | stats | metrics | clear-cache | quit\n");
@@ -392,13 +464,19 @@ void repl(engine::query_executor& ex) {
           std::printf("%s\n", trace.to_json().c_str());
         }
       } else if (line == "graphs") {
-        for (const auto& g : ex.graphs().list())
-          std::printf("  %-12s epoch %llu, %u vertices, %llu edges, %.1f MB%s\n",
+        for (const auto& g : ex.graphs().list()) {
+          std::printf("  %-12s epoch %llu, %u vertices, %llu edges, %.1f MB%s",
                       g.name.c_str(), static_cast<unsigned long long>(g.epoch),
                       g.num_vertices,
                       static_cast<unsigned long long>(g.num_edges),
                       static_cast<double>(g.memory_bytes) / 1e6,
                       g.weighted ? ", weighted" : "");
+          if (g.is_mutable)
+            std::printf(", mutable (v%llu, %zu delta edges)",
+                        static_cast<unsigned long long>(g.version),
+                        g.delta_edges);
+          std::printf("\n");
+        }
       } else if (line == "stats") {
         print_stats(ex);
       } else if (line == "clear-cache") {
@@ -454,12 +532,14 @@ int main(int argc, char* argv[]) {
     return 1;
   }
   if (!loaded) {
-    // Demo residents: a power-law "social" graph and a weighted 3-D
-    // torus "road" network — the two traversal regimes of the paper.
+    // Demo residents: a power-law "social" graph, a weighted 3-D torus
+    // "road" network — the two traversal regimes of the paper — and a
+    // mutable power-law "feed" graph for `update` requests.
     std::printf("registering demo graphs (use -load name=path to override)\n");
     reg.add("social", gen::rmat_graph(/*scale=*/14, /*num_edges=*/1 << 18));
     reg.add("road",
             gen::add_random_weights(gen::grid3d_graph(/*side=*/24), 1, 16));
+    reg.add_mutable("feed", gen::rmat_graph(/*scale=*/13, /*num_edges=*/1 << 16));
   }
   for (const auto& g : reg.list())
     std::printf("  resident: %-8s %u vertices, %llu edges%s\n", g.name.c_str(),

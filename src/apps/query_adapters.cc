@@ -66,17 +66,22 @@ std::vector<std::pair<vertex_id, double>> pagerank_topk(
   // Rank extraction is a separate phase from the power iteration: on large
   // graphs the partial_sort is visible in traces.
   obs::span_scope finalize("finalize");
-  const vertex_id n = g.num_vertices();
+  return topk_ranks(pr.rank, k);
+}
+
+std::vector<std::pair<vertex_id, double>> topk_ranks(
+    const std::vector<double>& rank, size_t k) {
+  const size_t n = rank.size();
   if (k > n) k = n;
   std::vector<vertex_id> order(n);
   std::iota(order.begin(), order.end(), vertex_id{0});
   auto better = [&](vertex_id a, vertex_id b) {
-    return pr.rank[a] != pr.rank[b] ? pr.rank[a] > pr.rank[b] : a < b;
+    return rank[a] != rank[b] ? rank[a] > rank[b] : a < b;
   };
   std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
                     order.end(), better);
   std::vector<std::pair<vertex_id, double>> top(k);
-  for (size_t i = 0; i < k; i++) top[i] = {order[i], pr.rank[order[i]]};
+  for (size_t i = 0; i < k; i++) top[i] = {order[i], rank[order[i]]};
   return top;
 }
 

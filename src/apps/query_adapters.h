@@ -34,6 +34,13 @@ int64_t sssp_distance(const wgraph& g, vertex_id source, vertex_id target,
 std::vector<std::pair<vertex_id, double>> pagerank_topk(
     const graph& g, size_t k, const engine::cancel_token& cancel = {});
 
+// pagerank_topk's extraction phase over an arbitrary rank vector — rank
+// descending, ties broken by vertex id, k clamped to rank.size(). Exposed
+// so the engine can serve top-k straight from a mutable entry's converged
+// per-epoch ranks without rerunning PageRank.
+std::vector<std::pair<vertex_id, double>> topk_ranks(
+    const std::vector<double>& rank, size_t k);
+
 // Connected-component label of `v` (smallest vertex id in v's component).
 // Requires a symmetric graph.
 vertex_id component_id(const graph& g, vertex_id v,

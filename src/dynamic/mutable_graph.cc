@@ -1,0 +1,232 @@
+#include "dynamic/mutable_graph.h"
+
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "parallel/primitives.h"
+#include "parallel/sort.h"
+#include "util/failpoint.h"
+
+namespace ligra::dynamic {
+
+namespace {
+
+// Canonicalizes one edge list in place: (min, max) pairs, self-loops out,
+// sorted, deduped. Returns counts of what was dropped.
+void canonicalize(std::vector<edge>& edges, vertex_id n, const char* what,
+                  normalize_stats& stats) {
+  for (edge& e : edges) {
+    if (e.u >= n || e.v >= n)
+      throw std::invalid_argument(
+          std::string("normalize_batch: ") + what + " endpoint out of range (" +
+          std::to_string(e.u) + ", " + std::to_string(e.v) + ") with n = " +
+          std::to_string(n));
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  const size_t before = edges.size();
+  std::erase_if(edges, [](const edge& e) { return e.u == e.v; });
+  stats.self_loops_dropped += before - edges.size();
+  parallel::sort_inplace(edges, [](const edge& a, const edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  const size_t sorted = edges.size();
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  stats.duplicates_dropped += sorted - edges.size();
+}
+
+}  // namespace
+
+normalize_stats normalize_batch(update_batch& b, vertex_id n) {
+  normalize_stats stats;
+  canonicalize(b.inserts, n, "insert", stats);
+  canonicalize(b.deletes, n, "delete", stats);
+  // An edge in both lists has no well-defined outcome; both lists are
+  // sorted now, so one linear sweep finds any conflict.
+  size_t i = 0;
+  for (const edge& e : b.deletes) {
+    while (i < b.inserts.size() &&
+           (b.inserts[i].u < e.u ||
+            (b.inserts[i].u == e.u && b.inserts[i].v < e.v)))
+      i++;
+    if (i < b.inserts.size() && b.inserts[i] == e)
+      throw std::invalid_argument(
+          "normalize_batch: edge (" + std::to_string(e.u) + ", " +
+          std::to_string(e.v) + ") appears in both inserts and deletes");
+  }
+  return stats;
+}
+
+mutable_graph::mutable_graph(graph g, mutable_graph_options opts)
+    : opts_(opts), n_(g.num_vertices()), m_(g.num_edges()) {
+  if (!g.symmetric())
+    throw std::invalid_argument(
+        "mutable_graph: requires a symmetric graph (updates are undirected)");
+  base_ = std::make_shared<const graph>(std::move(g));
+  slot_.assign(n_, -1);
+}
+
+mutable_graph::vertex_delta& mutable_graph::delta_for(vertex_id v) {
+  if (slot_[v] < 0) {
+    slot_[v] = static_cast<int32_t>(deltas_.size());
+    deltas_.emplace_back();
+  }
+  return deltas_[static_cast<size_t>(slot_[v])];
+}
+
+void mutable_graph::link(vertex_id u, vertex_id v) {
+  vertex_delta& d = delta_for(u);
+  // Re-insert of a previously deleted base edge: un-delete instead of
+  // adding (keeps adds ∩ base = ∅).
+  auto dit = std::lower_bound(d.dels.begin(), d.dels.end(), v);
+  if (dit != d.dels.end() && *dit == v) {
+    d.dels.erase(dit);
+    delta_edges_--;
+    return;
+  }
+  d.adds.insert(std::lower_bound(d.adds.begin(), d.adds.end(), v), v);
+  delta_edges_++;
+}
+
+void mutable_graph::unlink(vertex_id u, vertex_id v) {
+  vertex_delta& d = delta_for(u);
+  auto ait = std::lower_bound(d.adds.begin(), d.adds.end(), v);
+  if (ait != d.adds.end() && *ait == v) {
+    d.adds.erase(ait);
+    delta_edges_--;
+    return;
+  }
+  d.dels.insert(std::lower_bound(d.dels.begin(), d.dels.end(), v), v);
+  delta_edges_++;
+}
+
+size_t mutable_graph::compact_threshold() const {
+  const auto frac = static_cast<size_t>(
+      opts_.compact_fraction * static_cast<double>(base_->num_edges()));
+  return std::max(opts_.compact_min_edges, frac);
+}
+
+applied mutable_graph::apply(update_batch batch) const {
+  if (LIGRA_FAILPOINT("dynamic.apply.alloc")) throw std::bad_alloc();
+  const normalize_stats norm = normalize_batch(batch, n_);
+  applied out;
+  out.stats.self_loops_dropped = norm.self_loops_dropped;
+  out.stats.duplicates_dropped = norm.duplicates_dropped;
+  out.next = *this;  // shares base_; copies the overlay
+  mutable_graph& g = out.next;
+  g.version_++;
+  out.inserted.reserve(batch.inserts.size());
+  out.deleted.reserve(batch.deletes.size());
+  // Normalization deduped each list and rejected insert/delete conflicts,
+  // so each canonical edge is processed exactly once and effectiveness
+  // against the evolving overlay equals effectiveness against *this.
+  for (const edge& e : batch.inserts) {
+    if (g.has_edge(e.u, e.v)) {
+      out.stats.skipped++;
+      continue;
+    }
+    g.link(e.u, e.v);
+    g.link(e.v, e.u);
+    g.m_ += 2;
+    out.inserted.push_back(e);
+  }
+  for (const edge& e : batch.deletes) {
+    if (!g.has_edge(e.u, e.v)) {
+      out.stats.skipped++;
+      continue;
+    }
+    g.unlink(e.u, e.v);
+    g.unlink(e.v, e.u);
+    g.m_ -= 2;
+    out.deleted.push_back(e);
+  }
+  out.stats.inserted = out.inserted.size();
+  out.stats.deleted = out.deleted.size();
+  if (g.delta_edges_ > g.compact_threshold()) {
+    if (LIGRA_FAILPOINT("dynamic.compact")) throw std::bad_alloc();
+    g.base_ = std::make_shared<const graph>(g.materialize());
+    g.slot_.assign(g.n_, -1);
+    g.deltas_.clear();
+    g.delta_edges_ = 0;
+    out.stats.compacted = true;
+  }
+  return out;
+}
+
+graph mutable_graph::materialize() const {
+  std::vector<edge_id> offsets(static_cast<size_t>(n_) + 1);
+  parallel::parallel_for(0, n_, [&](size_t v) {
+    offsets[v] = out_degree(static_cast<vertex_id>(v));
+  });
+  offsets[n_] = 0;
+  const edge_id total =
+      parallel::scan_add_inplace(offsets.data(), offsets.size());
+  std::vector<vertex_id> targets(total);
+  parallel::parallel_for(0, n_, [&](size_t v) {
+    const edge_id o = offsets[v];
+    decode_out(static_cast<vertex_id>(v),
+               [&](vertex_id nbr, empty_weight, size_t j) {
+                 targets[o + j] = nbr;
+                 return true;
+               });
+  });
+  return graph::from_csr(n_, std::move(offsets), std::move(targets), {},
+                         /*symmetric=*/true);
+}
+
+size_t mutable_graph::memory_bytes() const {
+  size_t b = base_->memory_bytes() + slot_.size() * sizeof(int32_t) +
+             deltas_.size() * sizeof(vertex_delta);
+  for (const vertex_delta& d : deltas_)
+    b += (d.adds.size() + d.dels.size()) * sizeof(vertex_id);
+  return b;
+}
+
+void mutable_graph::check_invariants() const {
+  auto fail = [](const std::string& what) {
+    throw std::logic_error("mutable_graph invariant violated: " + what);
+  };
+  if (slot_.size() != n_) fail("slot array size");
+  size_t overlay = 0;
+  edge_id live = 0;
+  for (vertex_id v = 0; v < n_; v++) {
+    live += out_degree(v);
+    const int32_t s = slot_[v];
+    if (s < 0) continue;
+    if (static_cast<size_t>(s) >= deltas_.size()) fail("slot out of range");
+    const vertex_delta& d = deltas_[static_cast<size_t>(s)];
+    overlay += d.adds.size() + d.dels.size();
+    if (!std::is_sorted(d.adds.begin(), d.adds.end()) ||
+        std::adjacent_find(d.adds.begin(), d.adds.end()) != d.adds.end())
+      fail("adds not sorted/unique");
+    if (!std::is_sorted(d.dels.begin(), d.dels.end()) ||
+        std::adjacent_find(d.dels.begin(), d.dels.end()) != d.dels.end())
+      fail("dels not sorted/unique");
+    for (vertex_id w : d.adds) {
+      if (w >= n_ || w == v) fail("add target invalid");
+      if (base_->has_edge(v, w)) fail("add already in base");
+    }
+    for (vertex_id w : d.dels)
+      if (!base_->has_edge(v, w)) fail("del not in base");
+  }
+  if (overlay != delta_edges_) fail("delta_edges count");
+  if (live != m_) fail("num_edges count");
+  // Live-view symmetry + decode order.
+  for (vertex_id v = 0; v < n_; v++) {
+    vertex_id prev = 0;
+    bool first = true;
+    size_t expect_j = 0;
+    decode_out(v, [&](vertex_id w, empty_weight, size_t j) {
+      if (j != expect_j++) fail("merged index not contiguous");
+      if (!first && w <= prev) fail("merged adjacency not sorted");
+      first = false;
+      prev = w;
+      if (!has_edge(w, v)) fail("live view not symmetric");
+      return true;
+    });
+    if (expect_j != out_degree(v)) fail("decode count != out_degree");
+  }
+}
+
+}  // namespace ligra::dynamic

@@ -1,0 +1,217 @@
+// Mutable graph store: a resident CSR plus per-vertex delta logs
+// (docs/DYNAMIC.md).
+//
+// A `mutable_graph` is one immutable *version* of an evolving symmetric
+// unweighted graph. Versions share the base CSR through a shared_ptr and
+// each carries its own per-vertex overlay: for vertices touched since the
+// last compaction, a sorted list of added neighbors (disjoint from the base
+// adjacency) and a sorted list of deleted base neighbors. `apply(batch)` is
+// functional — it returns a *new* version and never mutates this one — so
+// readers traversing an old version race with nothing; that is what lets
+// the engine keep serving queries on an old epoch while a batch publishes a
+// new one (LSGraph-style edge_map-over-mutable-store, SNIPPETS.md).
+//
+// Traversal: mutable_graph satisfies the full edge_map graph concept
+// (num_vertices / num_edges / out_degree / decode_out / decode_in /
+// decode_out_range / weight_type), so every Ligra kernel — including the
+// blocked sparse kernel and the bitmap dense kernels — runs over the live
+// view unmodified. Untouched vertices decode straight from the base CSR at
+// zero overhead; touched vertices pay a sorted merge of (base − dels) with
+// adds, preserving the sorted-adjacency invariant and contiguous merged
+// edge indices j ∈ [0, out_degree(v)).
+//
+// Compaction: when the overlay grows past compact_fraction of the base
+// edge count (with a floor of compact_min_edges), apply() materializes the
+// merged CSR into a fresh base and clears the overlay, bounding both the
+// per-edge merge overhead and overlay memory. Failpoints
+// "dynamic.apply.alloc" (entry) and "dynamic.compact" (before compaction)
+// inject allocation failures; because apply() is functional, a failed apply
+// leaves no partial state anywhere — the engine's retry/publish discipline
+// builds on exactly that.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dynamic/update_batch.h"
+#include "graph/graph.h"
+
+namespace ligra::dynamic {
+
+struct mutable_graph_options {
+  // Compact when overlay directed edges exceed this fraction of base edges.
+  double compact_fraction = 0.125;
+  // ...but never below this many overlay edges (small graphs would
+  // otherwise compact on nearly every batch).
+  size_t compact_min_edges = 1 << 14;
+};
+
+// What one apply() did, in canonical (min, max) undirected edges.
+struct apply_stats {
+  size_t inserted = 0;   // effective inserts (edge was absent)
+  size_t deleted = 0;    // effective deletes (edge was present)
+  size_t skipped = 0;    // no-op inserts of present / deletes of absent edges
+  size_t self_loops_dropped = 0;
+  size_t duplicates_dropped = 0;
+  bool compacted = false;
+};
+
+struct applied;  // defined after mutable_graph (holds one by value)
+
+class mutable_graph {
+ public:
+  using weight_type = empty_weight;
+
+  mutable_graph() = default;
+
+  // Wraps `g` as version 0. Requires a symmetric graph (updates are
+  // undirected pairs materialized in both directions); throws
+  // std::invalid_argument otherwise.
+  explicit mutable_graph(graph g, mutable_graph_options opts = {});
+
+  vertex_id num_vertices() const { return n_; }
+  edge_id num_edges() const { return m_; }  // directed arcs, like graph_t
+  bool symmetric() const { return true; }
+
+  // Batches applied since construction (compaction does not reset this).
+  uint64_t version() const { return version_; }
+  // Directed overlay edges (adds + dels across all vertices).
+  size_t delta_edges() const { return delta_edges_; }
+  const graph& base() const { return *base_; }
+  const mutable_graph_options& options() const { return opts_; }
+
+  size_t out_degree(vertex_id v) const {
+    const int32_t s = slot_[v];
+    size_t d = base_->out_degree(v);
+    if (s >= 0)
+      d += deltas_[static_cast<size_t>(s)].adds.size() -
+           deltas_[static_cast<size_t>(s)].dels.size();
+    return d;
+  }
+
+  // Merged adjacency iteration: f(neighbor, weight, j) with j the merged
+  // edge index, in increasing neighbor order, until f returns false.
+  template <class F>
+  void decode_out(vertex_id v, F&& f) const {
+    const int32_t s = slot_[v];
+    if (s < 0) {
+      base_->decode_out(v, std::forward<F>(f));
+      return;
+    }
+    decode_merged(v, deltas_[static_cast<size_t>(s)], 0, SIZE_MAX,
+                  std::forward<F>(f));
+  }
+  template <class F>
+  void decode_in(vertex_id v, F&& f) const {  // symmetric: in == out
+    decode_out(v, std::forward<F>(f));
+  }
+
+  // Merged iteration restricted to edge indices [jlo, jhi) — the blocked
+  // sparse kernel's interface. Untouched vertices index the base CSR
+  // directly; touched vertices skip-walk the merge (O(degree) worst case,
+  // bounded by the compaction threshold).
+  template <class F>
+  void decode_out_range(vertex_id v, size_t jlo, size_t jhi, F&& f) const {
+    const int32_t s = slot_[v];
+    if (s < 0) {
+      base_->decode_out_range(v, jlo, jhi, std::forward<F>(f));
+      return;
+    }
+    decode_merged(v, deltas_[static_cast<size_t>(s)], jlo, jhi,
+                  std::forward<F>(f));
+  }
+
+  // Membership in the live view (checks the overlay, then the base).
+  bool has_edge(vertex_id u, vertex_id v) const {
+    const int32_t s = slot_[u];
+    if (s >= 0) {
+      const vertex_delta& d = deltas_[static_cast<size_t>(s)];
+      if (std::binary_search(d.adds.begin(), d.adds.end(), v)) return true;
+      if (std::binary_search(d.dels.begin(), d.dels.end(), v)) return false;
+    }
+    return base_->has_edge(u, v);
+  }
+
+  // Applies a batch, returning the next version; `*this` is unchanged.
+  // Normalizes the batch first (throws std::invalid_argument on
+  // out-of-range endpoints or insert/delete conflicts). Throws
+  // std::bad_alloc under the "dynamic.apply.alloc" / "dynamic.compact"
+  // failpoints (and on real allocation failure) — all-or-nothing either
+  // way.
+  applied apply(update_batch batch) const;
+
+  // The merged graph as a plain CSR (what compaction installs as the new
+  // base; also the engine's lazy structural view for CSR-only queries).
+  graph materialize() const;
+
+  // Base CSR + overlay footprint.
+  size_t memory_bytes() const;
+
+  // Verifies every representation invariant (sorted/disjoint overlay lists,
+  // dels ⊆ base adjacency, adds ∩ base = ∅, edge/overlay counts, symmetry
+  // of the live view). Throws std::logic_error on violation. O(n + m) —
+  // tests only.
+  void check_invariants() const;
+
+ private:
+  struct vertex_delta {
+    std::vector<vertex_id> adds;  // sorted, disjoint from base adjacency
+    std::vector<vertex_id> dels;  // sorted, subset of base adjacency
+  };
+
+  // Sorted merge of (base − dels) and adds with running merged index j;
+  // calls f for j in [jlo, jhi) until f returns false.
+  template <class F>
+  void decode_merged(vertex_id v, const vertex_delta& d, size_t jlo,
+                     size_t jhi, F&& f) const {
+    const auto nbrs = base_->out_neighbors(v);
+    const size_t nb = nbrs.size(), na = d.adds.size(), nd = d.dels.size();
+    size_t bi = 0, ai = 0, di = 0, j = 0;
+    while ((bi < nb || ai < na) && j < jhi) {
+      vertex_id next;
+      if (ai >= na || (bi < nb && nbrs[bi] < d.adds[ai])) {
+        next = nbrs[bi++];
+        while (di < nd && d.dels[di] < next) di++;
+        if (di < nd && d.dels[di] == next) {
+          di++;
+          continue;  // deleted base edge
+        }
+      } else {
+        next = d.adds[ai++];
+      }
+      if (j >= jlo && !f(next, empty_weight{}, j)) return;
+      j++;
+    }
+  }
+
+  // Overlay slot for v, created on first touch.
+  vertex_delta& delta_for(vertex_id v);
+  // One directed arc u -> v added / removed (updates delta_edges_).
+  void link(vertex_id u, vertex_id v);
+  void unlink(vertex_id u, vertex_id v);
+  // Threshold past which apply() compacts.
+  size_t compact_threshold() const;
+
+  std::shared_ptr<const graph> base_;
+  mutable_graph_options opts_;
+  vertex_id n_ = 0;
+  edge_id m_ = 0;  // live directed edge count (base ± overlay)
+  uint64_t version_ = 0;
+  size_t delta_edges_ = 0;
+  std::vector<int32_t> slot_;  // per-vertex overlay index; -1 = untouched
+  std::vector<vertex_delta> deltas_;
+};
+
+// What apply() produced: the next version plus the batch's effective edges.
+struct applied {
+  mutable_graph next;
+  // Effective canonical (min, max) edges — no-ops excluded. These seed
+  // the incremental recompute frontiers (dynamic/incremental.h).
+  std::vector<edge> inserted;
+  std::vector<edge> deleted;
+  apply_stats stats;
+};
+
+}  // namespace ligra::dynamic

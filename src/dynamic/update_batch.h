@@ -1,0 +1,43 @@
+// Edge update batches — the unit of mutation of the dynamic graph
+// subsystem (docs/DYNAMIC.md).
+//
+// A batch is two edge lists: inserts and deletes over a fixed vertex
+// universe [0, n). Mutable graphs are symmetric, so an edge is an
+// *unordered* pair: (u, v) and (v, u) name the same edge, and applying an
+// insert materializes both directed arcs. `normalize_batch` canonicalizes a
+// batch into the form `mutable_graph::apply` consumes: endpoints
+// range-checked, pairs ordered (min, max), self-loops dropped, duplicates
+// collapsed, and insert/delete conflicts rejected — a batch that both
+// inserts and deletes the same edge has no well-defined outcome, so it is a
+// caller error rather than an ordering puzzle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ligra::dynamic {
+
+struct update_batch {
+  std::vector<edge> inserts;
+  std::vector<edge> deletes;
+
+  size_t size() const { return inserts.size() + deletes.size(); }
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+};
+
+// What normalization dropped (for caller diagnostics; dropped entries are
+// not errors).
+struct normalize_stats {
+  size_t self_loops_dropped = 0;
+  size_t duplicates_dropped = 0;
+};
+
+// Canonicalizes `b` in place against universe [0, n): orders each pair
+// (min, max), drops self-loops, sorts and dedupes both lists. Throws
+// std::invalid_argument on an out-of-range endpoint or on an edge present
+// in both lists.
+normalize_stats normalize_batch(update_batch& b, vertex_id n);
+
+}  // namespace ligra::dynamic

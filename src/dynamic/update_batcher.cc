@@ -1,0 +1,64 @@
+#include "dynamic/update_batcher.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ligra::dynamic {
+
+update_batcher::update_batcher(publish_fn publish, batcher_options opts)
+    : publish_(std::move(publish)), opts_(opts) {
+  if (!publish_)
+    throw std::invalid_argument("update_batcher: publish callback required");
+  if (opts_.max_batch_edges == 0) opts_.max_batch_edges = 1;
+}
+
+void update_batcher::insert(vertex_id u, vertex_id v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.inserts.emplace_back(u, v);
+  if (pending_.size() >= opts_.max_batch_edges) flush_locked();
+}
+
+void update_batcher::remove(vertex_id u, vertex_id v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.deletes.emplace_back(u, v);
+  if (pending_.size() >= opts_.max_batch_edges) flush_locked();
+}
+
+void update_batcher::enqueue(const update_batch& b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.inserts.insert(pending_.inserts.end(), b.inserts.begin(),
+                          b.inserts.end());
+  pending_.deletes.insert(pending_.deletes.end(), b.deletes.begin(),
+                          b.deletes.end());
+  if (pending_.size() >= opts_.max_batch_edges) flush_locked();
+}
+
+uint64_t update_batcher::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flush_locked();
+}
+
+uint64_t update_batcher::flush_locked() {
+  if (pending_.empty()) return 0;
+  update_batch batch = std::exchange(pending_, update_batch{});
+  // Validate/dedup up front when the universe is known; a bad batch is
+  // dropped here with the producer's call stack attached instead of
+  // surfacing later from the apply path.
+  if (opts_.num_vertices > 0) normalize_batch(batch, opts_.num_vertices);
+  if (batch.empty()) return 0;  // everything normalized away
+  const uint64_t token = publish_(std::move(batch));
+  published_++;
+  return token;
+}
+
+size_t update_batcher::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+uint64_t update_batcher::batches_published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+}  // namespace ligra::dynamic

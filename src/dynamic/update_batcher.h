@@ -1,0 +1,73 @@
+// update_batcher — accumulation front-end of the write path
+// (docs/DYNAMIC.md).
+//
+// Callers stream individual insert/remove calls (or whole pre-built
+// batches); the batcher buffers them and publishes one batch at a time
+// through an injected callback — in the engine, registry::apply_updates,
+// which applies the batch, refreshes the incremental state, and publishes a
+// new epoch. The callback indirection keeps src/dynamic free of any engine
+// dependency. Publication happens on flush() or automatically when the
+// pending batch reaches max_batch_edges.
+//
+// Before publishing, the pending batch is validated and deduplicated via
+// normalize_batch when the batcher knows its vertex universe
+// (batcher_options::num_vertices > 0); the apply path normalizes again
+// regardless, so an unvalidated batcher is merely later diagnostics, never
+// a correctness hole.
+//
+// Thread-safe: concurrent producers serialize on an internal mutex, which
+// is held across the publish callback — batches therefore publish one at a
+// time and in flush order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "dynamic/update_batch.h"
+
+namespace ligra::dynamic {
+
+struct batcher_options {
+  // Pending edges (inserts + deletes) that trigger an automatic flush.
+  size_t max_batch_edges = 1024;
+  // Vertex universe for pre-publish validation; 0 skips it (the apply path
+  // still validates).
+  vertex_id num_vertices = 0;
+};
+
+class update_batcher {
+ public:
+  // `publish` applies one batch and returns the new epoch (any non-zero
+  // token works for non-engine callers). It may throw; the failed batch is
+  // dropped (the graph never saw a partial application — apply is
+  // all-or-nothing) and the error propagates to the flushing caller.
+  using publish_fn = std::function<uint64_t(update_batch&&)>;
+
+  explicit update_batcher(publish_fn publish, batcher_options opts = {});
+
+  // Queue a single undirected edge mutation; auto-flushes at the batch cap.
+  void insert(vertex_id u, vertex_id v);
+  void remove(vertex_id u, vertex_id v);
+  // Queue a whole batch (concatenated onto the pending one).
+  void enqueue(const update_batch& b);
+
+  // Publishes the pending batch; returns the publish token, or 0 when
+  // nothing was pending.
+  uint64_t flush();
+
+  size_t pending() const;
+  uint64_t batches_published() const;
+
+ private:
+  // Caller holds mutex_.
+  uint64_t flush_locked();
+
+  mutable std::mutex mutex_;
+  update_batch pending_;
+  publish_fn publish_;
+  batcher_options opts_;
+  uint64_t published_ = 0;
+};
+
+}  // namespace ligra::dynamic

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "apps/query_adapters.h"
+#include "dynamic/incremental.h"
 #include "ligra/edge_map.h"
 #include "obs/trace.h"
 #include "parallel/scheduler.h"
@@ -13,6 +14,24 @@
 #include "util/timer.h"
 
 namespace ligra::engine {
+
+namespace {
+
+void check_vertex(const char* what, vertex_id v, vertex_id n) {
+  if (v >= n)
+    throw std::invalid_argument(std::string(what) + ": vertex " +
+                                std::to_string(v) + " out of range [0, " +
+                                std::to_string(n) + ")");
+}
+
+// Round-boundary poll hook for the dynamic traversals (same shape the app
+// adapters use); empty for inactive tokens so the per-round branch is free.
+std::function<void()> poll_of(const cancel_token& token) {
+  if (!token.active()) return {};
+  return [token] { token.poll(); };
+}
+
+}  // namespace
 
 query_executor::query_executor(registry& graphs, executor_options opts)
     : registry_(graphs),
@@ -71,6 +90,7 @@ cache_key query_executor::make_key(const query_request& req, uint64_t epoch) {
       key.a = req.source;
       break;
     case query_kind::triangle_count:
+    case query_kind::update:  // never cacheable; no key parameters
     case query_kind::custom:
       break;
   }
@@ -82,20 +102,40 @@ query_result query_executor::execute(const query_request& req,
                                      const cancel_token& token) {
   query_result r;
   r.kind = req.kind;
+  // Mutable entries answer BFS over the live base+delta view, and cc / top-k
+  // straight from the epoch's converged incremental state (O(1) / O(n)
+  // instead of a full traversal). Coreness and triangles fall through to
+  // structure(), which lazily materializes the merged CSR.
   switch (req.kind) {
     case query_kind::bfs_distance:
-      r.value =
-          apps::bfs_hop_distance(e.structure(), req.source, req.target, token);
+      if (e.is_mutable()) {
+        check_vertex("bfs_hop_distance source", req.source, e.num_vertices());
+        check_vertex("bfs_hop_distance target", req.target, e.num_vertices());
+        r.value = dynamic::bfs_hop_distance(*e.dyn(), req.source, req.target,
+                                            poll_of(token));
+      } else {
+        r.value = apps::bfs_hop_distance(e.structure(), req.source, req.target,
+                                         token);
+      }
       break;
     case query_kind::sssp_distance:
       r.value = apps::sssp_distance(e.weights(), req.source, req.target, token);
       break;
     case query_kind::pagerank_topk:
-      r.topk = apps::pagerank_topk(e.structure(), req.k, token);
+      if (e.is_mutable()) {
+        r.topk = apps::topk_ranks(e.inc()->pr_rank, req.k);
+      } else {
+        r.topk = apps::pagerank_topk(e.structure(), req.k, token);
+      }
       r.value = static_cast<int64_t>(r.topk.size());
       break;
     case query_kind::component_id:
-      r.value = apps::component_id(e.structure(), req.source, token);
+      if (e.is_mutable()) {
+        check_vertex("component_id", req.source, e.num_vertices());
+        r.value = e.inc()->cc_labels[req.source];
+      } else {
+        r.value = apps::component_id(e.structure(), req.source, token);
+      }
       break;
     case query_kind::coreness:
       r.value = apps::vertex_coreness(e.structure(), req.source, token);
@@ -103,6 +143,15 @@ query_result query_executor::execute(const query_request& req,
     case query_kind::triangle_count:
       r.value = static_cast<int64_t>(apps::count_triangles(e.structure(), token));
       break;
+    case query_kind::update: {
+      if (!req.updates)
+        throw engine_error("update query without a batch");
+      // The entry resolved at submission pins the *old* epoch; the apply
+      // resolves the name again so serialized batches chain correctly.
+      graph_handle next = registry_.apply_updates(req.graph, *req.updates);
+      r.value = static_cast<int64_t>(next->epoch());
+      break;
+    }
     case query_kind::custom:
       if (!req.custom)
         throw engine_error("custom query without a callable");
@@ -126,7 +175,8 @@ std::future<query_result> query_executor::submit(query_request req) {
     return fut;
   }
 
-  j->cacheable = j->req.kind != query_kind::custom && cache_.capacity() > 0 &&
+  j->cacheable = j->req.kind != query_kind::custom &&
+                 j->req.kind != query_kind::update && cache_.capacity() > 0 &&
                  j->req.trace == nullptr;
   if (j->cacheable) {
     j->key = make_key(j->req, j->handle->epoch());
@@ -195,7 +245,8 @@ std::future<query_result> query_executor::submit(query_request req) {
 query_result query_executor::run(const query_request& req) {
   stats_.record_submitted();
   graph_handle handle = registry_.get(req.graph);
-  bool cacheable = req.kind != query_kind::custom && cache_.capacity() > 0 &&
+  bool cacheable = req.kind != query_kind::custom &&
+                   req.kind != query_kind::update && cache_.capacity() > 0 &&
                    req.trace == nullptr;
   cache_key key;
   if (cacheable) {

@@ -11,11 +11,13 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "dynamic/update_batch.h"
 #include "engine/cancel.h"
 #include "graph/graph.h"
 #include "obs/trace.h"
@@ -54,10 +56,12 @@ enum class query_kind : uint8_t {
   component_id,    // connected-component label of `source`
   coreness,        // k-core number of `source`
   triangle_count,  // whole-graph triangle count
+  update,          // apply an edge-update batch to a mutable graph; the
+                   // result value is the published epoch. Never cached.
   custom,          // caller-supplied closure; bypasses the result cache
 };
 
-inline constexpr size_t kNumQueryKinds = 7;
+inline constexpr size_t kNumQueryKinds = 8;
 
 inline const char* query_kind_name(query_kind k) {
   switch (k) {
@@ -67,6 +71,7 @@ inline const char* query_kind_name(query_kind k) {
     case query_kind::component_id: return "cc";
     case query_kind::coreness: return "kcore";
     case query_kind::triangle_count: return "triangles";
+    case query_kind::update: return "update";
     case query_kind::custom: return "custom";
   }
   return "?";
@@ -104,6 +109,10 @@ struct query_request {
   // The token combines the request's token with the executor deadline —
   // long-running closures should poll it.
   std::function<int64_t(const graph_entry&, const cancel_token&)> custom;
+  // kind == update only: the edge batch to apply (shared so queued jobs and
+  // replay files can alias one batch). Goes through the executor's
+  // admission control like any query, then registry::apply_updates.
+  std::shared_ptr<const dynamic::update_batch> updates;
 };
 
 struct query_result {

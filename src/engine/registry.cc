@@ -62,6 +62,12 @@ registry::registry(obs::metrics_registry* metrics) : metrics_(metrics) {
     m_load_failures_ =
         &metrics_->get_counter("engine_graph_load_failures_total");
     m_load_micros_ = &metrics_->get_histogram("engine_graph_load_micros");
+    m_updates_ = &metrics_->get_counter("engine_graph_updates_total");
+    m_update_retries_ =
+        &metrics_->get_counter("engine_graph_update_retries_total");
+    m_update_failures_ =
+        &metrics_->get_counter("engine_graph_update_failures_total");
+    m_update_micros_ = &metrics_->get_histogram("engine_graph_update_micros");
     m_resident_ = &metrics_->get_gauge("engine_graphs_resident");
     m_memory_bytes_ = &metrics_->get_gauge("engine_graph_memory_bytes");
   }
@@ -164,6 +170,103 @@ graph_handle registry::add(const std::string& name, wgraph g, bool compress) {
   return insert(std::move(e));
 }
 
+graph_handle registry::add_mutable(const std::string& name, graph g,
+                                   dynamic::mutable_graph_options opts) {
+  auto view =
+      std::make_shared<const dynamic::mutable_graph>(std::move(g), opts);
+  // Seed the epoch's converged analytics with one full run of each; every
+  // later epoch refreshes them incrementally from the batch's footprint.
+  auto inc = std::make_shared<dynamic::inc_state>();
+  {
+    apps::components_result cc = apps::connected_components(view->base());
+    inc->cc_labels = std::move(cc.labels);
+    inc->cc_components = cc.num_components;
+  }
+  inc->pr_rank =
+      apps::pagerank_delta(view->base(), dynamic::maintenance_pr_options())
+          .rank;
+  auto e = std::make_shared<graph_entry>();
+  e->name_ = name;
+  e->dyn_ = std::move(view);
+  e->inc_ = std::move(inc);
+  graph_handle h = insert(std::move(e));
+  if (metrics_ != nullptr)
+    metrics_->get_gauge("engine_graph_delta_edges{graph=\"" + name + "\"}")
+        .set(static_cast<int64_t>(h->dyn()->delta_edges()));
+  return h;
+}
+
+graph_handle registry::apply_updates(const std::string& name,
+                                     dynamic::update_batch batch,
+                                     const retry_options& retry) {
+  // One batch publishes at a time; later callers build on this one's epoch.
+  std::lock_guard apply_lock(apply_mutex_);
+  const size_t max_attempts = std::max<size_t>(1, retry.max_attempts);
+  const monotonic_time t0 = mono_now();
+  for (size_t attempt = 1;; attempt++) {
+    try {
+      graph_handle h = apply_once(name, batch);
+      if (m_updates_ != nullptr) m_updates_->inc();
+      if (m_update_micros_ != nullptr)
+        m_update_micros_->record(static_cast<uint64_t>(micros_since(t0)));
+      return h;
+    } catch (const engine_error&) {
+      // Unknown name / non-mutable target: retrying resolves the same entry.
+      if (m_update_failures_ != nullptr) m_update_failures_->inc();
+      throw;
+    } catch (const std::invalid_argument& e) {
+      // Malformed batch: normalization rereads the same edges, fail now.
+      if (m_update_failures_ != nullptr) m_update_failures_->inc();
+      throw update_error("applying updates to '" + name + "': " + e.what(),
+                         attempt);
+    } catch (const std::exception& e) {
+      if (attempt >= max_attempts) {
+        if (m_update_failures_ != nullptr) m_update_failures_->inc();
+        throw update_error("applying updates to '" + name + "' failed after " +
+                               std::to_string(attempt) +
+                               " attempts: " + e.what(),
+                           attempt);
+      }
+      if (m_update_retries_ != nullptr) m_update_retries_->inc();
+      std::this_thread::sleep_for(backoff_for(retry, attempt));
+    }
+  }
+}
+
+graph_handle registry::apply_once(const std::string& name,
+                                  const dynamic::update_batch& batch) {
+  graph_handle cur = try_get(name);
+  if (cur == nullptr)
+    throw not_found_error("no graph named '" + name + "' is registered");
+  if (!cur->is_mutable())
+    throw engine_error("graph '" + name +
+                       "' is not mutable (registered without add_mutable)");
+  // Everything below is functional over the current entry: apply builds the
+  // next version, the incremental kernels build the next epoch's state, and
+  // only then does insert() publish. A throw anywhere leaves `cur` serving.
+  dynamic::applied ap = cur->dyn()->apply(batch);
+  auto inc = std::make_shared<dynamic::inc_state>();
+  {
+    apps::components_result cc = dynamic::components_inc(
+        ap.next, cur->inc()->cc_labels, ap.inserted, ap.deleted);
+    inc->cc_labels = std::move(cc.labels);
+    inc->cc_components = cc.num_components;
+  }
+  inc->pr_rank = dynamic::pagerank_delta_inc(ap.next, *cur->dyn(),
+                                             cur->inc()->pr_rank, ap.inserted,
+                                             ap.deleted)
+                     .rank;
+  auto e = std::make_shared<graph_entry>();
+  e->name_ = name;
+  e->dyn_ = std::make_shared<const dynamic::mutable_graph>(std::move(ap.next));
+  e->inc_ = std::move(inc);
+  graph_handle h = insert(std::move(e));
+  if (metrics_ != nullptr)
+    metrics_->get_gauge("engine_graph_delta_edges{graph=\"" + name + "\"}")
+        .set(static_cast<int64_t>(h->dyn()->delta_edges()));
+  return h;
+}
+
 graph_handle registry::insert(std::shared_ptr<graph_entry> e) {
   e->epoch_ = next_epoch_.fetch_add(1, std::memory_order_relaxed);
   graph_handle h = std::move(e);
@@ -231,9 +334,23 @@ std::vector<entry_info> registry::list() const {
   std::vector<entry_info> out;
   out.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {
-    out.push_back({name, e->epoch(), e->weighted(), e->compressed() != nullptr,
-                   e->structure().num_vertices(), e->structure().num_edges(),
-                   e->memory_bytes(), e->compressed_bytes()});
+    entry_info info;
+    info.name = name;
+    info.epoch = e->epoch();
+    info.weighted = e->weighted();
+    info.compressed = e->compressed() != nullptr;
+    info.is_mutable = e->is_mutable();
+    if (e->is_mutable()) {
+      info.version = e->dyn()->version();
+      info.delta_edges = e->dyn()->delta_edges();
+    }
+    // num_vertices()/num_edges() — not structure() — so listing never
+    // materializes a mutable entry's merged CSR.
+    info.num_vertices = e->num_vertices();
+    info.num_edges = e->num_edges();
+    info.memory_bytes = e->memory_bytes();
+    info.compressed_bytes = e->compressed_bytes();
+    out.push_back(std::move(info));
   }
   return out;
 }

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -30,6 +31,8 @@
 #include <vector>
 
 #include "compress/compressed_graph.h"
+#include "dynamic/incremental.h"
+#include "dynamic/mutable_graph.h"
 #include "engine/query.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
@@ -78,6 +81,17 @@ class load_error : public engine_error {
   size_t attempts;
 };
 
+// An edge-update batch that failed to publish — same shape as load_error:
+// thrown immediately for permanent errors (malformed batch, non-mutable
+// target) or after the retry budget drains for transient ones. The target
+// entry's current epoch keeps serving untouched either way.
+class update_error : public engine_error {
+ public:
+  update_error(const std::string& what, size_t attempts_made)
+      : engine_error(what), attempts(attempts_made) {}
+  size_t attempts;
+};
+
 // An immutable resident graph plus metadata. Handed out as
 // shared_ptr<const graph_entry>; whoever holds one keeps the graph alive.
 class graph_entry {
@@ -86,8 +100,31 @@ class graph_entry {
   uint64_t epoch() const { return epoch_; }
   bool weighted() const { return wg_.has_value(); }
 
-  // Unweighted structural view — always present.
-  const graph& structure() const { return g_; }
+  // True for entries registered via registry::add_mutable: the resident
+  // graph is a dynamic::mutable_graph version and this entry carries the
+  // epoch's converged incremental state alongside it.
+  bool is_mutable() const { return dyn_ != nullptr; }
+  // The live base+delta view (nullptr for plain entries).
+  const dynamic::mutable_graph* dyn() const { return dyn_.get(); }
+  // Converged per-epoch analytics (nullptr for plain entries).
+  const dynamic::inc_state* inc() const { return inc_.get(); }
+
+  // Vertex/edge counts without materializing anything (mutable entries
+  // answer from the view; registry::list must use these, not structure()).
+  vertex_id num_vertices() const {
+    return dyn_ ? dyn_->num_vertices() : g_.num_vertices();
+  }
+  edge_id num_edges() const { return dyn_ ? dyn_->num_edges() : g_.num_edges(); }
+
+  // Unweighted structural view. For mutable entries the merged CSR is
+  // materialized lazily on first use (CSR-only queries — k-core, triangles
+  // — on a freshly updated graph) and cached for the entry's lifetime; the
+  // entry is immutable either way, so concurrent callers are safe.
+  const graph& structure() const {
+    if (dyn_ == nullptr) return g_;
+    std::call_once(mat_once_, [this] { mat_ = dyn_->materialize(); });
+    return *mat_;
+  }
 
   // Weighted CSR; throws engine_error for unweighted entries.
   const wgraph& weights() const {
@@ -100,8 +137,12 @@ class graph_entry {
     return cg_ ? &*cg_ : nullptr;
   }
 
-  // Plain (CSR) footprint, including the weighted CSR if present.
+  // Resident footprint: plain CSR (+ weighted CSR) for static entries,
+  // base CSR + overlay for mutable ones. Deliberately excludes the lazily
+  // materialized structural view — reading its presence here would race
+  // with a concurrent first materialization.
   size_t memory_bytes() const {
+    if (dyn_) return dyn_->memory_bytes();
     return g_.memory_bytes() + (wg_ ? wg_->memory_bytes() : 0);
   }
   // Footprint of the compressed replica (0 if none).
@@ -111,9 +152,13 @@ class graph_entry {
   friend class registry;
   std::string name_;
   uint64_t epoch_ = 0;
-  graph g_;
+  graph g_;  // empty for mutable entries (structure() materializes lazily)
   std::optional<wgraph> wg_;
   std::optional<compress::compressed_graph> cg_;
+  std::shared_ptr<const dynamic::mutable_graph> dyn_;
+  std::shared_ptr<const dynamic::inc_state> inc_;
+  mutable std::once_flag mat_once_;
+  mutable std::optional<graph> mat_;  // lazy merged CSR (mutable entries)
 };
 
 using graph_handle = std::shared_ptr<const graph_entry>;
@@ -124,6 +169,9 @@ struct entry_info {
   uint64_t epoch = 0;
   bool weighted = false;
   bool compressed = false;
+  bool is_mutable = false;      // registered via add_mutable
+  uint64_t version = 0;         // batches applied (mutable entries only)
+  size_t delta_edges = 0;       // overlay size (mutable entries only)
   vertex_id num_vertices = 0;
   edge_id num_edges = 0;
   size_t memory_bytes = 0;
@@ -155,6 +203,29 @@ class registry {
   graph_handle add(const std::string& name, graph g, bool compress = false);
   graph_handle add(const std::string& name, wgraph g, bool compress = false);
 
+  // Registers `g` as a *mutable* graph: the entry carries a
+  // dynamic::mutable_graph view plus converged incremental state (connected
+  // components + PageRank), both refreshed incrementally by apply_updates.
+  // Requires a symmetric graph; throws std::invalid_argument otherwise.
+  // Seeding runs the full algorithms once, so this costs one CC + one
+  // PageRank on top of add().
+  graph_handle add_mutable(const std::string& name, graph g,
+                           dynamic::mutable_graph_options opts = {});
+
+  // Applies an edge-update batch to the mutable entry `name` and publishes
+  // the result as a new epoch — the write-path analogue of load(), with the
+  // same discipline: apply, incremental recompute, and validation all
+  // happen *before* the new epoch becomes visible, so a failed batch leaves
+  // the current epoch serving untouched; transient failures (allocation,
+  // failpoints dynamic.apply.alloc / dynamic.compact) are retried per
+  // `retry`, permanent ones (malformed batch, unknown or non-mutable
+  // target) throw update_error immediately. Concurrent callers serialize:
+  // batches publish one at a time, each on top of the previous epoch.
+  // Returns the new entry's handle.
+  graph_handle apply_updates(const std::string& name,
+                             dynamic::update_batch batch,
+                             const retry_options& retry = {});
+
   // Name -> handle; `get` throws not_found_error, `try_get` returns nullptr.
   graph_handle get(const std::string& name) const;
   graph_handle try_get(const std::string& name) const;
@@ -173,6 +244,9 @@ class registry {
  private:
   graph_handle load_once(const std::string& name, const std::string& path,
                          const load_options& opts);
+  // One apply attempt; caller holds apply_mutex_. Throws on failure.
+  graph_handle apply_once(const std::string& name,
+                          const dynamic::update_batch& batch);
   graph_handle insert(std::shared_ptr<graph_entry> e);
   // Refreshes the residency gauges; caller must NOT hold mutex_.
   void publish_residency();
@@ -180,6 +254,10 @@ class registry {
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, graph_handle> entries_;
   std::atomic<uint64_t> next_epoch_{1};
+  // Serializes apply_updates end to end (read-apply-publish): without it,
+  // two concurrent batches could both build on the same old epoch and one
+  // batch's edges would be silently lost. Loads/queries are unaffected.
+  std::mutex apply_mutex_;
 
   // Null when constructed without a metrics registry.
   obs::metrics_registry* metrics_ = nullptr;
@@ -187,6 +265,10 @@ class registry {
   obs::counter* m_load_retries_ = nullptr;
   obs::counter* m_load_failures_ = nullptr;
   obs::histogram* m_load_micros_ = nullptr;
+  obs::counter* m_updates_ = nullptr;
+  obs::counter* m_update_retries_ = nullptr;
+  obs::counter* m_update_failures_ = nullptr;
+  obs::histogram* m_update_micros_ = nullptr;
   obs::gauge* m_resident_ = nullptr;
   obs::gauge* m_memory_bytes_ = nullptr;
 };

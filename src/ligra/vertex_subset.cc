@@ -1,5 +1,6 @@
 #include "ligra/vertex_subset.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <stdexcept>
@@ -26,6 +27,18 @@ vertex_subset::vertex_subset(vertex_id n, std::vector<vertex_id> ids)
     seen[v] = 1;
   }
 #endif
+}
+
+vertex_subset vertex_subset::from_unsorted_ids(vertex_id n,
+                                               std::vector<vertex_id> ids) {
+  for (vertex_id v : ids) {
+    if (v >= n)
+      throw std::invalid_argument(
+          "vertex_subset::from_unsorted_ids: vertex out of range");
+  }
+  parallel::sort_inplace(ids);
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return vertex_subset(n, std::move(ids));
 }
 
 vertex_subset vertex_subset::from_dense(vertex_id n,

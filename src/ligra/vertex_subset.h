@@ -39,6 +39,13 @@ class vertex_subset {
   // guarantee this; validated in debug builds).
   vertex_subset(vertex_id n, std::vector<vertex_id> ids);
 
+  // From an id list in no particular order, possibly with duplicates —
+  // e.g. the endpoints touched by an edge-update batch (src/dynamic/),
+  // where both ends of many edges repeat. Sorts and dedupes; throws
+  // std::invalid_argument on an out-of-range id.
+  static vertex_subset from_unsorted_ids(vertex_id n,
+                                         std::vector<vertex_id> ids);
+
   // From dense flags; flags.size() must equal n.
   static vertex_subset from_dense(vertex_id n, std::vector<uint8_t> flags);
 

@@ -392,6 +392,113 @@ TEST_F(RobustnessTest, ValidateGraphCatchesAsymmetricSymmetricView) {
   EXPECT_NO_THROW(io::validate_graph(small_graph(), "ok"));
 }
 
+// --- edge-update batches (docs/DYNAMIC.md) ----------------------------------
+
+TEST_F(RobustnessTest, FailedApplyNeverPublishesPartialEpoch) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  e::registry reg;
+  auto h1 = reg.add_mutable("m", small_graph());
+  const uint64_t epoch1 = h1->epoch();
+
+  e::query_executor ex(reg, {.max_concurrency = 2});
+  auto make_bfs = [&](vertex_id s) {
+    e::query_request q;
+    q.graph = "m";
+    q.kind = e::query_kind::bfs_distance;
+    q.source = s % h1->num_vertices();
+    q.target = (s + 1) % h1->num_vertices();
+    return q;
+  };
+  std::vector<std::future<e::query_result>> futs;
+  for (vertex_id s = 0; s < 8; s++) futs.push_back(ex.submit(make_bfs(s)));
+
+  // Every apply attempt fails at the allocation failpoint; the batch must
+  // not publish (no partial epoch) and the old epoch must keep serving.
+  dynamic::update_batch batch;
+  batch.inserts = {{0, 7}, {1, 5}};
+  fp::arm("dynamic.apply.alloc", fail_spec());
+  try {
+    reg.apply_updates("m", batch,
+                      {.max_attempts = 3, .base_backoff_ms = 1,
+                       .max_backoff_ms = 2});
+    FAIL() << "expected update_error";
+  } catch (const e::update_error& err) {
+    EXPECT_EQ(err.attempts, 3u);
+  }
+  fp::disarm("dynamic.apply.alloc");
+
+  auto h2 = reg.get("m");
+  EXPECT_EQ(h2.get(), h1.get());  // the very same entry, not a partial one
+  EXPECT_EQ(h2->epoch(), epoch1);
+  EXPECT_EQ(h2->dyn()->version(), 0u);
+  EXPECT_FALSE(h2->dyn()->has_edge(0, 7));
+
+  for (vertex_id s = 8; s < 16; s++) futs.push_back(ex.submit(make_bfs(s)));
+  for (auto& f : futs) EXPECT_GE(f.get().value, -1);
+  ex.wait_idle();
+  EXPECT_EQ(ex.stats().failed, 0u);  // zero collateral query failures
+
+  // With the failpoint gone the same batch publishes.
+  auto h3 = reg.apply_updates("m", batch);
+  EXPECT_GT(h3->epoch(), epoch1);
+  EXPECT_TRUE(h3->dyn()->has_edge(0, 7));
+}
+
+TEST_F(RobustnessTest, ApplyRetriesTransientFaultThenPublishes) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  obs::metrics_registry metrics;
+  e::registry reg(&metrics);
+  reg.add_mutable("m", small_graph());
+
+  dynamic::update_batch batch;
+  batch.inserts = {{2, 9}};
+  fp::arm("dynamic.apply.alloc", fail_spec(/*count=*/2));
+  uint64_t base = fp::hits("dynamic.apply.alloc");
+  auto h = reg.apply_updates("m", batch,
+                             {.max_attempts = 3, .base_backoff_ms = 1,
+                              .max_backoff_ms = 2});
+  EXPECT_EQ(fp::hits("dynamic.apply.alloc"), base + 2);
+  EXPECT_TRUE(h->dyn()->has_edge(2, 9));
+  EXPECT_EQ(metrics.get_counter("engine_graph_update_retries_total").value(),
+            2u);
+  EXPECT_EQ(metrics.get_counter("engine_graph_updates_total").value(), 1u);
+  EXPECT_EQ(metrics.get_counter("engine_graph_update_failures_total").value(),
+            0u);
+}
+
+TEST_F(RobustnessTest, CompactionFaultAbortsWholeBatch) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  e::registry reg;
+  // Path graph (so the inserted edges are definitely absent) with
+  // thresholds chosen so the first batch crosses into compaction.
+  auto h1 = reg.add_mutable("m", gen::path_graph(200),
+                            {.compact_fraction = 0.001,
+                             .compact_min_edges = 4});
+  const uint64_t epoch1 = h1->epoch();
+
+  dynamic::update_batch batch;
+  for (vertex_id i = 0; i < 8; i++) batch.inserts.push_back({i, i + 100});
+  fp::arm("dynamic.compact", fail_spec());
+  EXPECT_THROW(reg.apply_updates("m", batch,
+                                 {.max_attempts = 2, .base_backoff_ms = 1,
+                                  .max_backoff_ms = 1}),
+               e::update_error);
+  fp::disarm("dynamic.compact");
+
+  // All-or-nothing: the *whole* batch is absent, not just the compaction.
+  auto h2 = reg.get("m");
+  EXPECT_EQ(h2->epoch(), epoch1);
+  EXPECT_EQ(h2->dyn()->version(), 0u);
+  EXPECT_FALSE(h2->dyn()->has_edge(0, 100));
+
+  // Retry without the fault: batch applies AND compacts.
+  auto h3 = reg.apply_updates("m", batch);
+  EXPECT_GT(h3->epoch(), epoch1);
+  EXPECT_TRUE(h3->dyn()->has_edge(0, 100));
+  EXPECT_EQ(h3->dyn()->delta_edges(), 0u);  // compacted into a fresh base
+  h3->dyn()->check_invariants();
+}
+
 // --- executor degradation ---------------------------------------------------
 
 TEST_F(RobustnessTest, ShedsLowPriorityPastWatermark) {
