@@ -1,0 +1,206 @@
+// WAL append benchmark (docs/DURABILITY.md).
+//
+// Measures the durability tax on the write path: append throughput and
+// latency of the write-ahead log under each fsync policy, over batches
+// drawn from an rmat scale-12 vertex universe (the single-core smoke
+// scale; see bench/inputs.h for the larger sweep inputs).
+//
+//   - `always`  — fsync per append; each acked batch is crash-durable.
+//   - `interval`— fsync every 16 appends; bounded loss window.
+//   - `never`   — OS-paced writeback; one explicit sync at the end.
+//
+// Each policy writes the same batch sequence to a fresh log in a temp
+// directory, timed end-to-end including the final sync() so `never` pays
+// for its deferred flushing instead of looking infinitely fast.
+//
+// Ends with one machine-readable line:
+//   WAL_JSON {"counters":{...},"gauges":{...},"histograms":{...}}
+// Gauges carry wal_appends_per_sec / wal_append_bytes_per_sec and the
+// p99s (wal_append_p99_micros, wal_fsync_p99_micros) per policy;
+// histograms carry the raw per-append / per-fsync latencies.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dynamic/update_batch.h"
+#include "dynamic/wal.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+namespace dyn = ligra::dynamic;
+namespace fs = std::filesystem;
+
+namespace {
+
+// Everything lands here; the WAL_JSON line at the end is its render_json().
+obs::metrics_registry& wal_metrics() {
+  static obs::metrics_registry reg;
+  return reg;
+}
+
+constexpr vertex_id kScale = 12;           // 4096-vertex universe
+constexpr vertex_id kN = vertex_id(1) << kScale;
+constexpr size_t kBatches = 512;
+constexpr size_t kEdgesPerBatch = 64;      // 48 inserts + 16 deletes
+
+// The same deterministic batch sequence for every policy.
+std::vector<dyn::update_batch> make_batches() {
+  std::vector<dyn::update_batch> out;
+  out.reserve(kBatches);
+  rng r(0x3A1u);
+  uint64_t i = 0;
+  for (size_t b = 0; b < kBatches; b++) {
+    dyn::update_batch batch;
+    for (size_t e = 0; e < kEdgesPerBatch - 16; e++) {
+      const vertex_id u = static_cast<vertex_id>(r.bounded(i++, kN));
+      const vertex_id v = static_cast<vertex_id>(r.bounded(i++, kN));
+      batch.inserts.emplace_back(u, v);
+    }
+    for (size_t e = 0; e < 16; e++) {
+      const vertex_id u = static_cast<vertex_id>(r.bounded(i++, kN));
+      const vertex_id v = static_cast<vertex_id>(r.bounded(i++, kN));
+      batch.deletes.emplace_back(u, v);
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+struct policy_run {
+  const char* label;
+  dyn::wal_options opts;
+};
+
+std::string fmt1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+void run_append_experiment() {
+  const std::vector<dyn::update_batch> batches = make_batches();
+  const std::vector<policy_run> runs = {
+      {"always", {dyn::fsync_policy::always, 16}},
+      {"interval", {dyn::fsync_policy::interval, 16}},
+      {"never", {dyn::fsync_policy::never, 16}},
+  };
+
+  fs::path dir = fs::temp_directory_path() / "ligra_bench_wal";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  table_printer t({"Policy", "Appends/s", "MB/s", "Append p99 (us)",
+                   "Fsync p99 (us)", "Fsyncs"});
+  for (const policy_run& pr : runs) {
+    const std::string labels = std::string("{fsync=\"") + pr.label + "\"}";
+    // Per-policy registry so the engine_wal_* series don't mix across
+    // policies; the interesting numbers are re-exported with labels below.
+    obs::metrics_registry local;
+    const std::string path = (dir / (std::string(pr.label) + ".wal")).string();
+    auto w = dyn::wal_writer::create(path, /*base_seq=*/0, pr.opts, &local);
+
+    obs::histogram& append_hist =
+        wal_metrics().get_histogram("wal_append_micros" + labels);
+    double secs = time_it([&] {
+      for (const dyn::update_batch& b : batches) {
+        auto t0 = mono_now();
+        w->append(b);
+        append_hist.record(micros_since(t0));
+      }
+      w->sync();  // `never`/`interval` pay their deferred flush here
+    });
+
+    const double appends_per_sec = double(kBatches) / secs;
+    const double bytes_per_sec = double(w->file_bytes()) / secs;
+    const auto append_snap = append_hist.snapshot();
+    const auto fsync_snap =
+        local.get_histogram("engine_wal_fsync_micros").snapshot();
+    // Surface the fsync latencies in the master registry too.
+    obs::histogram& fsync_hist =
+        wal_metrics().get_histogram("wal_fsync_micros" + labels);
+    fsync_hist.record(static_cast<uint64_t>(fsync_snap.p99()));
+
+    wal_metrics()
+        .get_gauge("wal_appends_per_sec" + labels)
+        .set(static_cast<int64_t>(appends_per_sec));
+    wal_metrics()
+        .get_gauge("wal_append_bytes_per_sec" + labels)
+        .set(static_cast<int64_t>(bytes_per_sec));
+    wal_metrics()
+        .get_gauge("wal_append_p99_micros" + labels)
+        .set(static_cast<int64_t>(append_snap.p99()));
+    wal_metrics()
+        .get_gauge("wal_fsync_p99_micros" + labels)
+        .set(static_cast<int64_t>(fsync_snap.p99()));
+    wal_metrics()
+        .get_counter("wal_fsyncs_total" + labels)
+        .inc(w->fsyncs());
+
+    t.add_row({pr.label, std::to_string(int64_t(appends_per_sec)),
+               fmt1(bytes_per_sec / 1e6), std::to_string(int64_t(append_snap.p99())),
+               std::to_string(int64_t(fsync_snap.p99())),
+               std::to_string(w->fsyncs())});
+
+    // Sanity: what we wrote scans back intact.
+    dyn::wal_scan scan = dyn::scan_wal(path);
+    if (scan.records.size() != kBatches || scan.tail_truncated) {
+      std::fprintf(stderr, "wal scan mismatch for %s: %zu records\n",
+                   pr.label, scan.records.size());
+      std::exit(1);
+    }
+  }
+  std::printf("WAL append throughput (%zu batches x %zu edges, scale %u)\n",
+              kBatches, kEdgesPerBatch, kScale);
+  t.print();
+  fs::remove_all(dir);
+}
+
+// --- google-benchmark registration (interactive use) ------------------------
+
+void BM_WalAppend(benchmark::State& state, dyn::fsync_policy policy) {
+  fs::path dir = fs::temp_directory_path() / "ligra_bench_wal_bm";
+  fs::create_directories(dir);
+  const std::string path = (dir / "bm.wal").string();
+  dyn::wal_options opts;
+  opts.fsync = policy;
+  auto w = dyn::wal_writer::create(path, 0, opts);
+  const std::vector<dyn::update_batch> batches = make_batches();
+  size_t i = 0;
+  for (auto _ : state) {
+    w->append(batches[i++ % batches.size()]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEdgesPerBatch));
+  w.reset();
+  fs::remove_all(dir);
+}
+
+void register_benchmarks() {
+  benchmark::RegisterBenchmark("wal/append/always", BM_WalAppend,
+                               dyn::fsync_policy::always);
+  benchmark::RegisterBenchmark("wal/append/interval", BM_WalAppend,
+                               dyn::fsync_policy::interval);
+  benchmark::RegisterBenchmark("wal/append/never", BM_WalAppend,
+                               dyn::fsync_policy::never);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  run_append_experiment();
+  register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  // One line, machine-readable: throughput and latency per fsync policy.
+  std::printf("WAL_JSON %s\n\n", wal_metrics().render_json().c_str());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,15 @@
 //   -shed-watermark N   shed low-priority submissions past this queue depth
 //   -failpoints SPEC    arm failpoints, e.g. "cache.insert=fail,p=0.1"
 //
+// Durability knobs (docs/DURABILITY.md):
+//   -wal-dir DIR        give every mutable graph a durable store under
+//                       DIR/<name>: updates append to a write-ahead log
+//                       before publishing, and an existing store is
+//                       recovered (checkpoint + WAL replay) instead of
+//                       starting fresh
+//   -fsync POLICY       WAL fsync policy: always | interval | never
+//   -checkpoint-interval N   checkpoint every N applied batches
+//
 // Observability knobs (docs/OBSERVABILITY.md):
 //   -stats-interval S   every S seconds, print per-kind p50/p95/p99 latency
 //                       and queue/running depth from the shared registry
@@ -33,7 +42,7 @@
 //   <graph> update +u,v -u,v ...     #   or inline); mutable graphs only
 //     batch file lines: "u v" / "+ u v" (insert), "- u v" (delete)
 // REPL extras: graphs | stats | metrics | trace <request> | clear-cache |
-//              help | quit
+//              checkpoint <graph> | wal-stats <graph> | help | quit
 //
 // Load specs accept a `mutable` option (-load feed=g.adj,sym,mutable) to
 // register the graph through add_mutable so `update` requests work on it;
@@ -52,6 +61,7 @@
 #include <thread>
 #include <vector>
 
+#include "dynamic/checkpoint.h"
 #include "engine/engine.h"
 #include "graph/generators.h"
 #include "obs/collectors.h"
@@ -73,8 +83,42 @@ double percentile(std::vector<double> v, double p) {
   return v[idx];
 }
 
+// -wal-dir / -fsync / -checkpoint-interval: when wal_dir is non-empty,
+// every mutable graph gets a durable store under wal_dir/<name> —
+// recovered if state already exists there, created fresh otherwise.
+struct durability_config {
+  std::string wal_dir;  // empty = durability off
+  dynamic::durability_options dur;
+};
+
+// Registers `name` as a mutable graph, durably when configured. `make`
+// supplies the base graph only when no durable state exists — on recovery
+// the checkpoint + WAL replay reconstruct it instead.
+engine::graph_handle add_mutable_graph(engine::registry& reg,
+                                       const std::string& name,
+                                       const durability_config& dcfg,
+                                       const std::function<graph()>& make) {
+  if (dcfg.wal_dir.empty()) return reg.add_mutable(name, make());
+  const std::string dir = dcfg.wal_dir + "/" + name;
+  if (dynamic::durable_store::has_state(dir)) {
+    dynamic::recovery_report rep;
+    auto h = reg.recover_mutable(name, dir, dcfg.dur, {}, &rep);
+    std::printf("recovered '%s' from %s: version %llu (checkpoint seq %llu, "
+                "%llu wal records replayed)\n",
+                name.c_str(), dir.c_str(),
+                static_cast<unsigned long long>(h->dyn()->version()),
+                static_cast<unsigned long long>(rep.checkpoint_seq),
+                static_cast<unsigned long long>(rep.replayed));
+    for (const auto& note : rep.notes)
+      std::printf("  recovery note: %s\n", note.c_str());
+    return h;
+  }
+  return reg.add_mutable(name, make(), dir, dcfg.dur);
+}
+
 // Parses "name=path[,weighted][,sym][,compress][,mutable]" and loads it.
-void load_spec(engine::registry& reg, const std::string& spec) {
+void load_spec(engine::registry& reg, const std::string& spec,
+               const durability_config& dcfg) {
   auto eq = spec.find('=');
   if (eq == std::string::npos)
     throw std::runtime_error("bad -load spec (want name=path[,opts]): " + spec);
@@ -108,8 +152,11 @@ void load_spec(engine::registry& reg, const std::string& spec) {
   auto h = reg.load(name, path, opts);
   if (want_mutable) {
     // Re-register through add_mutable so `update` requests work on it
-    // (replaces the just-loaded static entry under the same name).
-    h = reg.add_mutable(name, graph(h->structure()));
+    // (replaces the just-loaded static entry under the same name). With
+    // -wal-dir, existing durable state wins over the file's contents.
+    graph base(h->structure());
+    h = add_mutable_graph(reg, name, dcfg,
+                          [&]() { return std::move(base); });
   }
   std::printf("loaded '%s' from %s: %u vertices, %llu edges%s%s%s\n",
               name.c_str(), path.c_str(), h->num_vertices(),
@@ -450,6 +497,10 @@ void repl(engine::query_executor& ex) {
                     "batch (mutable graphs; returns the new epoch)\n"
                     "  trace <request>   run a query with traversal tracing, "
                     "print the trace JSON\n"
+                    "  checkpoint <graph>   snapshot a durable mutable graph "
+                    "and reset its WAL\n"
+                    "  wal-stats <graph>    durable store counters "
+                    "(docs/DURABILITY.md)\n"
                     "  graphs | stats | metrics | clear-cache | quit\n");
       } else if (line == "metrics") {
         std::fputs(ex.metrics().render_text().c_str(), stdout);
@@ -479,6 +530,32 @@ void repl(engine::query_executor& ex) {
         }
       } else if (line == "stats") {
         print_stats(ex);
+      } else if (line.rfind("checkpoint ", 0) == 0) {
+        const std::string name = line.substr(11);
+        ex.graphs().checkpoint(name);
+        auto ws = ex.graphs().wal_stats(name);
+        std::printf("  checkpointed '%s' at seq %llu (wal reset, %llu "
+                    "checkpoints this run)\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(ws.checkpoint_seq),
+                    static_cast<unsigned long long>(ws.checkpoints));
+      } else if (line.rfind("wal-stats ", 0) == 0) {
+        const std::string name = line.substr(10);
+        auto ws = ex.graphs().wal_stats(name);
+        std::printf("  dir %s (fsync=%s)\n"
+                    "  wal: base seq %llu, last seq %llu, %llu bytes, "
+                    "%llu appends, %llu fsyncs\n"
+                    "  checkpoints: newest at seq %llu, %llu written, "
+                    "%llu batches since\n",
+                    ws.dir.c_str(), ws.fsync.c_str(),
+                    static_cast<unsigned long long>(ws.base_seq),
+                    static_cast<unsigned long long>(ws.last_seq),
+                    static_cast<unsigned long long>(ws.wal_bytes),
+                    static_cast<unsigned long long>(ws.appends),
+                    static_cast<unsigned long long>(ws.fsyncs),
+                    static_cast<unsigned long long>(ws.checkpoint_seq),
+                    static_cast<unsigned long long>(ws.checkpoints),
+                    static_cast<unsigned long long>(ws.since_checkpoint));
       } else if (line == "clear-cache") {
         ex.cache().clear();
       } else {
@@ -514,17 +591,38 @@ int main(int argc, char* argv[]) {
   obs::install_scheduler_collector(metrics);
   engine::registry reg(&metrics);
 
+  // Durability: -wal-dir roots the per-graph stores; -fsync and
+  // -checkpoint-interval tune the policy (docs/DURABILITY.md).
+  durability_config dcfg;
+  dcfg.wal_dir = cli.get_string("wal-dir");
+  try {
+    if (cli.has("fsync"))
+      dcfg.dur.wal.fsync = dynamic::parse_fsync_policy(cli.get_string("fsync"));
+    if (cli.has("checkpoint-interval"))
+      dcfg.dur.checkpoint_interval =
+          static_cast<uint32_t>(cli.get_int("checkpoint-interval", 64));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad durability flag: %s\n", e.what());
+    return 1;
+  }
+  if (!dcfg.wal_dir.empty())
+    std::printf("durable mutable graphs under %s (fsync=%s, "
+                "checkpoint every %u batches)\n",
+                dcfg.wal_dir.c_str(),
+                dynamic::fsync_policy_name(dcfg.dur.wal.fsync),
+                dcfg.dur.checkpoint_interval);
+
   // Graphs: explicit -load specs, else the built-in demo pair.
   bool loaded = false;
   try {
     for (const auto& pos : cli.positional()) {
       if (pos.find('=') != std::string::npos) {
-        load_spec(reg, pos);
+        load_spec(reg, pos, dcfg);
         loaded = true;
       }
     }
     if (cli.has("load")) {
-      load_spec(reg, cli.get_string("load"));
+      load_spec(reg, cli.get_string("load"), dcfg);
       loaded = true;
     }
   } catch (const std::exception& e) {
@@ -539,7 +637,9 @@ int main(int argc, char* argv[]) {
     reg.add("social", gen::rmat_graph(/*scale=*/14, /*num_edges=*/1 << 18));
     reg.add("road",
             gen::add_random_weights(gen::grid3d_graph(/*side=*/24), 1, 16));
-    reg.add_mutable("feed", gen::rmat_graph(/*scale=*/13, /*num_edges=*/1 << 16));
+    add_mutable_graph(reg, "feed", dcfg, [] {
+      return gen::rmat_graph(/*scale=*/13, /*num_edges=*/1 << 16);
+    });
   }
   for (const auto& g : reg.list())
     std::printf("  resident: %-8s %u vertices, %llu edges%s\n", g.name.c_str(),

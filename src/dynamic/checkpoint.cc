@@ -1,0 +1,450 @@
+#include "dynamic/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_io.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/timer.h"
+
+namespace fs = std::filesystem;
+
+namespace ligra::dynamic {
+
+namespace {
+
+constexpr char kCkptMagic[4] = {'L', 'G', 'C', 'K'};
+constexpr uint32_t kCkptVersion = 1;
+
+template <class T>
+void put(std::string& buf, T v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  buf.append(p, sizeof(T));
+}
+
+template <class T>
+T get(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
+  throw wal_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, size_t len, const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t w = ::write(fd, data + done, len - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("checkpoint: write failed on", path);
+    }
+    done += static_cast<size_t>(w);
+  }
+}
+
+// Makes the rename itself durable. Best-effort: some filesystems reject
+// fsync on a directory fd, and by this point the data file is already
+// synced — the worst a lost rename costs is falling back to the previous
+// checkpoint.
+void fsync_dir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::string wal_file(const std::string& dir) { return dir + "/wal.log"; }
+
+std::string ckpt_file(const std::string& dir, uint64_t seq) {
+  return dir + "/ckpt-" + std::to_string(seq) + ".ckpt";
+}
+
+// All checkpoints in `dir`, newest (highest seq) first.
+std::vector<std::pair<uint64_t, std::string>> list_checkpoints(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.rfind("ckpt-", 0) != 0) continue;
+    if (name.size() < 11 || name.substr(name.size() - 5) != ".ckpt") continue;
+    const std::string digits = name.substr(5, name.size() - 10);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    out.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
+                     ent.path().string());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+// Removes checkpoints past the newest `retain` and any stray temp files
+// left by a crash mid-write. Best-effort.
+void prune_checkpoints(const std::string& dir, uint32_t retain) {
+  if (retain < 1) retain = 1;
+  auto ckpts = list_checkpoints(dir);
+  for (size_t i = retain; i < ckpts.size(); i++)
+    std::remove(ckpts[i].second.c_str());
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp")
+      std::remove(ent.path().string().c_str());
+  }
+}
+
+}  // namespace
+
+void write_checkpoint(const std::string& path, const graph& g,
+                      const checkpoint_meta& meta) {
+  if (LIGRA_FAILPOINT("checkpoint.write"))
+    throw wal_error("injected checkpoint failure (failpoint checkpoint.write): " +
+                    path);
+
+  std::ostringstream payload_s(std::ios::binary);
+  io::write_binary_graph(payload_s, g);
+  const std::string payload = payload_s.str();
+
+  std::string buf;
+  buf.reserve(kCheckpointHeaderBytes + payload.size());
+  buf.append(kCkptMagic, 4);
+  put<uint32_t>(buf, kCkptVersion);
+  put<uint64_t>(buf, meta.wal_seq);
+  put<uint64_t>(buf, meta.graph_version);
+  put<uint64_t>(buf, payload.size());
+  put<uint32_t>(buf, util::crc32(payload.data(), payload.size()));
+  put<uint32_t>(buf, util::crc32(buf.data(), buf.size()));
+  buf += payload;
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_errno("checkpoint: cannot create", tmp);
+  try {
+    write_all(fd, buf.data(), buf.size(), tmp);
+    if (::fsync(fd) != 0) fail_errno("checkpoint: fsync failed on", tmp);
+  } catch (...) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail_errno("checkpoint: rename failed for", path);
+  }
+  fsync_dir(fs::path(path).parent_path().string());
+}
+
+checkpoint_data read_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw wal_error("checkpoint: cannot open " + path);
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::string data(static_cast<size_t>(size), '\0');
+  in.read(data.data(), size);
+  if (!in) throw wal_error("checkpoint: read failed on " + path);
+
+  if (data.size() < kCheckpointHeaderBytes)
+    throw wal_error("checkpoint: " + path + " shorter than its header");
+  if (std::memcmp(data.data(), kCkptMagic, 4) != 0)
+    throw wal_error("checkpoint: " + path + " is not a checkpoint (bad magic)");
+  if (get<uint32_t>(data.data() + 4) != kCkptVersion)
+    throw wal_error("checkpoint: " + path + " has unsupported version " +
+                    std::to_string(get<uint32_t>(data.data() + 4)));
+  if (get<uint32_t>(data.data() + 36) != util::crc32(data.data(), 36))
+    throw wal_error("checkpoint: " + path + " header fails its checksum");
+
+  checkpoint_data out;
+  out.meta.wal_seq = get<uint64_t>(data.data() + 8);
+  out.meta.graph_version = get<uint64_t>(data.data() + 16);
+  const uint64_t payload_len = get<uint64_t>(data.data() + 24);
+  const uint32_t payload_crc = get<uint32_t>(data.data() + 32);
+  if (payload_len != data.size() - kCheckpointHeaderBytes)
+    throw wal_error("checkpoint: " + path + " payload length " +
+                    std::to_string(payload_len) + " does not match file size");
+  const char* payload = data.data() + kCheckpointHeaderBytes;
+  if (payload_crc != util::crc32(payload, payload_len))
+    throw wal_error("checkpoint: " + path + " payload fails its checksum");
+
+  std::istringstream ps(std::string(payload, payload_len), std::ios::binary);
+  try {
+    out.g = io::read_binary_graph(ps, "checkpoint " + path, payload_len);
+  } catch (const io::io_error& e) {
+    throw wal_error(std::string("checkpoint: ") + e.what());
+  }
+  return out;
+}
+
+durable_store::durable_store(std::string dir, durability_options opts,
+                             std::unique_ptr<wal_writer> writer,
+                             uint64_t checkpoint_seq,
+                             obs::metrics_registry* metrics)
+    : dir_(std::move(dir)),
+      opts_(opts),
+      writer_(std::move(writer)),
+      checkpoint_seq_(checkpoint_seq),
+      metrics_(metrics) {
+  if (opts_.retain_checkpoints < 1) opts_.retain_checkpoints = 1;
+  if (metrics_ != nullptr) {
+    m_ckpts_ = &metrics_->get_counter("engine_checkpoint_writes_total");
+    m_ckpt_bytes_ = &metrics_->get_counter("engine_checkpoint_bytes_total");
+    m_ckpt_failures_ =
+        &metrics_->get_counter("engine_checkpoint_failures_total");
+    m_ckpt_micros_ = &metrics_->get_histogram("engine_checkpoint_write_micros");
+  }
+}
+
+bool durable_store::has_state(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return false;
+  if (fs::exists(wal_file(dir), ec)) return true;
+  return !list_checkpoints(dir).empty();
+}
+
+std::unique_ptr<durable_store> durable_store::create(
+    const std::string& dir, const graph& initial, uint64_t graph_version,
+    durability_options opts, obs::metrics_registry* metrics) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    throw wal_error("durable_store: cannot create " + dir + ": " +
+                    ec.message());
+  if (has_state(dir))
+    throw recovery_error("durable_store: " + dir +
+                         " already holds durable state; recover it instead of "
+                         "creating over it");
+  write_checkpoint(ckpt_file(dir, 0), initial, {0, graph_version});
+  auto writer = wal_writer::create(wal_file(dir), 0, opts.wal, metrics);
+  return std::unique_ptr<durable_store>(
+      new durable_store(dir, opts, std::move(writer), 0, metrics));
+}
+
+durable_store::recovered durable_store::recover(
+    const std::string& dir, durability_options opts,
+    mutable_graph_options replay_opts, obs::metrics_registry* metrics) {
+  if (!has_state(dir))
+    throw recovery_error("durable_store: no durable state at " + dir);
+
+  recovery_report rep;
+  auto ckpts = list_checkpoints(dir);
+  checkpoint_data ckpt;
+  bool loaded = false;
+  for (const auto& [seq, path] : ckpts) {
+    try {
+      ckpt = read_checkpoint(path);
+      loaded = true;
+      break;
+    } catch (const wal_error& e) {
+      rep.checkpoints_skipped++;
+      rep.notes.push_back(e.what());
+    }
+  }
+  if (!loaded)
+    throw recovery_error(
+        "durable_store: no usable checkpoint in " + dir + " (" +
+        std::to_string(ckpts.size()) + " present, all failed verification)");
+  rep.checkpoint_seq = ckpt.meta.wal_seq;
+
+  mutable_graph mg(std::move(ckpt.g), replay_opts, ckpt.meta.graph_version);
+  uint64_t last_seq = ckpt.meta.wal_seq;
+  const std::string wal = wal_file(dir);
+
+  std::error_code ec;
+  if (!fs::exists(wal, ec)) {
+    rep.notes.push_back("no WAL file; recovered from checkpoint alone");
+  } else {
+    wal_scan scan;
+    bool scanned = false;
+    try {
+      scan = scan_wal(wal);
+      scanned = true;
+    } catch (const wal_error& e) {
+      // The log's own header is untrustworthy (e.g. a crash mid WAL-reset).
+      // The checkpoint subsumes everything a reset would have dropped, so
+      // recover from it alone and rebuild the log below.
+      rep.wal_truncated = true;
+      rep.notes.push_back(
+          std::string("WAL unreadable; recovered from checkpoint alone: ") +
+          e.what());
+    }
+    if (scanned) {
+      if (scan.tail_truncated) {
+        rep.wal_truncated = true;
+        rep.notes.push_back("WAL tail dropped: " + scan.tail_reason);
+      }
+      if (scan.base_seq > ckpt.meta.wal_seq)
+        throw recovery_error(
+            "durable_store: checkpoint at seq " +
+            std::to_string(ckpt.meta.wal_seq) +
+            " cannot bridge a WAL based at seq " +
+            std::to_string(scan.base_seq) +
+            " — the records between were folded into a newer checkpoint "
+            "that failed verification");
+      obs::counter* m_replayed =
+          metrics != nullptr
+              ? &metrics->get_counter("engine_wal_replay_records_total")
+              : nullptr;
+      const monotonic_time t0 = mono_now();
+      for (const wal_record& rec : scan.records) {
+        if (rec.seq <= ckpt.meta.wal_seq) continue;
+        if (LIGRA_FAILPOINT("recovery.replay"))
+          throw recovery_error(
+              "injected replay failure (failpoint recovery.replay) at seq " +
+              std::to_string(rec.seq));
+        try {
+          applied ap = mg.apply(rec.batch);
+          mg = std::move(ap.next);
+        } catch (const std::invalid_argument& e) {
+          // A record that passed its CRC but cannot apply — treat like a
+          // torn tail: keep the prefix, drop it and everything after.
+          rep.wal_truncated = true;
+          rep.notes.push_back("replay stopped at seq " +
+                              std::to_string(rec.seq) + ": " + e.what());
+          break;
+        } catch (const std::bad_alloc&) {
+          throw recovery_error(
+              "durable_store: allocation failure replaying seq " +
+              std::to_string(rec.seq) + "; retry recovery");
+        }
+        last_seq = rec.seq;
+        rep.replayed++;
+        if (m_replayed != nullptr) m_replayed->inc();
+      }
+      if (metrics != nullptr)
+        metrics->get_histogram("engine_wal_replay_micros")
+            .record(static_cast<uint64_t>(micros_since(t0)));
+    }
+  }
+  rep.last_seq = last_seq;
+
+  recovered out;
+  out.g = mg.materialize();
+  out.graph_version = mg.version();
+  if (opts.validate_on_recovery) {
+    try {
+      io::validate_graph(out.g, dir + " (recovered)");
+    } catch (const std::exception& e) {
+      throw recovery_error(
+          std::string("durable_store: recovered graph failed validation: ") +
+          e.what());
+    }
+  }
+
+  // Re-checkpoint at the recovered position and reset the WAL, so the
+  // freshly recovered store is exactly as durable as a new one and the next
+  // crash replays nothing twice.
+  write_checkpoint(ckpt_file(dir, last_seq), out.g,
+                   {last_seq, out.graph_version});
+  auto writer = wal_writer::create(wal, last_seq, opts.wal, metrics);
+  prune_checkpoints(dir, opts.retain_checkpoints < 1 ? 1
+                                                     : opts.retain_checkpoints);
+  if (metrics != nullptr)
+    metrics->get_counter("engine_recoveries_total").inc();
+
+  out.store = std::unique_ptr<durable_store>(
+      new durable_store(dir, opts, std::move(writer), last_seq, metrics));
+  out.report = std::move(rep);
+  return out;
+}
+
+uint64_t durable_store::log(const update_batch& effective) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_ == nullptr)
+    throw wal_error("durable_store: " + dir_ +
+                    " has no log writer after a failed WAL reset; recover to "
+                    "continue");
+  return writer_->append(effective);
+}
+
+void durable_store::note_applied(const std::function<graph()>& materialize,
+                                 uint64_t graph_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  since_checkpoint_++;
+  if (opts_.checkpoint_interval == 0 ||
+      since_checkpoint_ < opts_.checkpoint_interval)
+    return;
+  try {
+    checkpoint_locked(materialize(), graph_version);
+  } catch (const std::exception& e) {
+    // The batch already published and its WAL record is durable; a failed
+    // auto-checkpoint costs only replay time at the next recovery. Count
+    // it, say so, move on.
+    if (m_ckpt_failures_ != nullptr) m_ckpt_failures_->inc();
+    std::fprintf(stderr, "ligra: auto-checkpoint of %s failed: %s\n",
+                 dir_.c_str(), e.what());
+  }
+}
+
+void durable_store::checkpoint_now(const graph& g, uint64_t graph_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  checkpoint_locked(g, graph_version);
+}
+
+void durable_store::checkpoint_locked(const graph& g, uint64_t graph_version) {
+  if (writer_ == nullptr)
+    throw wal_error("durable_store: " + dir_ +
+                    " has no log writer after a failed WAL reset; recover to "
+                    "continue");
+  const monotonic_time t0 = mono_now();
+  // The checkpoint claims every record up to last_seq; make them durable
+  // first so it never claims batches the log could still lose.
+  writer_->sync();
+  const uint64_t seq = writer_->last_seq();
+  write_checkpoint(ckpt_file(dir_, seq), g, {seq, graph_version});
+  // Second "checkpoint.write" evaluation: after the rename made the new
+  // checkpoint durable but before the WAL resets — crash here leaves both
+  // the new checkpoint and the old log, exercising recovery's seq filter.
+  if (LIGRA_FAILPOINT("checkpoint.write"))
+    throw wal_error(
+        "injected failure between checkpoint rename and WAL reset "
+        "(failpoint checkpoint.write): " +
+        dir_);
+  // Drop the old writer before create() truncates the file — an fd holding
+  // a stale offset into a truncated log would punch holes on later appends.
+  writer_.reset();
+  writer_ = wal_writer::create(wal_file(dir_), seq, opts_.wal, metrics_);
+  checkpoint_seq_ = seq;
+  since_checkpoint_ = 0;
+  checkpoints_++;
+  prune_checkpoints(dir_, opts_.retain_checkpoints);
+  if (m_ckpts_ != nullptr) m_ckpts_->inc();
+  if (m_ckpt_bytes_ != nullptr)
+    m_ckpt_bytes_->inc(kCheckpointHeaderBytes + io::binary_graph_size_bytes(g));
+  if (m_ckpt_micros_ != nullptr)
+    m_ckpt_micros_->record(static_cast<uint64_t>(micros_since(t0)));
+}
+
+wal_stats durable_store::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_stats s;
+  s.dir = dir_;
+  s.fsync = fsync_policy_name(opts_.wal.fsync);
+  s.checkpoints = checkpoints_;
+  s.checkpoint_seq = checkpoint_seq_;
+  s.since_checkpoint = since_checkpoint_;
+  if (writer_ != nullptr) {
+    s.base_seq = writer_->base_seq();
+    s.last_seq = writer_->last_seq();
+    s.wal_bytes = writer_->file_bytes();
+    s.appends = writer_->appends();
+    s.fsyncs = writer_->fsyncs();
+  }
+  return s;
+}
+
+}  // namespace ligra::dynamic

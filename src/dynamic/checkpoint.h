@@ -1,0 +1,201 @@
+// Checkpoints + crash recovery for durable mutable graphs
+// (docs/DURABILITY.md).
+//
+// A checkpoint is one atomic file pairing a full CSR snapshot with the WAL
+// position it subsumes:
+//
+//   header (40 bytes):
+//     "LGCK" magic | u32 version | u64 wal_seq | u64 graph_version
+//     | u64 payload_len | u32 payload crc32 | u32 header crc32
+//   payload:
+//     an LGRB binary graph image (graph/graph_io.h), payload_len bytes
+//
+// Checkpoints are written to a temp file, fsync'd, and atomically renamed
+// into place (`ckpt-<wal_seq>.ckpt`), then the directory is fsync'd — a
+// crash mid-write leaves either the old file set or the new one, never a
+// half-checkpoint. After a checkpoint lands, the WAL is reset with
+// base_seq = the checkpoint's wal_seq; recovery filters replay records by
+// seq, so a crash *between* those two steps (new checkpoint durable, old
+// WAL still present) double-counts nothing.
+//
+// `durable_store` ties it together for the engine registry: log a batch's
+// effective edges before the epoch publishes, checkpoint every
+// checkpoint_interval batches (temp+rename+prune), and on startup recover
+// the newest valid checkpoint + replay the WAL tail, truncating at the
+// first torn or corrupt record instead of failing.
+//
+// Failpoints: "checkpoint.write" is evaluated twice per checkpoint — once
+// before the temp file is written (`after=0` → crash with nothing done) and
+// once between the atomic rename and the WAL reset (`after=1` → crash in
+// the double-count window above); "recovery.replay" fires once per replayed
+// record.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dynamic/mutable_graph.h"
+#include "dynamic/wal.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+
+namespace ligra::dynamic {
+
+// Recovery could not reconstruct any consistent graph: no readable
+// checkpoint, a checkpoint/WAL sequence gap (records between an older
+// checkpoint and the log's base were lost with a corrupt newer checkpoint),
+// or post-replay validation failure. Torn WAL tails are NOT this — they
+// degrade to a shorter valid prefix.
+class recovery_error : public std::runtime_error {
+ public:
+  explicit recovery_error(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// Fixed-width header preceding the embedded LGRB image.
+inline constexpr size_t kCheckpointHeaderBytes = 40;
+
+struct checkpoint_meta {
+  uint64_t wal_seq = 0;        // last WAL seq folded into this snapshot
+  uint64_t graph_version = 0;  // mutable_graph::version() at snapshot time
+};
+
+// Writes `g` + `meta` to `path` via temp file + fsync + atomic rename +
+// directory fsync. Throws wal_error on any I/O failure (temp file removed
+// best-effort).
+void write_checkpoint(const std::string& path, const graph& g,
+                      const checkpoint_meta& meta);
+
+// Reads and fully verifies a checkpoint (magic, both CRCs, embedded image
+// structure). Throws wal_error on any mismatch — the recovery path treats
+// that as "this checkpoint is unusable, try the next-newest".
+struct checkpoint_data {
+  graph g;
+  checkpoint_meta meta;
+};
+checkpoint_data read_checkpoint(const std::string& path);
+
+struct durability_options {
+  wal_options wal;
+  // Auto-checkpoint after this many applied batches (0 disables; callers
+  // then checkpoint explicitly via registry::checkpoint / checkpoint_now).
+  uint32_t checkpoint_interval = 64;
+  // Newest checkpoints kept on disk; older ones are pruned after each
+  // successful checkpoint. Minimum 1.
+  uint32_t retain_checkpoints = 2;
+  // Run io::validate_graph on the recovered graph before returning it.
+  bool validate_on_recovery = true;
+};
+
+// Point-in-time durability counters (REPL `wal-stats`, tests).
+struct wal_stats {
+  std::string dir;
+  std::string fsync;           // policy name
+  uint64_t base_seq = 0;       // WAL base (== last checkpoint's wal_seq)
+  uint64_t last_seq = 0;       // last appended (== acked batch count total)
+  uint64_t wal_bytes = 0;      // current log file size
+  uint64_t appends = 0;        // appends through this store instance
+  uint64_t fsyncs = 0;         // fsyncs through this store instance
+  uint64_t checkpoints = 0;    // checkpoints written by this instance
+  uint64_t checkpoint_seq = 0; // wal_seq of the newest checkpoint
+  uint64_t since_checkpoint = 0;  // batches applied since it
+};
+
+// What recovery did (surfaced by registry::recover_mutable and the tests).
+struct recovery_report {
+  uint64_t checkpoint_seq = 0;    // wal_seq of the checkpoint restored
+  uint64_t last_seq = 0;          // seq of the last replayed record
+  uint64_t replayed = 0;          // WAL records applied on top
+  uint32_t checkpoints_skipped = 0;  // corrupt/unreadable newer checkpoints
+  bool wal_truncated = false;     // a torn/corrupt tail was dropped
+  std::vector<std::string> notes; // human-readable detail per anomaly
+};
+
+// The durability backbone of one mutable registry entry: WAL + checkpoint
+// directory + the append-before-publish and recovery protocols. Thread-safe
+// (internal mutex); the registry additionally serializes the apply path.
+class durable_store {
+ public:
+  // True if `dir` holds any prior durable state (a WAL or any checkpoint).
+  static bool has_state(const std::string& dir);
+
+  // Creates fresh state in `dir` (created if absent): a checkpoint of
+  // `initial` at wal_seq 0 plus an empty WAL. Throws recovery_error if the
+  // directory already holds state (callers must recover instead — silently
+  // clobbering a survivor's log is how real data dies), wal_error on I/O
+  // failure.
+  static std::unique_ptr<durable_store> create(
+      const std::string& dir, const graph& initial, uint64_t graph_version,
+      durability_options opts = {}, obs::metrics_registry* metrics = nullptr);
+
+  // Recovers from existing state: loads the newest checkpoint that passes
+  // verification, replays WAL records with seq > its wal_seq (truncating at
+  // the first torn/corrupt/unappliable record), validates the result, then
+  // re-checkpoints at the recovered seq and resets the WAL — so a
+  // recovered store is immediately as durable as a fresh one. Throws
+  // recovery_error when no consistent graph can be reconstructed.
+  struct recovered {
+    graph g;                  // merged CSR after replay
+    uint64_t graph_version = 0;
+    std::unique_ptr<durable_store> store;
+    recovery_report report;
+  };
+  static recovered recover(const std::string& dir,
+                           durability_options opts = {},
+                           mutable_graph_options replay_opts = {},
+                           obs::metrics_registry* metrics = nullptr);
+
+  ~durable_store() = default;
+  durable_store(const durable_store&) = delete;
+  durable_store& operator=(const durable_store&) = delete;
+
+  // Appends one batch's *effective* normalized edges and returns its seq.
+  // Called before the corresponding epoch publishes; durability per the
+  // fsync policy. Throws wal_error on failure (the registry retries).
+  uint64_t log(const update_batch& effective);
+
+  // Called after the epoch published. Never throws: when the auto
+  // checkpoint interval is reached it snapshots via `materialize` and
+  // checkpoints; a checkpoint failure is counted and warned to stderr but
+  // does not fail the already-published batch (the WAL still covers it).
+  void note_applied(const std::function<graph()>& materialize,
+                    uint64_t graph_version);
+
+  // Explicit checkpoint at the current WAL position (REPL `checkpoint`,
+  // registry::checkpoint). Syncs the WAL first so the checkpoint never
+  // claims records the log could still lose. Throws wal_error on failure.
+  void checkpoint_now(const graph& g, uint64_t graph_version);
+
+  wal_stats stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  durable_store(std::string dir, durability_options opts,
+                std::unique_ptr<wal_writer> writer, uint64_t checkpoint_seq,
+                obs::metrics_registry* metrics);
+
+  // checkpoint_now with mu_ held.
+  void checkpoint_locked(const graph& g, uint64_t graph_version);
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  durability_options opts_;
+  std::unique_ptr<wal_writer> writer_;
+  uint64_t checkpoint_seq_ = 0;   // newest checkpoint's wal_seq
+  uint64_t since_checkpoint_ = 0; // applied batches since it
+  uint64_t checkpoints_ = 0;
+
+  // Null when constructed without a metrics registry.
+  obs::metrics_registry* metrics_ = nullptr;
+  obs::counter* m_ckpts_ = nullptr;
+  obs::counter* m_ckpt_bytes_ = nullptr;
+  obs::counter* m_ckpt_failures_ = nullptr;
+  obs::histogram* m_ckpt_micros_ = nullptr;
+};
+
+}  // namespace ligra::dynamic

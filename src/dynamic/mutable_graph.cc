@@ -58,8 +58,12 @@ normalize_stats normalize_batch(update_batch& b, vertex_id n) {
   return stats;
 }
 
-mutable_graph::mutable_graph(graph g, mutable_graph_options opts)
-    : opts_(opts), n_(g.num_vertices()), m_(g.num_edges()) {
+mutable_graph::mutable_graph(graph g, mutable_graph_options opts,
+                             uint64_t initial_version)
+    : opts_(opts),
+      n_(g.num_vertices()),
+      m_(g.num_edges()),
+      version_(initial_version) {
   if (!g.symmetric())
     throw std::invalid_argument(
         "mutable_graph: requires a symmetric graph (updates are undirected)");

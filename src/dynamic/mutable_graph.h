@@ -66,10 +66,13 @@ class mutable_graph {
 
   mutable_graph() = default;
 
-  // Wraps `g` as version 0. Requires a symmetric graph (updates are
-  // undirected pairs materialized in both directions); throws
+  // Wraps `g` as version `initial_version` (0 for a fresh graph; recovery
+  // passes the checkpoint's recorded version so batch counting resumes
+  // where the pre-crash process left off). Requires a symmetric graph
+  // (updates are undirected pairs materialized in both directions); throws
   // std::invalid_argument otherwise.
-  explicit mutable_graph(graph g, mutable_graph_options opts = {});
+  explicit mutable_graph(graph g, mutable_graph_options opts = {},
+                         uint64_t initial_version = 0);
 
   vertex_id num_vertices() const { return n_; }
   edge_id num_edges() const { return m_; }  // directed arcs, like graph_t

@@ -1,5 +1,6 @@
 #include "dynamic/update_batcher.h"
 
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -10,6 +11,19 @@ update_batcher::update_batcher(publish_fn publish, batcher_options opts)
   if (!publish_)
     throw std::invalid_argument("update_batcher: publish callback required");
   if (opts_.max_batch_edges == 0) opts_.max_batch_edges = 1;
+}
+
+update_batcher::~update_batcher() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.empty()) return;
+  try {
+    flush_locked();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "ligra: update_batcher dropped a pending batch at "
+                 "destruction: %s\n",
+                 e.what());
+  }
 }
 
 void update_batcher::insert(vertex_id u, vertex_id v) {

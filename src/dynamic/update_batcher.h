@@ -46,6 +46,14 @@ class update_batcher {
 
   explicit update_batcher(publish_fn publish, batcher_options opts = {});
 
+  // Flushes anything still pending — enqueued updates must not silently
+  // evaporate when a batcher goes out of scope. A publish failure here is
+  // warned to stderr and swallowed (destructors must not throw); callers
+  // that need the error should flush() explicitly first.
+  ~update_batcher();
+  update_batcher(const update_batcher&) = delete;
+  update_batcher& operator=(const update_batcher&) = delete;
+
   // Queue a single undirected edge mutation; auto-flushes at the batch cap.
   void insert(vertex_id u, vertex_id v);
   void remove(vertex_id u, vertex_id v);

@@ -1,0 +1,334 @@
+#include "dynamic/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/timer.h"
+
+namespace ligra::dynamic {
+
+namespace {
+
+constexpr char kWalMagic[4] = {'L', 'G', 'W', 'L'};
+constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kRecordMagic = 0x57A1B10Cu;
+// A record longer than this is certainly a corrupt length field (the
+// engine's batches are orders of magnitude smaller); bounding it keeps a
+// flipped length bit from driving a multi-gigabyte allocation.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+template <class T>
+void put(std::vector<char>& buf, T v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <class T>
+T get(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+// header: magic(4) version(4) base_seq(8) crc(4). crc covers the first 16.
+std::vector<char> encode_file_header(uint64_t base_seq) {
+  std::vector<char> buf;
+  buf.insert(buf.end(), kWalMagic, kWalMagic + 4);
+  put<uint32_t>(buf, kWalVersion);
+  put<uint64_t>(buf, base_seq);
+  put<uint32_t>(buf, util::crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+// The whole append frame: record header + payload, CRC'd over
+// (payload_len, seq, payload).
+std::vector<char> encode_frame(uint64_t seq, const std::vector<char>& payload) {
+  std::vector<char> buf;
+  buf.reserve(kWalRecordHeaderBytes + payload.size());
+  put<uint32_t>(buf, kRecordMagic);
+  put<uint32_t>(buf, static_cast<uint32_t>(payload.size()));
+  put<uint64_t>(buf, seq);
+  uint32_t crc = util::crc32(buf.data() + 4, 12);  // len + seq
+  crc = util::crc32(payload.data(), payload.size(), crc);
+  put<uint32_t>(buf, crc);
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return buf;
+}
+
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
+  throw wal_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+// write() until done (short writes happen on signals / full disks).
+void write_all(int fd, const char* data, size_t len, const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t w = ::write(fd, data + done, len - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("wal: write failed on", path);
+    }
+    done += static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+fsync_policy parse_fsync_policy(const std::string& s) {
+  if (s == "always") return fsync_policy::always;
+  if (s == "interval") return fsync_policy::interval;
+  if (s == "never") return fsync_policy::never;
+  throw std::invalid_argument(
+      "fsync policy must be one of always|interval|never, got '" + s + "'");
+}
+
+const char* fsync_policy_name(fsync_policy p) {
+  switch (p) {
+    case fsync_policy::always: return "always";
+    case fsync_policy::interval: return "interval";
+    case fsync_policy::never: return "never";
+  }
+  return "?";
+}
+
+std::vector<char> encode_batch(const update_batch& b) {
+  std::vector<char> buf;
+  buf.reserve(8 + 8 * (b.inserts.size() + b.deletes.size()));
+  put<uint32_t>(buf, static_cast<uint32_t>(b.inserts.size()));
+  put<uint32_t>(buf, static_cast<uint32_t>(b.deletes.size()));
+  for (const edge& e : b.inserts) {
+    put<uint32_t>(buf, e.u);
+    put<uint32_t>(buf, e.v);
+  }
+  for (const edge& e : b.deletes) {
+    put<uint32_t>(buf, e.u);
+    put<uint32_t>(buf, e.v);
+  }
+  return buf;
+}
+
+update_batch decode_batch(const char* data, size_t len) {
+  if (len < 8) throw wal_error("wal: record payload shorter than its counts");
+  const uint32_t ni = get<uint32_t>(data);
+  const uint32_t nd = get<uint32_t>(data + 4);
+  const uint64_t want = 8 + 8 * (static_cast<uint64_t>(ni) + nd);
+  if (want != len)
+    throw wal_error("wal: record payload length " + std::to_string(len) +
+                    " does not match counts (" + std::to_string(ni) + " + " +
+                    std::to_string(nd) + " edges)");
+  update_batch b;
+  b.inserts.reserve(ni);
+  b.deletes.reserve(nd);
+  const char* p = data + 8;
+  for (uint32_t i = 0; i < ni; i++, p += 8)
+    b.inserts.emplace_back(get<uint32_t>(p), get<uint32_t>(p + 4));
+  for (uint32_t i = 0; i < nd; i++, p += 8)
+    b.deletes.emplace_back(get<uint32_t>(p), get<uint32_t>(p + 4));
+  return b;
+}
+
+wal_scan scan_wal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw wal_error("wal: cannot open " + path);
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::string data(static_cast<size_t>(size), '\0');
+  in.read(data.data(), size);
+  if (!in) throw wal_error("wal: read failed on " + path);
+
+  if (data.size() < kWalHeaderBytes)
+    throw wal_error("wal: " + path + " shorter than its header");
+  if (std::memcmp(data.data(), kWalMagic, 4) != 0)
+    throw wal_error("wal: " + path + " is not a WAL file (bad magic)");
+  if (get<uint32_t>(data.data() + 4) != kWalVersion)
+    throw wal_error("wal: " + path + " has unsupported version " +
+                    std::to_string(get<uint32_t>(data.data() + 4)));
+  if (get<uint32_t>(data.data() + 16) != util::crc32(data.data(), 16))
+    throw wal_error("wal: " + path + " header fails its checksum");
+
+  wal_scan out;
+  out.base_seq = get<uint64_t>(data.data() + 8);
+  out.valid_bytes = kWalHeaderBytes;
+  uint64_t expect_seq = out.base_seq + 1;
+  size_t pos = kWalHeaderBytes;
+  auto stop = [&](const std::string& why) {
+    out.tail_truncated = true;
+    out.tail_reason = why + " at byte " + std::to_string(pos);
+  };
+  while (pos < data.size()) {
+    if (data.size() - pos < kWalRecordHeaderBytes) {
+      stop("torn record header");
+      break;
+    }
+    const char* h = data.data() + pos;
+    if (get<uint32_t>(h) != kRecordMagic) {
+      stop("bad record magic");
+      break;
+    }
+    const uint32_t len = get<uint32_t>(h + 4);
+    const uint64_t seq = get<uint64_t>(h + 8);
+    const uint32_t crc = get<uint32_t>(h + 16);
+    if (len > kMaxPayloadBytes ||
+        data.size() - pos - kWalRecordHeaderBytes < len) {
+      stop("torn record payload");
+      break;
+    }
+    const char* payload = h + kWalRecordHeaderBytes;
+    uint32_t want = util::crc32(h + 4, 12);
+    want = util::crc32(payload, len, want);
+    if (crc != want) {
+      stop("record fails its checksum");
+      break;
+    }
+    if (seq != expect_seq) {
+      stop("non-contiguous seq " + std::to_string(seq) + " (expected " +
+           std::to_string(expect_seq) + ")");
+      break;
+    }
+    wal_record rec;
+    rec.seq = seq;
+    try {
+      rec.batch = decode_batch(payload, len);
+    } catch (const wal_error& e) {
+      stop(e.what());
+      break;
+    }
+    out.records.push_back(std::move(rec));
+    pos += kWalRecordHeaderBytes + len;
+    out.valid_bytes = pos;
+    expect_seq++;
+  }
+  return out;
+}
+
+void truncate_wal(const std::string& path, uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0)
+    fail_errno("wal: truncate failed on", path);
+}
+
+wal_writer::wal_writer(std::string path, int fd, uint64_t base_seq,
+                       uint64_t seq, uint64_t offset, wal_options opts,
+                       obs::metrics_registry* metrics)
+    : path_(std::move(path)),
+      fd_(fd),
+      base_seq_(base_seq),
+      seq_(seq),
+      offset_(offset),
+      opts_(opts) {
+  if (opts_.fsync_interval == 0) opts_.fsync_interval = 1;
+  if (metrics != nullptr) {
+    m_appends_ = &metrics->get_counter("engine_wal_appends_total");
+    m_append_bytes_ = &metrics->get_counter("engine_wal_append_bytes_total");
+    m_fsyncs_ = &metrics->get_counter("engine_wal_fsyncs_total");
+    m_append_micros_ = &metrics->get_histogram("engine_wal_append_micros");
+    m_fsync_micros_ = &metrics->get_histogram("engine_wal_fsync_micros");
+  }
+}
+
+wal_writer::~wal_writer() {
+  if (fd_ < 0) return;
+  // Best-effort flush of an `interval`/`never` tail on clean shutdown; a
+  // crash obviously skips this, which is exactly the loss window those
+  // policies accept.
+  if (dirty_ && !broken_) ::fsync(fd_);
+  ::close(fd_);
+}
+
+std::unique_ptr<wal_writer> wal_writer::create(const std::string& path,
+                                               uint64_t base_seq,
+                                               wal_options opts,
+                                               obs::metrics_registry* metrics) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_errno("wal: cannot create", path);
+  std::vector<char> header = encode_file_header(base_seq);
+  try {
+    write_all(fd, header.data(), header.size(), path);
+    if (::fsync(fd) != 0) fail_errno("wal: fsync failed on", path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return std::unique_ptr<wal_writer>(new wal_writer(
+      path, fd, base_seq, base_seq, header.size(), opts, metrics));
+}
+
+std::unique_ptr<wal_writer> wal_writer::open(const std::string& path,
+                                             const wal_scan& scan,
+                                             wal_options opts,
+                                             obs::metrics_registry* metrics) {
+  if (scan.tail_truncated) truncate_wal(path, scan.valid_bytes);
+  int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) fail_errno("wal: cannot open", path);
+  if (::lseek(fd, static_cast<off_t>(scan.valid_bytes), SEEK_SET) < 0) {
+    ::close(fd);
+    fail_errno("wal: seek failed on", path);
+  }
+  const uint64_t last =
+      scan.records.empty() ? scan.base_seq : scan.records.back().seq;
+  return std::unique_ptr<wal_writer>(new wal_writer(
+      path, fd, scan.base_seq, last, scan.valid_bytes, opts, metrics));
+}
+
+uint64_t wal_writer::append(const update_batch& normalized) {
+  if (broken_)
+    throw wal_error("wal: " + path_ +
+                    " is poisoned after a failed rewind; recover to continue");
+  if (LIGRA_FAILPOINT("wal.append"))
+    throw wal_error("injected append failure (failpoint wal.append): " + path_);
+  const monotonic_time t0 = mono_now();
+  const uint64_t seq = seq_ + 1;
+  std::vector<char> frame = encode_frame(seq, encode_batch(normalized));
+  try {
+    write_all(fd_, frame.data(), frame.size(), path_);
+  } catch (...) {
+    // Rewind the partial record so a retried append lands on a clean
+    // boundary; if even that fails, poison the writer — the CRC scan at
+    // recovery drops whatever half-record is left.
+    if (::ftruncate(fd_, static_cast<off_t>(offset_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(offset_), SEEK_SET) < 0)
+      broken_ = true;
+    throw;
+  }
+  seq_ = seq;
+  offset_ += frame.size();
+  appends_++;
+  dirty_ = true;
+  if (m_appends_ != nullptr) m_appends_->inc();
+  if (m_append_bytes_ != nullptr) m_append_bytes_->inc(frame.size());
+  switch (opts_.fsync) {
+    case fsync_policy::always:
+      sync();
+      break;
+    case fsync_policy::interval:
+      if (++since_sync_ >= opts_.fsync_interval) sync();
+      break;
+    case fsync_policy::never:
+      break;
+  }
+  if (m_append_micros_ != nullptr)
+    m_append_micros_->record(static_cast<uint64_t>(micros_since(t0)));
+  return seq;
+}
+
+void wal_writer::sync() {
+  if (!dirty_) return;
+  if (LIGRA_FAILPOINT("wal.fsync"))
+    throw wal_error("injected fsync failure (failpoint wal.fsync): " + path_);
+  const monotonic_time t0 = mono_now();
+  if (::fsync(fd_) != 0) fail_errno("wal: fsync failed on", path_);
+  dirty_ = false;
+  since_sync_ = 0;
+  fsyncs_++;
+  if (m_fsyncs_ != nullptr) m_fsyncs_->inc();
+  if (m_fsync_micros_ != nullptr)
+    m_fsync_micros_->record(static_cast<uint64_t>(micros_since(t0)));
+}
+
+}  // namespace ligra::dynamic

@@ -1,0 +1,170 @@
+// Write-ahead log of edge-update batches (docs/DURABILITY.md).
+//
+// The WAL is the durability backbone of the mutable-graph subsystem: before
+// a batch publishes as a new epoch, its *normalized effective* edges are
+// appended here, so a crash after the append loses nothing — recovery
+// replays the log tail on top of the newest checkpoint
+// (dynamic/checkpoint.h) and reconstructs the exact pre-crash graph.
+//
+// On-disk format (little-endian, fixed-width):
+//
+//   file header (20 bytes):
+//     "LGWL" magic | u32 version | u64 base_seq | u32 header crc32
+//   record (20-byte header + payload):
+//     u32 record magic | u32 payload_len | u64 seq | u32 crc32 | payload
+//   payload:
+//     u32 n_inserts | u32 n_deletes | n_inserts × (u32 u, u32 v)
+//                                   | n_deletes × (u32 u, u32 v)
+//
+// The record crc32 covers (payload_len, seq, payload), so a flipped bit
+// anywhere in a record — header or body — fails the check. Sequence
+// numbers are contiguous from base_seq + 1; `base_seq` is the seq already
+// folded into the checkpoint the log was reset against, letting recovery
+// skip records a newer checkpoint subsumes after a crash between
+// checkpoint-rename and log-reset.
+//
+// Torn tails are expected, not fatal: scan_wal() stops at the first record
+// that fails any check and reports how many bytes were valid; recovery
+// truncates there and carries on with the valid prefix.
+//
+// Durability policy: `always` fsyncs after every append (each returned seq
+// is crash-durable), `interval` fsyncs every fsync_interval appends
+// (bounded loss window, ~10× the append throughput), `never` leaves
+// flushing to the OS (benchmarking / bulk load only).
+//
+// Failpoints: "wal.append" fires before a record is written (fail →
+// injected wal_error), "wal.fsync" before each fsync — arm either with the
+// `crash` action to simulate power loss before/after the write reaches the
+// kernel (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dynamic/update_batch.h"
+#include "obs/metrics.h"
+
+namespace ligra::dynamic {
+
+// Durable-write failure (append, fsync, checkpoint write, rename). The
+// engine registry treats these as transient and retries the batch; the
+// failed append never acked, and partial bytes are rewound (or caught by
+// CRC at recovery if the rewind itself dies).
+class wal_error : public std::runtime_error {
+ public:
+  explicit wal_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class fsync_policy : uint8_t { always, interval, never };
+
+// Parses "always" | "interval" | "never"; throws std::invalid_argument.
+fsync_policy parse_fsync_policy(const std::string& s);
+const char* fsync_policy_name(fsync_policy p);
+
+struct wal_options {
+  fsync_policy fsync = fsync_policy::always;
+  // Appends between fsyncs under fsync_policy::interval.
+  uint32_t fsync_interval = 16;
+};
+
+// Framing constants (exposed for the corruption tests and the bench).
+inline constexpr size_t kWalHeaderBytes = 20;
+inline constexpr size_t kWalRecordHeaderBytes = 20;
+
+// One record's payload, round-tripped by encode/decode (exposed for tests;
+// decode throws wal_error on a structurally impossible payload).
+std::vector<char> encode_batch(const update_batch& b);
+update_batch decode_batch(const char* data, size_t len);
+
+struct wal_record {
+  uint64_t seq = 0;
+  update_batch batch;
+};
+
+// Result of scanning a log: the valid record prefix in order, plus where
+// (and why) the prefix ends if the file has bytes past it.
+struct wal_scan {
+  uint64_t base_seq = 0;
+  std::vector<wal_record> records;
+  uint64_t valid_bytes = 0;    // file header + every valid record
+  bool tail_truncated = false; // file continues past valid_bytes
+  std::string tail_reason;     // first failed check, for diagnostics
+};
+
+// Reads every valid record, stopping at the first torn or corrupt one.
+// Throws wal_error only when the file cannot be opened/read or its *file
+// header* is invalid — a log whose identity is untrustworthy; everything
+// past a valid header degrades to a shorter valid prefix instead.
+wal_scan scan_wal(const std::string& path);
+
+// Drops everything past `valid_bytes` (the torn-tail repair step).
+void truncate_wal(const std::string& path, uint64_t valid_bytes);
+
+// Append handle. Not thread-safe: the engine serializes writers (one batch
+// publishes at a time), and the bench drives one thread per log.
+class wal_writer {
+ public:
+  // Creates (or truncates) `path` as an empty log whose next record will
+  // be base_seq + 1.
+  static std::unique_ptr<wal_writer> create(
+      const std::string& path, uint64_t base_seq, wal_options opts = {},
+      obs::metrics_registry* metrics = nullptr);
+
+  // Opens an existing log for appending after `scan` (from scan_wal),
+  // truncating any torn tail past scan.valid_bytes first.
+  static std::unique_ptr<wal_writer> open(
+      const std::string& path, const wal_scan& scan, wal_options opts = {},
+      obs::metrics_registry* metrics = nullptr);
+
+  ~wal_writer();
+  wal_writer(const wal_writer&) = delete;
+  wal_writer& operator=(const wal_writer&) = delete;
+
+  // Appends one record and returns its seq. Durability per the fsync
+  // policy: under `always` the record is on stable storage when this
+  // returns. Throws wal_error on failure; a partial write is rewound so a
+  // retry appends cleanly (if the rewind fails too, the writer is poisoned
+  // — every later append throws — and recovery's CRC scan drops the torn
+  // record).
+  uint64_t append(const update_batch& normalized);
+
+  // Explicit fsync (no-op when nothing is pending). The `interval` and
+  // `never` policies call this before checkpointing so the checkpoint
+  // never claims batches the log could still lose.
+  void sync();
+
+  uint64_t base_seq() const { return base_seq_; }
+  uint64_t last_seq() const { return seq_; }
+  uint64_t file_bytes() const { return offset_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  wal_writer(std::string path, int fd, uint64_t base_seq, uint64_t seq,
+             uint64_t offset, wal_options opts, obs::metrics_registry* metrics);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t base_seq_ = 0;
+  uint64_t seq_ = 0;       // last appended
+  uint64_t offset_ = 0;    // current file size
+  wal_options opts_;
+  uint32_t since_sync_ = 0;
+  bool dirty_ = false;     // bytes written since the last fsync
+  bool broken_ = false;    // failed rewind; log end is untrustworthy
+  uint64_t appends_ = 0;
+  uint64_t fsyncs_ = 0;
+
+  // Null when constructed without a metrics registry.
+  obs::counter* m_appends_ = nullptr;
+  obs::counter* m_append_bytes_ = nullptr;
+  obs::counter* m_fsyncs_ = nullptr;
+  obs::histogram* m_append_micros_ = nullptr;
+  obs::histogram* m_fsync_micros_ = nullptr;
+};
+
+}  // namespace ligra::dynamic

@@ -172,8 +172,42 @@ graph_handle registry::add(const std::string& name, wgraph g, bool compress) {
 
 graph_handle registry::add_mutable(const std::string& name, graph g,
                                    dynamic::mutable_graph_options opts) {
-  auto view =
-      std::make_shared<const dynamic::mutable_graph>(std::move(g), opts);
+  return register_mutable(
+      name, std::make_shared<const dynamic::mutable_graph>(std::move(g), opts),
+      nullptr);
+}
+
+graph_handle registry::add_mutable(const std::string& name, graph g,
+                                   const std::string& dir,
+                                   dynamic::durability_options dur,
+                                   dynamic::mutable_graph_options opts) {
+  // The store checkpoints the base graph before the view wraps it, so even
+  // a graph that crashes before its first batch recovers to itself.
+  std::shared_ptr<dynamic::durable_store> store =
+      dynamic::durable_store::create(dir, g, /*graph_version=*/0, dur,
+                                     metrics_);
+  return register_mutable(
+      name, std::make_shared<const dynamic::mutable_graph>(std::move(g), opts),
+      std::move(store));
+}
+
+graph_handle registry::recover_mutable(const std::string& name,
+                                       const std::string& dir,
+                                       dynamic::durability_options dur,
+                                       dynamic::mutable_graph_options opts,
+                                       dynamic::recovery_report* report) {
+  dynamic::durable_store::recovered rec =
+      dynamic::durable_store::recover(dir, dur, opts, metrics_);
+  if (report != nullptr) *report = rec.report;
+  auto view = std::make_shared<const dynamic::mutable_graph>(
+      std::move(rec.g), opts, rec.graph_version);
+  return register_mutable(name, std::move(view), std::move(rec.store));
+}
+
+graph_handle registry::register_mutable(
+    const std::string& name,
+    std::shared_ptr<const dynamic::mutable_graph> view,
+    std::shared_ptr<dynamic::durable_store> store) {
   // Seed the epoch's converged analytics with one full run of each; every
   // later epoch refreshes them incrementally from the batch's footprint.
   auto inc = std::make_shared<dynamic::inc_state>();
@@ -189,11 +223,47 @@ graph_handle registry::add_mutable(const std::string& name, graph g,
   e->name_ = name;
   e->dyn_ = std::move(view);
   e->inc_ = std::move(inc);
+  if (store != nullptr) {
+    std::unique_lock lock(mutex_);
+    stores_[name] = std::move(store);
+  } else {
+    std::unique_lock lock(mutex_);
+    stores_.erase(name);  // re-registering non-durable drops the old store
+  }
   graph_handle h = insert(std::move(e));
   if (metrics_ != nullptr)
     metrics_->get_gauge("engine_graph_delta_edges{graph=\"" + name + "\"}")
         .set(static_cast<int64_t>(h->dyn()->delta_edges()));
   return h;
+}
+
+std::shared_ptr<dynamic::durable_store> registry::store_for(
+    const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  auto it = stores_.find(name);
+  return it == stores_.end() ? nullptr : it->second;
+}
+
+bool registry::is_durable(const std::string& name) const {
+  return store_for(name) != nullptr;
+}
+
+void registry::checkpoint(const std::string& name) {
+  // Pair the snapshot with the WAL position atomically: no batch may land
+  // between materializing the view and stamping the checkpoint's seq.
+  std::lock_guard apply_lock(apply_mutex_);
+  graph_handle cur = get(name);
+  std::shared_ptr<dynamic::durable_store> store = store_for(name);
+  if (!cur->is_mutable() || store == nullptr)
+    throw engine_error("graph '" + name + "' has no durable store attached");
+  store->checkpoint_now(cur->dyn()->materialize(), cur->dyn()->version());
+}
+
+dynamic::wal_stats registry::wal_stats(const std::string& name) const {
+  std::shared_ptr<dynamic::durable_store> store = store_for(name);
+  if (store == nullptr)
+    throw engine_error("graph '" + name + "' has no durable store attached");
+  return store->stats();
 }
 
 graph_handle registry::apply_updates(const std::string& name,
@@ -260,7 +330,23 @@ graph_handle registry::apply_once(const std::string& name,
   e->name_ = name;
   e->dyn_ = std::make_shared<const dynamic::mutable_graph>(std::move(ap.next));
   e->inc_ = std::move(inc);
+  // Append-before-publish: the batch's *effective* edges go to the WAL now,
+  // after every fallible in-memory step above but before the epoch becomes
+  // visible. A throw here (fsync failure, injected wal.append/wal.fsync)
+  // leaves `cur` serving and the log rewound — the retry re-applies and
+  // re-appends cleanly. Empty records are logged too, keeping the on-disk
+  // seq in lockstep with mutable_graph::version().
+  std::shared_ptr<dynamic::durable_store> store = store_for(name);
+  if (store != nullptr) {
+    dynamic::update_batch effective;
+    effective.inserts = ap.inserted;
+    effective.deletes = ap.deleted;
+    store->log(effective);
+  }
   graph_handle h = insert(std::move(e));
+  if (store != nullptr)
+    store->note_applied([&h] { return h->dyn()->materialize(); },
+                        h->dyn()->version());
   if (metrics_ != nullptr)
     metrics_->get_gauge("engine_graph_delta_edges{graph=\"" + name + "\"}")
         .set(static_cast<int64_t>(h->dyn()->delta_edges()));
@@ -311,6 +397,9 @@ bool registry::evict(const std::string& name) {
   {
     std::unique_lock lock(mutex_);
     erased = entries_.erase(name) > 0;
+    // Dropping the store closes the WAL (flushing any interval/never tail);
+    // the on-disk state stays, ready for recover_mutable.
+    stores_.erase(name);
   }
   if (erased) publish_residency();
   return erased;
@@ -320,6 +409,7 @@ void registry::clear() {
   {
     std::unique_lock lock(mutex_);
     entries_.clear();
+    stores_.clear();
   }
   publish_residency();
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "compress/compressed_graph.h"
+#include "dynamic/checkpoint.h"
 #include "dynamic/incremental.h"
 #include "dynamic/mutable_graph.h"
 #include "engine/query.h"
@@ -212,6 +213,42 @@ class registry {
   graph_handle add_mutable(const std::string& name, graph g,
                            dynamic::mutable_graph_options opts = {});
 
+  // Durable variant: attaches a dynamic::durable_store rooted at `dir`, so
+  // every applied batch's effective edges are WAL-logged *before* its epoch
+  // publishes and a checkpoint lands every dur.checkpoint_interval batches
+  // (docs/DURABILITY.md). Under wal_options fsync_policy::always, a batch
+  // whose apply_updates returned is reconstructible after any crash.
+  // Throws dynamic::recovery_error if `dir` already holds durable state —
+  // clobbering a survivor's log is never implicit; call recover_mutable.
+  graph_handle add_mutable(const std::string& name, graph g,
+                           const std::string& dir,
+                           dynamic::durability_options dur = {},
+                           dynamic::mutable_graph_options opts = {});
+
+  // Restores a durable mutable graph from `dir` — newest valid checkpoint
+  // plus the WAL tail, truncating at the first torn or corrupt record —
+  // and registers it as `name` with the store re-attached, ready for more
+  // apply_updates. `report` (optional) receives what recovery did. Throws
+  // dynamic::recovery_error when no consistent graph can be reconstructed.
+  graph_handle recover_mutable(const std::string& name, const std::string& dir,
+                               dynamic::durability_options dur = {},
+                               dynamic::mutable_graph_options opts = {},
+                               dynamic::recovery_report* report = nullptr);
+
+  // Forces a checkpoint of the durable mutable entry `name` at its current
+  // version (REPL `checkpoint`, pre-shutdown compaction). Serialized
+  // against apply_updates so the snapshot pairs exactly with the WAL
+  // position. Throws engine_error for unknown or non-durable names,
+  // dynamic::wal_error if the write fails.
+  void checkpoint(const std::string& name);
+
+  // Durability counters for the durable mutable entry `name` (REPL
+  // `wal-stats`). Throws engine_error for unknown or non-durable names.
+  dynamic::wal_stats wal_stats(const std::string& name) const;
+
+  // True if `name` is registered with a durable store attached.
+  bool is_durable(const std::string& name) const;
+
   // Applies an edge-update batch to the mutable entry `name` and publishes
   // the result as a new epoch — the write-path analogue of load(), with the
   // same discipline: apply, incremental recompute, and validation all
@@ -247,12 +284,25 @@ class registry {
   // One apply attempt; caller holds apply_mutex_. Throws on failure.
   graph_handle apply_once(const std::string& name,
                           const dynamic::update_batch& batch);
+  // Seeds incremental state for `view` and publishes it under `name`,
+  // attaching `store` (may be null) — shared tail of add_mutable (both
+  // forms) and recover_mutable.
+  graph_handle register_mutable(const std::string& name,
+                                std::shared_ptr<const dynamic::mutable_graph> view,
+                                std::shared_ptr<dynamic::durable_store> store);
+  // Durable store for `name`, or nullptr.
+  std::shared_ptr<dynamic::durable_store> store_for(
+      const std::string& name) const;
   graph_handle insert(std::shared_ptr<graph_entry> e);
   // Refreshes the residency gauges; caller must NOT hold mutex_.
   void publish_residency();
 
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, graph_handle> entries_;
+  // Durability backbones of durable mutable entries, keyed like entries_.
+  // mutex_ guards the map; each store serializes itself internally.
+  std::unordered_map<std::string, std::shared_ptr<dynamic::durable_store>>
+      stores_;
   std::atomic<uint64_t> next_epoch_{1};
   // Serializes apply_updates end to end (read-apply-publish): without it,
   // two concurrent batches could both build on the same old epoch and one

@@ -195,13 +195,13 @@ struct binary_header {
 };
 
 template <class T>
-void write_pod_array(std::ofstream& out, const std::vector<T>& v) {
+void write_pod_array(std::ostream& out, const std::vector<T>& v) {
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
 template <class T>
-void read_pod_array(std::ifstream& in, std::vector<T>& v, size_t count,
+void read_pod_array(std::istream& in, std::vector<T>& v, size_t count,
                     const std::string& path, const char* what) {
   v.resize(count);
   in.read(reinterpret_cast<char*>(v.data()),
@@ -212,9 +212,7 @@ void read_pod_array(std::ifstream& in, std::vector<T>& v, size_t count,
 }
 
 template <class W>
-void write_binary_impl(const std::string& path, const graph_t<W>& g) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot create file: " + path);
+void write_binary_impl(std::ostream& out, const graph_t<W>& g) {
   binary_header h{};
   std::memcpy(h.magic, kBinaryMagic, 4);
   h.version = kBinaryVersion;
@@ -230,6 +228,13 @@ void write_binary_impl(const std::string& path, const graph_t<W>& g) {
     write_pod_array(out, g.in_edge_array());
     if constexpr (graph_t<W>::is_weighted) write_pod_array(out, g.in_weight_array());
   }
+}
+
+template <class W>
+void write_binary_file_impl(const std::string& path, const graph_t<W>& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot create file: " + path);
+  write_binary_impl(out, g);
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
@@ -249,15 +254,8 @@ uint64_t expected_binary_size(const binary_header& h) {
 }
 
 template <class W>
-graph_t<W> read_binary_impl(const std::string& path) {
-  if (LIGRA_FAILPOINT("graph_io.read"))
-    throw io_error("injected read failure (failpoint graph_io.read): " + path);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw io_error("cannot open file: " + path);
-  in.seekg(0, std::ios::end);
-  auto file_size = in.tellg();
-  if (file_size < 0) throw io_error("cannot stat file: " + path);
-  in.seekg(0);
+graph_t<W> read_binary_impl(std::istream& in, const std::string& path,
+                            uint64_t file_size) {
   binary_header h{};
   in.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (!in || std::memcmp(h.magic, kBinaryMagic, 4) != 0)
@@ -276,7 +274,7 @@ graph_t<W> read_binary_impl(const std::string& path) {
   // rejected *before* any array allocation, so corrupt headers cannot
   // trigger multi-gigabyte allocations or partial reads.
   const uint64_t want = expected_binary_size<W>(h);
-  if (want == 0 || static_cast<uint64_t>(file_size) != want)
+  if (want == 0 || file_size != want)
     throw format_error(
         path, "binary graph: file size " + std::to_string(file_size) +
                   " does not match header (n=" + std::to_string(h.n) +
@@ -310,6 +308,28 @@ graph_t<W> read_binary_impl(const std::string& path) {
   } catch (const std::invalid_argument& e) {
     throw format_error(path, std::string("binary graph: ") + e.what());
   }
+}
+
+template <class W>
+graph_t<W> read_binary_file_impl(const std::string& path) {
+  if (LIGRA_FAILPOINT("graph_io.read"))
+    throw io_error("injected read failure (failpoint graph_io.read): " + path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw io_error("cannot open file: " + path);
+  in.seekg(0, std::ios::end);
+  auto file_size = in.tellg();
+  if (file_size < 0) throw io_error("cannot stat file: " + path);
+  in.seekg(0);
+  return read_binary_impl<W>(in, path, static_cast<uint64_t>(file_size));
+}
+
+template <class W>
+uint64_t binary_size_impl(const graph_t<W>& g) {
+  binary_header h{};
+  h.flags = (graph_t<W>::is_weighted ? 1u : 0u) | (g.symmetric() ? 2u : 0u);
+  h.n = g.num_vertices();
+  h.m = g.num_edges();
+  return expected_binary_size<W>(h);
 }
 
 template <class W>
@@ -360,16 +380,37 @@ wgraph read_weighted_adjacency_graph(const std::string& path, bool symmetric) {
 }
 
 void write_binary_graph(const std::string& path, const graph& g) {
-  write_binary_impl(path, g);
+  write_binary_file_impl(path, g);
 }
 void write_binary_graph(const std::string& path, const wgraph& g) {
-  write_binary_impl(path, g);
+  write_binary_file_impl(path, g);
 }
 graph read_binary_graph(const std::string& path) {
-  return read_binary_impl<empty_weight>(path);
+  return read_binary_file_impl<empty_weight>(path);
 }
 wgraph read_weighted_binary_graph(const std::string& path) {
-  return read_binary_impl<int32_t>(path);
+  return read_binary_file_impl<int32_t>(path);
+}
+
+void write_binary_graph(std::ostream& out, const graph& g) {
+  write_binary_impl(out, g);
+}
+void write_binary_graph(std::ostream& out, const wgraph& g) {
+  write_binary_impl(out, g);
+}
+graph read_binary_graph(std::istream& in, const std::string& context,
+                        uint64_t size_bytes) {
+  return read_binary_impl<empty_weight>(in, context, size_bytes);
+}
+wgraph read_weighted_binary_graph(std::istream& in, const std::string& context,
+                                  uint64_t size_bytes) {
+  return read_binary_impl<int32_t>(in, context, size_bytes);
+}
+uint64_t binary_graph_size_bytes(const graph& g) {
+  return binary_size_impl(g);
+}
+uint64_t binary_graph_size_bytes(const wgraph& g) {
+  return binary_size_impl(g);
 }
 
 graph read_edge_list(const std::string& path, bool symmetrize, vertex_id n) {

@@ -26,6 +26,8 @@
 // happen before any parallel region starts.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <stdexcept>
 #include <string>
 
@@ -73,6 +75,23 @@ void write_binary_graph(const std::string& path, const wgraph& g);
 
 graph read_binary_graph(const std::string& path);
 wgraph read_weighted_binary_graph(const std::string& path);
+
+// Stream forms of the binary format, for embedding an LGRB image inside a
+// larger framed file — the dynamic subsystem's checkpoints wrap one in a
+// CRC'd header (docs/DURABILITY.md). The reader takes the exact byte length
+// of the embedded image (the enclosing frame records it) so the same
+// size-before-allocation precheck as the file reader rejects corrupt
+// headers before any array allocation; `context` labels errors in place of
+// a file path. `binary_graph_size_bytes` is the exact length the writer
+// will produce, for callers that frame the image up front.
+void write_binary_graph(std::ostream& out, const graph& g);
+void write_binary_graph(std::ostream& out, const wgraph& g);
+graph read_binary_graph(std::istream& in, const std::string& context,
+                        uint64_t size_bytes);
+wgraph read_weighted_binary_graph(std::istream& in, const std::string& context,
+                                  uint64_t size_bytes);
+uint64_t binary_graph_size_bytes(const graph& g);
+uint64_t binary_graph_size_bytes(const wgraph& g);
 
 // --- edge-list ingest -----------------------------------------------------------
 

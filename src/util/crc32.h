@@ -1,0 +1,41 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame
+// checksum of the durability layer (docs/DURABILITY.md). Every WAL record
+// and checkpoint header/payload carries one, so a torn write or a flipped
+// bit is detected at recovery instead of deserialized as garbage.
+//
+// Header-only and incremental: feed the previous return value back as
+// `seed` to checksum discontiguous buffers as one stream.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ligra::util {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> make_crc32_table() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; k++)
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+inline uint32_t crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < len; i++)
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace ligra::util

@@ -1,11 +1,13 @@
 #include "util/failpoint.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/rng.h"
 
@@ -21,12 +23,30 @@ struct registry_t {
   std::mutex mu;
   std::unordered_map<std::string, spec> sites;
   std::unordered_map<std::string, uint64_t> hit_counts;
+  std::unordered_set<std::string> warned_unknown;  // one warning per site
   sequential_rng rng{0xfa11fa11};  // probability draws; deterministic
 };
 
 registry_t& reg() {
   static registry_t r;
   return r;
+}
+
+// Every LIGRA_FAILPOINT site in the tree. configure() warns on names
+// outside this list so a typo'd LIGRA_FAILPOINTS entry is visible instead
+// of silently never firing.
+constexpr const char* kKnownSites[] = {
+    "cache.insert",       "checkpoint.write",  "dynamic.apply.alloc",
+    "dynamic.compact",    "executor.dispatch", "graph_io.read",
+    "recovery.replay",    "registry.load.alloc",
+    "wal.append",         "wal.fsync",
+};
+
+bool is_known_site(const std::string& site) {
+  if (site.rfind("test.", 0) == 0) return true;  // reserved for unit tests
+  for (const char* s : kKnownSites)
+    if (site == s) return true;
+  return false;
 }
 
 // Arms sites from the LIGRA_FAILPOINTS env var once, before main() runs, so
@@ -75,6 +95,8 @@ spec parse_one(const std::string& site, const std::string& rhs) {
     s.message = paren_arg(act);
   } else if (act == "fail") {
     s.act = action::fail;
+  } else if (act == "crash") {
+    s.act = action::crash;
   } else if (act.rfind("sleep(", 0) == 0) {
     s.act = action::sleep_ms;
     try {
@@ -101,6 +123,13 @@ spec parse_one(const std::string& site, const std::string& rhs) {
         bad("bad count");
       }
       if (s.count < 0) bad("negative count");
+    } else if (part.rfind("after=", 0) == 0) {
+      try {
+        s.skip = std::stoll(part.substr(6));
+      } catch (...) {
+        bad("bad after");
+      }
+      if (s.skip < 0) bad("negative after");
     } else {
       bad("unknown option '" + part + "'");
     }
@@ -160,6 +189,19 @@ void configure(const std::string& spec_string) {
                                   entry + "'");
     std::string site = entry.substr(0, eq);
     arm(site, parse_one(site, entry.substr(eq + 1)));
+    if (!is_known_site(site)) {
+      auto& r = reg();
+      bool first = false;
+      {
+        std::lock_guard<std::mutex> lock(r.mu);
+        first = r.warned_unknown.insert(site).second;
+      }
+      if (first)
+        std::fprintf(stderr,
+                     "LIGRA_FAILPOINTS: warning: unknown failpoint site '%s' "
+                     "(armed, but no such site exists in this build)\n",
+                     site.c_str());
+    }
   }
 }
 
@@ -186,6 +228,12 @@ int armed_count() {
   return detail::num_armed.load(std::memory_order_relaxed);
 }
 
+std::vector<std::string> known_sites() {
+  std::vector<std::string> out(std::begin(kKnownSites), std::end(kKnownSites));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 namespace detail {
 
 bool eval_slow(const char* site) {
@@ -196,6 +244,10 @@ bool eval_slow(const char* site) {
     auto it = r.sites.find(site);
     if (it == r.sites.end()) return false;
     spec& s = it->second;
+    if (s.skip > 0) {
+      s.skip--;
+      return false;
+    }
     if (s.probability < 1.0 && r.rng.uniform() >= s.probability) return false;
     fired = s;
     r.hit_counts[site]++;
@@ -213,6 +265,11 @@ bool eval_slow(const char* site) {
     case action::sleep_ms:
       std::this_thread::sleep_for(std::chrono::milliseconds(fired.sleep_millis));
       return false;
+    case action::crash:
+      // Simulated power loss: no destructors, no stream flushes, no atexit.
+      // Whatever the OS has not persisted is gone — exactly the state the
+      // recovery path must cope with.
+      std::_Exit(kCrashExitCode);
     case action::off:
       break;
   }

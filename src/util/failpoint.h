@@ -4,10 +4,14 @@
 // — that normally costs one relaxed atomic load and a never-taken branch.
 // Tests (or the LIGRA_FAILPOINTS environment variable) can *arm* a site to
 // misbehave: throw a failpoint_error, report an injectable error to the site
-// (the macro returns true and the site decides what "error" means there), or
-// sleep for N milliseconds — each optionally with a firing probability and a
-// bounded trigger count. This is how the robustness tests drive I/O failures,
-// slow dispatches, and cache faults through otherwise-unreachable paths.
+// (the macro returns true and the site decides what "error" means there),
+// sleep for N milliseconds, or kill the process on the spot (`crash`, a
+// no-destructors _Exit that simulates power loss for the durability crash
+// tests) — each optionally with a firing probability, a bounded trigger
+// count, and a number of evaluations to skip first. This is how the
+// robustness tests drive I/O failures, slow dispatches, and cache faults
+// through otherwise-unreachable paths, and how the crash-recovery harness
+// kills a child process at an exact point in the write path.
 //
 // Compile-time gate: building with -DLIGRA_FAILPOINTS_ENABLED=0 (CMake option
 // LIGRA_FAILPOINTS_ENABLED=OFF) turns every site into a constant-false branch
@@ -15,8 +19,15 @@
 //
 // Environment format (parsed once at startup):
 //   LIGRA_FAILPOINTS="graph_io.read=throw;cache.insert=sleep(10),p=0.5,count=3"
-// Grammar per site: <site>=<action>[,p=<prob>][,count=<n>] joined with ';',
-// where <action> is one of: off | throw | throw(message) | fail | sleep(ms).
+// Grammar per site: <site>=<action>[,p=<prob>][,count=<n>][,after=<n>] joined
+// with ';', where <action> is one of:
+//   off | throw | throw(message) | fail | sleep(ms) | crash.
+// `after=<n>` skips the first n evaluations before the action can fire —
+// "crash on the third append" is `wal.append=crash,after=2`. configure()
+// warns once per site (to stderr) when a spec names a site that does not
+// exist in this build (see known_sites()); the site is armed anyway so
+// spelling a site that only some binaries contain is a warning, not an
+// error.
 #pragma once
 
 #include <atomic>
@@ -42,13 +53,20 @@ enum class action : uint8_t {
   throw_error,  // eval throws failpoint_error
   fail,         // eval returns true; the site injects its own error path
   sleep_ms,     // eval sleeps, then behaves as unarmed (latency injection)
+  crash,        // eval _Exit()s the process — simulated power loss (exit
+                // code kCrashExitCode; no destructors, no buffer flushes)
 };
+
+// Exit code of the `crash` action; the crash-recovery harness asserts on it
+// to distinguish an injected crash from an organic child failure.
+inline constexpr int kCrashExitCode = 134;
 
 struct spec {
   failpoint::action act = action::off;
   uint32_t sleep_millis = 0;  // sleep_ms only
   double probability = 1.0;   // chance each eval fires, in [0, 1]
   int64_t count = -1;         // firings before auto-disarm; -1 = unlimited
+  int64_t skip = 0;           // evaluations ignored before firing (after=<n>)
   std::string message;        // appended to throw_error's what()
 };
 
@@ -79,6 +97,12 @@ std::vector<std::pair<std::string, uint64_t>> all_hits();
 
 // Number of currently armed sites (0 when the fast path is active).
 int armed_count();
+
+// Every failpoint site compiled into this build, sorted. configure() warns
+// on names outside this list (the "test." prefix is reserved for unit tests
+// and exempt). Keep in sync with the LIGRA_FAILPOINT call sites — the
+// FailpointKnownSites test greps for drift.
+std::vector<std::string> known_sites();
 
 namespace detail {
 extern std::atomic<int> num_armed;

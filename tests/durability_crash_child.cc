@@ -1,0 +1,59 @@
+// Child process of the durability crash harness (test_durability.cc).
+//
+// Creates (or recovers) a durable mutable graph in the given directory and
+// applies the deterministic workload, printing "ACK <version>" after every
+// batch whose apply_updates returned — i.e. after its WAL record is as
+// durable as the fsync policy promises. The parent arms a crash failpoint
+// via LIGRA_FAILPOINTS (inherited through the environment), so this
+// process dies mid-write via _Exit — no destructors, no flushes — and the
+// parent then recovers the directory and checks it got everything acked.
+//
+// Usage: durability_crash_child <dir> <batches> [fsync] [checkpoint_interval]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dynamic/checkpoint.h"
+#include "engine/registry.h"
+
+#include "durability_workload.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <dir> <batches> [fsync] [checkpoint_interval]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const int batches = std::atoi(argv[2]);
+  ligra::dynamic::durability_options dur;
+  dur.checkpoint_interval = 4;  // several checkpoints within a short run
+  if (argc > 3) dur.wal.fsync = ligra::dynamic::parse_fsync_policy(argv[3]);
+  if (argc > 4)
+    dur.checkpoint_interval = static_cast<uint32_t>(std::atoi(argv[4]));
+
+  try {
+    ligra::engine::registry reg;
+    ligra::engine::graph_handle h;
+    if (ligra::dynamic::durable_store::has_state(dir)) {
+      h = reg.recover_mutable("g", dir, dur);
+      std::printf("RECOVERED %llu\n",
+                  static_cast<unsigned long long>(h->dyn()->version()));
+    } else {
+      h = reg.add_mutable("g", durability_workload::base_graph(), dir, dur);
+    }
+    std::fflush(stdout);
+    for (int i = 0; i < batches; i++) {
+      const uint64_t k = h->dyn()->version();
+      h = reg.apply_updates("g", durability_workload::make_batch(k));
+      std::printf("ACK %llu\n",
+                  static_cast<unsigned long long>(h->dyn()->version()));
+      std::fflush(stdout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "child failed: %s\n", e.what());
+    return 3;
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Deterministic workload shared by the durability crash harness
+// (durability_crash_child.cc, killed mid-write) and the recovering parent
+// (test_durability.cc): both sides regenerate the same base graph and the
+// same batch sequence from nothing but a seed, so the parent can compute
+// the exact edge set the child held after its last acked batch and compare
+// it edge-for-edge against what recovery reconstructs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/update_batch.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace durability_workload {
+
+inline constexpr ligra::vertex_id kN = 200;
+inline constexpr uint64_t kGraphSeed = 7;
+
+// The graph every durable store in the harness starts from.
+inline ligra::graph base_graph() {
+  return ligra::gen::random_graph(kN, /*degree=*/4, kGraphSeed);
+}
+
+// Batch `k` (0-based): a mix of inserts and deletes drawn from stream k.
+// Self-loops and duplicates are fine — normalization drops them — but the
+// same k always yields the same batch.
+inline ligra::dynamic::update_batch make_batch(uint64_t k) {
+  ligra::rng r(0xD00Du ^ k);
+  ligra::dynamic::update_batch b;
+  const size_t n_ins = 3 + r.bounded(0, 6);
+  const size_t n_del = 1 + r.bounded(1, 4);
+  for (size_t i = 0; i < n_ins; i++)
+    b.inserts.emplace_back(
+        static_cast<ligra::vertex_id>(r.bounded(100 + 2 * i, kN)),
+        static_cast<ligra::vertex_id>(r.bounded(101 + 2 * i, kN)));
+  for (size_t i = 0; i < n_del; i++)
+    b.deletes.emplace_back(
+        static_cast<ligra::vertex_id>(r.bounded(500 + 2 * i, kN)),
+        static_cast<ligra::vertex_id>(r.bounded(501 + 2 * i, kN)));
+  // An edge in both lists would be rejected by normalize_batch; drop such
+  // deletes deterministically.
+  auto canon = [](ligra::edge e) {
+    return e.u < e.v ? std::make_pair(e.u, e.v) : std::make_pair(e.v, e.u);
+  };
+  std::vector<ligra::edge> dels;
+  for (const ligra::edge& d : b.deletes) {
+    bool conflict = false;
+    for (const ligra::edge& i : b.inserts)
+      if (canon(i) == canon(d)) conflict = true;
+    if (!conflict) dels.push_back(d);
+  }
+  b.deletes = std::move(dels);
+  return b;
+}
+
+}  // namespace durability_workload

@@ -418,6 +418,39 @@ TEST(UpdateBatcher, RequiresPublishCallback) {
   EXPECT_THROW(dyn::update_batcher(nullptr), std::invalid_argument);
 }
 
+TEST(UpdateBatcher, DestructorFlushesPendingBatch) {
+  std::vector<dyn::update_batch> published;
+  {
+    dyn::update_batcher batcher(
+        [&](dyn::update_batch&& b) -> uint64_t {
+          published.push_back(std::move(b));
+          return published.size();
+        },
+        {.num_vertices = 100});
+    batcher.insert(1, 2);
+    batcher.insert(3, 4);
+    // No explicit flush: scope exit must publish, not drop.
+  }
+  ASSERT_EQ(published.size(), 1u);
+  EXPECT_EQ(published[0].inserts.size(), 2u);
+}
+
+TEST(UpdateBatcher, DestructorSwallowsPublishFailure) {
+  // A throwing publish callback at destruction is warned about, not
+  // propagated — destructors must not throw.
+  auto boom = [](dyn::update_batch&&) -> uint64_t {
+    throw std::runtime_error("publish rejected");
+  };
+  ::testing::internal::CaptureStderr();
+  {
+    dyn::update_batcher batcher(boom, {.num_vertices = 100});
+    batcher.insert(1, 2);
+  }
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("dropped a pending batch"), std::string::npos);
+  EXPECT_NE(err.find("publish rejected"), std::string::npos);
+}
+
 // --- registry epochs -------------------------------------------------------
 
 TEST(DynamicRegistry, AddMutableSeedsConvergedState) {

@@ -472,8 +472,9 @@ TEST_F(RobustnessTest, CompactionFaultAbortsWholeBatch) {
   // Path graph (so the inserted edges are definitely absent) with
   // thresholds chosen so the first batch crosses into compaction.
   auto h1 = reg.add_mutable("m", gen::path_graph(200),
-                            {.compact_fraction = 0.001,
-                             .compact_min_edges = 4});
+                            dynamic::mutable_graph_options{
+                                .compact_fraction = 0.001,
+                                .compact_min_edges = 4});
   const uint64_t epoch1 = h1->epoch();
 
   dynamic::update_batch batch;

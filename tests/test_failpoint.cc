@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 
 namespace fp = ligra::util::failpoint;
@@ -119,6 +121,69 @@ TEST_F(FailpointTest, ConfigureRejectsMalformedSpecs) {
   EXPECT_THROW(fp::configure("site=sleep(abc)"), std::invalid_argument);
   EXPECT_THROW(fp::configure("=fail"), std::invalid_argument);
   EXPECT_TRUE(fp::list().empty());
+}
+
+TEST_F(FailpointTest, AfterSkipsEvaluationsBeforeFiring) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  fp::configure("test.after=fail,after=2,count=1");
+  EXPECT_FALSE(LIGRA_FAILPOINT("test.after"));  // skipped
+  EXPECT_FALSE(LIGRA_FAILPOINT("test.after"));  // skipped
+  EXPECT_TRUE(LIGRA_FAILPOINT("test.after"));   // fires
+  EXPECT_FALSE(LIGRA_FAILPOINT("test.after"));  // count exhausted
+  // Parsed into the spec verbatim.
+  fp::configure("test.after2=fail,after=7");
+  for (const auto& [site, s] : fp::list()) {
+    if (site == "test.after2") {
+      EXPECT_EQ(s.skip, 7);
+    }
+  }
+  // Negative after= is rejected like negative count.
+  EXPECT_THROW(fp::configure("test.after3=fail,after=-1"),
+               std::invalid_argument);
+}
+
+TEST_F(FailpointTest, CrashActionKillsTheProcess) {
+  if (!fp::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  EXPECT_EXIT(
+      {
+        fp::spec s;
+        s.act = fp::action::crash;
+        fp::arm("test.crash", s);
+        LIGRA_FAILPOINT("test.crash");
+        std::_Exit(0);  // unreachable if the failpoint crashed
+      },
+      ::testing::ExitedWithCode(fp::kCrashExitCode), "");
+}
+
+TEST_F(FailpointTest, ConfigureWarnsOnceOnUnknownSites) {
+  // A typo'd site is armed anyway, but warned about — exactly once.
+  ::testing::internal::CaptureStderr();
+  fp::configure("wal.apend=fail");  // sic
+  fp::configure("wal.apend=fail");  // second arming: no second warning
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("unknown failpoint site 'wal.apend'"), std::string::npos);
+  EXPECT_EQ(err.find("wal.apend", err.find("wal.apend") + 1),
+            std::string::npos);
+  EXPECT_EQ(fp::list().size(), 1u);  // armed despite the warning
+
+  // "test." names are reserved for unit tests and never warn.
+  ::testing::internal::CaptureStderr();
+  fp::configure("test.not.a.real.site=fail");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(FailpointTest, KnownSitesListsTheDurabilitySites) {
+  auto sites = fp::known_sites();
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  for (const char* want : {"wal.append", "wal.fsync", "checkpoint.write",
+                           "recovery.replay", "graph_io.read"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), want), sites.end())
+        << "missing site " << want;
+  }
+  // Armed known sites never hit the unknown-site warning.
+  ::testing::internal::CaptureStderr();
+  fp::configure("wal.append=off;checkpoint.write=off");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
 }
 
 TEST_F(FailpointTest, RearmReplacesSpec) {
