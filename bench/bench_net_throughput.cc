@@ -1,0 +1,234 @@
+// Network query tier throughput bench (docs/NETWORK.md): drives an
+// in-process loopback server with N concurrent client connections and
+// reports end-to-end queries/sec plus latency percentiles — the serving
+// numbers every sharding/router PR that builds on this tier regresses
+// against.
+//
+// Scale comes from LIGRA_BENCH_SCALE clamped to [12, 14] (the engine-bench
+// convention: the container is single-core, so the interesting axis is
+// protocol + event-loop overhead at fixed in-flight, not parallel
+// speedup); connection count from LIGRA_BENCH_NET_CONNS (default 4).
+//
+// Ends with one machine-readable line the CI net-smoke job validates:
+//   NET_JSON {"counters":{...},"gauges":{...},"histograms":{...}}
+// Gauges carry net_queries_per_sec and net_p50/p95/p99_micros; the
+// net_query_micros{conns="N"} histogram carries the raw latencies.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ligra;
+
+namespace {
+
+obs::metrics_registry& net_metrics() {
+  static obs::metrics_registry reg;
+  return reg;
+}
+
+int net_scale() {
+  int s = 13;
+  if (const char* env = std::getenv("LIGRA_BENCH_SCALE")) {
+    int v = std::atoi(env);
+    if (v > 0) s = v;
+  }
+  return std::min(14, std::max(12, s));
+}
+
+size_t net_conns() {
+  if (const char* env = std::getenv("LIGRA_BENCH_NET_CONNS")) {
+    int v = std::atoi(env);
+    if (v >= 1 && v <= 64) return static_cast<size_t>(v);
+  }
+  return 4;
+}
+
+engine::registry& shared_registry() {
+  static engine::registry* reg = [] {
+    auto* r = new engine::registry();
+    const int scale = net_scale();
+    r->add("rmat", gen::rmat_graph(scale, edge_id{8} << scale, /*seed=*/3));
+    return r;
+  }();
+  return *reg;
+}
+
+// The per-connection workload: mixed point lookups with a small vertex
+// pool (repeats -> cache hits), deterministic per connection index.
+net::wire_request nth_request(size_t conn, size_t i) {
+  rng r(31 + conn);
+  net::wire_request q;
+  q.graph = "rmat";
+  auto pick = [&](uint64_t salt) { return hash64(r[i] ^ salt) % 512; };
+  switch (r[i] % 4) {
+    case 0:
+      q.kind = engine::query_kind::bfs_distance;
+      q.source = pick(1);
+      q.target = pick(2);
+      break;
+    case 1:
+      q.kind = engine::query_kind::component_id;
+      q.source = pick(3);
+      break;
+    case 2:
+      q.kind = engine::query_kind::coreness;
+      q.source = pick(4);
+      break;
+    default:
+      q.kind = engine::query_kind::pagerank_topk;
+      q.k = 10;
+      break;
+  }
+  return q;
+}
+
+struct run_result {
+  double qps = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  size_t ok = 0, failed = 0, sheds = 0, rejects = 0;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+// One measured run: `conns` clients x `per_conn` queries against a fresh
+// loopback server, one client thread per connection at in-flight 1 (fixed
+// in-flight: qps and latency move together, nothing hides in queueing).
+run_result run_workload(size_t conns, size_t per_conn, bool record) {
+  engine::query_executor ex(shared_registry(), {});
+  net::server srv(ex);
+  srv.start();
+
+  auto* h = record ? &net_metrics().get_histogram(
+                         "net_query_micros{conns=\"" +
+                         std::to_string(conns) + "\"}")
+                   : nullptr;
+  std::vector<std::vector<double>> lat(conns);
+  std::atomic<size_t> ok{0}, failed{0}, sheds{0}, rejects{0};
+  std::vector<std::thread> threads;
+  const monotonic_time wall0 = mono_now();
+  for (size_t t = 0; t < conns; t++) {
+    threads.emplace_back([&, t] {
+      net::client c;
+      c.connect("127.0.0.1", srv.port());
+      size_t my_sheds = 0, my_rejects = 0;
+      lat[t].reserve(per_conn);
+      for (size_t i = 0; i < per_conn; i++) {
+        const monotonic_time t0 = mono_now();
+        try {
+          c.run_retrying(nth_request(t, i), 8, &my_sheds, &my_rejects);
+          lat[t].push_back(micros_since(t0));
+          ok.fetch_add(1);
+        } catch (const std::exception&) {
+          failed.fetch_add(1);
+          if (!c.connected()) return;
+        }
+      }
+      sheds.fetch_add(my_sheds);
+      rejects.fetch_add(my_rejects);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double wall = micros_since(wall0) / 1e6;
+  srv.stop();
+
+  run_result r;
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  if (h)
+    for (double us : all) h->record(us);
+  r.ok = ok.load();
+  r.failed = failed.load();
+  r.sheds = sheds.load();
+  r.rejects = rejects.load();
+  r.qps = wall > 0 ? static_cast<double>(r.ok) / wall : 0.0;
+  r.p50 = percentile(all, 0.50);
+  r.p95 = percentile(all, 0.95);
+  r.p99 = percentile(all, 0.99);
+  return r;
+}
+
+std::string fmt1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+void print_summary() {
+  const size_t conns = net_conns();
+  const size_t per_conn = 200;
+  std::printf("net throughput: loopback server, rmat scale %d, "
+              "%zu connections x %zu queries (in-flight 1 per conn)\n\n",
+              net_scale(), conns, per_conn);
+
+  // Warm pass first (pays graph generation + first-touch), measured second.
+  run_workload(conns, 32, /*record=*/false);
+  auto r = run_workload(conns, per_conn, /*record=*/true);
+
+  table_printer t({"conns", "queries/s", "p50 us", "p95 us", "p99 us",
+                   "ok", "failed", "sheds absorbed"});
+  t.add_row({std::to_string(conns), fmt1(r.qps), fmt1(r.p50), fmt1(r.p95),
+             fmt1(r.p99), std::to_string(r.ok), std::to_string(r.failed),
+             std::to_string(r.sheds + r.rejects)});
+  t.print();
+  std::printf("\n");
+
+  auto& m = net_metrics();
+  m.get_gauge("net_queries_per_sec").set(static_cast<int64_t>(r.qps));
+  m.get_gauge("net_p50_micros").set(static_cast<int64_t>(r.p50));
+  m.get_gauge("net_p95_micros").set(static_cast<int64_t>(r.p95));
+  m.get_gauge("net_p99_micros").set(static_cast<int64_t>(r.p99));
+  m.get_counter("net_queries_ok").inc(r.ok);
+  m.get_counter("net_queries_failed").inc(r.failed);
+  std::printf("NET_JSON %s\n\n", m.render_json().c_str());
+}
+
+void BM_NetRoundTrip(benchmark::State& state) {
+  engine::query_executor ex(shared_registry(), {});
+  net::server srv(ex);
+  srv.start();
+  net::client c;
+  c.connect("127.0.0.1", srv.port());
+  net::wire_request q;
+  q.graph = "rmat";
+  q.kind = engine::query_kind::bfs_distance;
+  q.source = 0;
+  q.target = 1;
+  c.run(q);  // populate the cache: this measures the wire, not BFS
+  for (auto _ : state) {
+    auto r = c.run(q);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  c.close();
+  srv.stop();
+}
+BENCHMARK(BM_NetRoundTrip)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

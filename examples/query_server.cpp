@@ -9,6 +9,17 @@
 //   ./examples/query_server -requests reqs.txt -load social=g.adj,sym
 //   ./examples/query_server -repl -load road=g.bin,weighted
 //
+// Network modes (docs/NETWORK.md) — the same binary is driver and daemon:
+//   ./examples/query_server -listen 7471 -http-port 7472
+//       serve the wire protocol on 7471 and GET /metrics + /healthz on
+//       7472 until SIGINT/SIGTERM; shutdown stops admissions, drains
+//       in-flight queries (bounded by -drain-ms, default 5000), and
+//       checkpoints durable mutable graphs before exiting
+//   ./examples/query_server -connect 127.0.0.1:7471 -conns 4 -n 1000
+//       drive a running daemon over N concurrent client connections with
+//       the synthetic mix (-graph picks the target graph, default social);
+//       prints queries/sec and latency percentiles
+//
 // Robustness knobs (docs/ROBUSTNESS.md):
 //   -deadline-ms N      per-query deadline on every replayed request
 //   -cancel-rate F      cancel this fraction of requests right after submit
@@ -50,10 +61,15 @@
 //
 // Every replay runs twice — cold (empty cache) and warm (same requests
 // again) — so the cache's effect on p50 is visible directly.
+#include <csignal>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -64,6 +80,8 @@
 #include "dynamic/checkpoint.h"
 #include "engine/engine.h"
 #include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/collectors.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -484,6 +502,174 @@ class periodic_reporter {
   std::thread thread_;
 };
 
+// SIGINT/SIGTERM land on a self-pipe: the handler only write()s (the one
+// async-signal-safe thing worth doing) and the daemon loop does the actual
+// drain on a normal thread. A second signal while draining exits hard.
+int g_signal_pipe[2] = {-1, -1};
+std::atomic<int> g_signals_seen{0};
+
+extern "C" void on_shutdown_signal(int) {
+  if (g_signals_seen.fetch_add(1) > 0) std::_Exit(130);
+  char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+// -listen daemon mode: serve until SIGINT/SIGTERM, then shut down in
+// order — stop the network tier (its own bounded drain), drain the
+// executor, checkpoint every durable graph so recovery starts from the
+// freshest snapshot instead of a long WAL replay.
+int run_daemon(engine::query_executor& ex, const command_line& cli) {
+  net::server_options sopts;
+  sopts.port = static_cast<uint16_t>(cli.get_int("listen", 0));
+  sopts.http_port = static_cast<int>(cli.get_int("http-port", -1));
+  sopts.bind_address = cli.has("bind") ? cli.get_string("bind") : "127.0.0.1";
+  sopts.max_inflight_per_conn =
+      static_cast<size_t>(cli.get_int("max-inflight", 32));
+  sopts.drain_deadline =
+      std::chrono::milliseconds(cli.get_int("drain-ms", 5000));
+  net::server srv(ex, sopts);
+  try {
+    srv.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot start server: %s\n", e.what());
+    return 1;
+  }
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe() failed\n");
+    return 1;
+  }
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+
+  std::printf("serving queries on %s:%u", sopts.bind_address.c_str(),
+              srv.port());
+  if (sopts.http_port >= 0)
+    std::printf(", /metrics + /healthz on :%u", srv.http_port());
+  std::printf(" (SIGINT/SIGTERM to drain and exit)\n");
+  std::fflush(stdout);
+
+  char b;
+  while (::read(g_signal_pipe[0], &b, 1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("shutdown: draining connections and in-flight queries...\n");
+  std::fflush(stdout);
+  srv.stop();
+  const bool drained =
+      ex.drain(std::chrono::milliseconds(cli.get_int("drain-ms", 5000)));
+  size_t checkpointed = 0;
+  for (const auto& g : ex.graphs().list()) {
+    if (!ex.graphs().is_durable(g.name)) continue;
+    try {
+      ex.graphs().checkpoint(g.name);
+      checkpointed++;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "checkpoint '%s' failed: %s\n", g.name.c_str(),
+                   e.what());
+    }
+  }
+  auto s = ex.stats();
+  std::printf("shutdown: %s, %llu queries completed this run, "
+              "%zu durable graph(s) checkpointed\n",
+              drained ? "drained clean" : "drain deadline hit",
+              static_cast<unsigned long long>(s.completed), checkpointed);
+  return 0;
+}
+
+// -connect client mode: N connections, each a thread running its share of
+// a deterministic mixed workload through run_retrying (so shed/rejected
+// advice is honored, not fatal).
+int run_client_mode(const command_line& cli) {
+  const std::string target = cli.get_string("connect");
+  auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "want -connect host:port, got %s\n", target.c_str());
+    return 1;
+  }
+  const std::string host = target.substr(0, colon);
+  const uint16_t port =
+      static_cast<uint16_t>(std::stoul(target.substr(colon + 1)));
+  const size_t conns = static_cast<size_t>(cli.get_int("conns", 4));
+  const size_t total = static_cast<size_t>(cli.get_int("n", 1000));
+  const std::string graph_name =
+      cli.has("graph") ? cli.get_string("graph") : "social";
+  const uint32_t deadline_ms =
+      static_cast<uint32_t>(cli.get_int("deadline-ms", 0));
+
+  std::atomic<size_t> ok{0}, errors{0}, sheds{0}, rejects{0};
+  std::vector<std::vector<double>> lat(conns);
+  std::vector<std::thread> threads;
+  const monotonic_time wall0 = mono_now();
+  for (size_t t = 0; t < conns; t++) {
+    threads.emplace_back([&, t] {
+      net::client c;
+      try {
+        c.connect(host, port);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "conn %zu: %s\n", t, e.what());
+        errors.fetch_add(1);
+        return;
+      }
+      rng r(17 + t);
+      const size_t n = total / conns + (t < total % conns ? 1 : 0);
+      size_t my_sheds = 0, my_rejects = 0;
+      for (size_t i = 0; i < n; i++) {
+        net::wire_request req;
+        req.graph = graph_name;
+        req.deadline_ms = deadline_ms;
+        // Small vertex pool: repeats make the server's result cache earn
+        // its keep, mirroring synth_workload.
+        auto pick = [&](uint64_t salt) { return hash64(r[i] ^ salt) % 1024; };
+        switch (r[i] % 4) {
+          case 0:
+            req.kind = engine::query_kind::bfs_distance;
+            req.source = pick(1);
+            req.target = pick(2);
+            break;
+          case 1:
+            req.kind = engine::query_kind::component_id;
+            req.source = pick(3);
+            break;
+          case 2:
+            req.kind = engine::query_kind::coreness;
+            req.source = pick(4);
+            break;
+          default:
+            req.kind = engine::query_kind::pagerank_topk;
+            req.k = 10;
+            break;
+        }
+        const monotonic_time t0 = mono_now();
+        try {
+          c.run_retrying(req, 8, &my_sheds, &my_rejects);
+          lat[t].push_back(micros_since(t0));
+          ok.fetch_add(1);
+        } catch (const std::exception& e) {
+          if (errors.fetch_add(1) < 5)
+            std::fprintf(stderr, "conn %zu request failed: %s\n", t, e.what());
+          if (!c.connected()) return;  // connection gone; stop this thread
+        }
+      }
+      sheds.fetch_add(my_sheds);
+      rejects.fetch_add(my_rejects);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double wall = micros_since(wall0) / 1e6;
+
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::printf("%zu connections, %zu ok, %zu failed in %.2f s "
+              "(%.1f queries/sec)\n",
+              conns, ok.load(), errors.load(), wall,
+              wall > 0 ? static_cast<double>(ok.load()) / wall : 0.0);
+  std::printf("latency p50 %.1f us, p95 %.1f us, p99 %.1f us; "
+              "absorbed %zu sheds, %zu rejections\n",
+              percentile(all, 0.50), percentile(all, 0.95),
+              percentile(all, 0.99), sheds.load(), rejects.load());
+  return errors.load() == 0 || ok.load() > 0 ? 0 : 1;
+}
+
 void repl(engine::query_executor& ex) {
   std::printf("query> "); std::fflush(stdout);
   std::string line;
@@ -583,6 +769,9 @@ void repl(engine::query_executor& ex) {
 
 int main(int argc, char* argv[]) {
   command_line cli(argc, argv);
+  // Client mode needs no graphs or executor of its own — it talks to a
+  // daemon that has them.
+  if (cli.has("connect")) return run_client_mode(cli);
   // One shared metrics registry for the whole process: graph residency,
   // executor, cache, scheduler, and failpoints all publish into it, so
   // `-metrics-dump` / the REPL `metrics` command scrape everything at once.
@@ -677,6 +866,12 @@ int main(int argc, char* argv[]) {
     else
       std::fputs(metrics.render_text().c_str(), stdout);
   };
+
+  if (cli.has("listen")) {
+    int rc = run_daemon(ex, cli);
+    maybe_dump_metrics();
+    return rc;
+  }
 
   if (cli.has("repl")) {
     repl(ex);

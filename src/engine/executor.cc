@@ -218,12 +218,23 @@ std::future<query_result> query_executor::submit(query_request req) {
                            "); low-priority query shed",
                        advice);
     }
+    if (draining_) {
+      stats_.record_rejected();
+      throw rejected_error("executor draining; no new queries admitted",
+                           std::chrono::milliseconds(1000));
+    }
     if (queue_.size() >= opts_.max_queue) {
       stats_.record_rejected();
+      // Same advice scaling as shedding: a full queue is maximal overload,
+      // so the advice starts where the shed formula's range does.
+      auto advice = std::chrono::milliseconds(std::min<uint64_t>(
+          1000, 20 * static_cast<uint64_t>(queue_.size() - opts_.max_queue + 1 +
+                                           opts_.max_queue / 2)));
       throw rejected_error(
           "admission queue full (" + std::to_string(queue_.size()) +
-          " pending, limit " + std::to_string(opts_.max_queue) +
-          "); retry later");
+              " pending, limit " + std::to_string(opts_.max_queue) +
+              "); retry later",
+          advice);
     }
     queue_.push_back(j);
     g_queue_depth_->set(static_cast<int64_t>(queue_.size()));
@@ -482,6 +493,19 @@ size_t query_executor::queue_depth() const {
 void query_executor::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+bool query_executor::drain(std::chrono::milliseconds deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  return idle_cv_.wait_until(
+      lock, std::chrono::steady_clock::now() + deadline,
+      [this] { return queue_.empty() && running_ == 0; });
+}
+
+bool query_executor::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
 }
 
 }  // namespace ligra::engine

@@ -107,6 +107,14 @@ class query_executor {
   // Blocks until no request is queued or running.
   void wait_idle();
 
+  // Graceful shutdown: stops admissions (submit() afterwards throws
+  // rejected_error with retry advice), then waits up to `deadline` for the
+  // queue and running set to empty. Returns true when fully drained, false
+  // when the deadline passed with work still in flight (the executor keeps
+  // running it; the destructor still joins). Idempotent.
+  bool drain(std::chrono::milliseconds deadline);
+  bool draining() const;
+
  private:
   struct job {
     query_request req;
@@ -169,6 +177,7 @@ class query_executor {
   size_t running_ = 0;
   std::array<size_t, kNumQueryKinds> running_by_kind_{};
   bool stop_ = false;
+  bool draining_ = false;  // admissions closed; queued work still runs
   std::vector<std::thread> dispatchers_;
 
   // Deadline watchdog: min-heap of (deadline, job) the watchdog thread

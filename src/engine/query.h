@@ -30,8 +30,15 @@ namespace ligra::engine {
 
 // Thrown by query_executor::submit when the admission queue is full —
 // backpressure surfaces to the caller instead of blocking or deadlocking.
+// Like shed_error it carries retry advice, sized to the queue overload, so
+// callers (and the network tier) can back off instead of hammering.
 class rejected_error : public engine_error {
-  using engine_error::engine_error;
+ public:
+  explicit rejected_error(
+      const std::string& message,
+      std::chrono::milliseconds advice = std::chrono::milliseconds(0))
+      : engine_error(message), retry_after(advice) {}
+  std::chrono::milliseconds retry_after;
 };
 
 // Thrown by query_executor::submit when load shedding is active (queue depth

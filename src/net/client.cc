@@ -1,0 +1,149 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace ligra::net {
+
+client::client(client_options opts) : opts_(opts) {}
+
+client::~client() { close(); }
+
+void client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+void client::connect(const std::string& host, uint16_t port) {
+  close();
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1)
+    throw std::runtime_error("bad host address: " + host);
+
+  auto backoff = opts_.first_backoff;
+  int attempts = opts_.connect_attempts > 0 ? opts_.connect_attempts : 1;
+  int last_err = 0;
+  for (int i = 0; i < attempts; i++) {
+    if (i > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, opts_.max_backoff);
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      return;
+    }
+    last_err = errno;
+    ::close(fd);
+  }
+  throw std::runtime_error("connect to " + host + ":" + std::to_string(port) +
+                           " failed after " + std::to_string(attempts) +
+                           " attempts: " + strerror(last_err));
+}
+
+void client::send_all(const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      close();
+      throw std::runtime_error("send failed: " + std::string(strerror(err)));
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+wire_response client::read_response() {
+  char buf[64 * 1024];
+  for (;;) {
+    size_t consumed = 0;
+    auto f = try_parse_frame(inbuf_.data(), inbuf_.size(), &consumed);
+    if (f) {
+      if (f->type != frame_type::response)
+        throw protocol_error("client expects response frames");
+      wire_response resp = decode_response(f->payload, f->payload_len);
+      inbuf_.erase(0, consumed);
+      return resp;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      close();
+      throw std::runtime_error("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      close();
+      throw std::runtime_error("recv failed: " + std::string(strerror(err)));
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+engine::query_result client::run(wire_request req) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  if (req.id == 0) req.id = next_id_++;
+  auto frame = encode_request_frame(req);
+  send_all(frame.data(), frame.size());
+  // Responses can complete out of order on a pipelined connection, but this
+  // client is strictly one-at-a-time, so the next frame answers `req` —
+  // anything else is a server bug worth surfacing.
+  wire_response resp = read_response();
+  if (resp.id != req.id && resp.id != 0)
+    throw protocol_error("response id " + std::to_string(resp.id) +
+                         " does not match request id " +
+                         std::to_string(req.id));
+  throw_if_error(resp);
+  engine::query_result r;
+  r.kind = req.kind;
+  r.value = resp.value;
+  r.micros = resp.micros;
+  r.cache_hit = resp.cache_hit;
+  r.topk.reserve(resp.topk.size());
+  for (auto& [v, rank] : resp.topk) r.topk.emplace_back(v, rank);
+  return r;
+}
+
+engine::query_result client::run_retrying(wire_request req, int max_attempts,
+                                          size_t* sheds, size_t* rejects) {
+  auto backoff = opts_.first_backoff;
+  for (int attempt = 1;; attempt++) {
+    try {
+      return run(req);
+    } catch (const engine::shed_error& e) {
+      if (sheds) (*sheds)++;
+      if (attempt >= max_attempts) throw;
+      // The server sized this wait to its queue depth; honor it.
+      std::this_thread::sleep_for(e.retry_after);
+    } catch (const engine::rejected_error& e) {
+      if (rejects) (*rejects)++;
+      if (attempt >= max_attempts) throw;
+      auto wait = e.retry_after.count() > 0 ? e.retry_after : backoff;
+      std::this_thread::sleep_for(wait);
+      backoff = std::min(backoff * 2, opts_.max_backoff);
+    }
+  }
+}
+
+}  // namespace ligra::net

@@ -1,0 +1,73 @@
+// Blocking client for the network query tier (docs/NETWORK.md).
+//
+// One client wraps one TCP connection. connect() retries with exponential
+// backoff (the engine's retry discipline: short first wait, doubling, a
+// cap); run() sends one request frame and blocks for its response, mapping
+// error statuses back to the typed engine exceptions a local caller would
+// see — shed_error arrives with the server's retry_after advice intact.
+// run_retrying() layers the polite-client loop on top: sleep retry_after on
+// shed, back off exponentially on rejected, resubmit up to max_attempts.
+//
+// The client is deliberately synchronous and single-connection: tests and
+// bench_net_throughput get concurrency by running many clients on many
+// threads, which is also the shape of a real multi-connection workload.
+// Not thread-safe; one thread per client.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "engine/query.h"
+#include "net/protocol.h"
+
+namespace ligra::net {
+
+struct client_options {
+  // connect() backoff: first_backoff doubling up to max_backoff across
+  // connect_attempts tries.
+  int connect_attempts = 5;
+  std::chrono::milliseconds first_backoff{5};
+  std::chrono::milliseconds max_backoff{200};
+};
+
+class client {
+ public:
+  explicit client(client_options opts = {});
+  ~client();
+
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+
+  // Connects (with backoff retries) to host:port. Throws std::runtime_error
+  // when every attempt fails.
+  void connect(const std::string& host, uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends `req` and blocks for its response. Assigns a correlation id when
+  // req.id is 0. Returns the decoded result on `ok`; otherwise throws the
+  // typed engine exception for the response status (see
+  // protocol.h::throw_if_error). Throws protocol_error if the server's
+  // bytes are malformed and std::runtime_error on connection loss.
+  engine::query_result run(wire_request req);
+
+  // run() plus the polite retry loop: on shed_error sleeps the server's
+  // retry_after then resubmits; on rejected_error backs off exponentially.
+  // Gives up (rethrowing) after max_attempts. The optional counters report
+  // how many sheds/rejections the loop absorbed — the bench uses them.
+  engine::query_result run_retrying(wire_request req, int max_attempts = 8,
+                                    size_t* sheds = nullptr,
+                                    size_t* rejects = nullptr);
+
+ private:
+  void send_all(const char* data, size_t len);
+  wire_response read_response();
+
+  client_options opts_;
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::string inbuf_;  // bytes read past the last complete frame
+};
+
+}  // namespace ligra::net

@@ -1,0 +1,153 @@
+// Wire protocol of the network query tier (docs/NETWORK.md).
+//
+// Every message is one length-prefixed, CRC-checked binary frame:
+//
+//   frame header (16 bytes, little-endian, fixed-width):
+//     "LGNP" magic | u16 version | u8 type | u8 flags (0) |
+//     u32 payload_len | u32 crc32
+//   payload: payload_len bytes, layout per frame type below.
+//
+// The crc32 covers (version, type, flags, payload_len, payload) — header
+// bytes [4, 12) plus the payload — so a flipped bit anywhere in a frame
+// fails the check, exactly like the WAL record framing (dynamic/wal.h).
+// Requests and responses share the header; `type` says which payload
+// follows.
+//
+//   request payload:
+//     u64 id | u8 kind | u8 priority | u16 graph_len | u32 k |
+//     u32 deadline_ms | u64 source | u64 target |
+//     u32 n_inserts | u32 n_deletes | graph_len × name byte |
+//     n_inserts × (u32 u, u32 v) | n_deletes × (u32 u, u32 v)
+//
+//   response payload:
+//     u64 id | u8 status | u8 cache_hit | u16 msg_len | u32 retry_after_ms |
+//     i64 value | u64 micros_bits (IEEE-754 double) | u32 n_topk |
+//     msg_len × message byte | n_topk × (u32 vertex, u64 rank_bits)
+//
+// `id` is a client-chosen correlation token echoed verbatim in the
+// response, so pipelined requests on one connection match up. `status`
+// carries the engine's structured error taxonomy over the wire
+// (docs/ROBUSTNESS.md): cancelled / deadline / shed (+ retry_after_ms) /
+// rejected / not_found / bad_request / load / shutting_down / protocol /
+// internal — every robustness feature a local caller sees, a remote
+// client sees too.
+//
+// Parsing is defensive by construction: try_parse_frame() never reads past
+// the buffer it is given (short input means "need more bytes", corrupt
+// input throws protocol_error), and the decode_* functions read through a
+// bounds-checked cursor that throws instead of over-reading. The fuzz
+// suite in tests/test_net.cc flips, truncates, and inflates every byte of
+// both frame kinds to hold that line.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dynamic/update_batch.h"
+#include "engine/query.h"
+
+namespace ligra::net {
+
+// Structurally invalid bytes: bad magic/version/type, an impossible length
+// prefix, a failed CRC, or a payload that ends mid-field. The server
+// answers with a `protocol` error frame (when framing still holds) or
+// closes the connection (when it cannot resync); the client surfaces it.
+class protocol_error : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kFrameMagic[4] = {'L', 'G', 'N', 'P'};
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+// Largest accepted payload; a length prefix past this is corruption (or
+// abuse), not a frame worth buffering for.
+inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+enum class frame_type : uint8_t { request = 1, response = 2 };
+
+// Response status: `ok` or one typed error. Mirrors the engine error
+// taxonomy so client-side code can rethrow the exact exception a local
+// caller would have caught.
+enum class wire_status : uint8_t {
+  ok = 0,
+  cancelled,       // engine::cancelled_error
+  deadline,        // engine::deadline_exceeded_error
+  shed,            // engine::shed_error (retry_after_ms populated)
+  rejected,        // engine::rejected_error (retry_after_ms populated)
+  not_found,       // engine::not_found_error
+  bad_request,     // malformed parameters (vertex out of range, ...)
+  load,            // engine::load_error / update_error
+  shutting_down,   // server draining; retry against another replica
+  protocol,        // the *server* could not parse the request frame
+  internal,        // anything else; message has details
+};
+
+const char* wire_status_name(wire_status s);
+
+// One query request as it crosses the wire — the transportable subset of
+// engine::query_request (closures and trace pointers cannot travel;
+// query_kind::custom is rejected at decode).
+struct wire_request {
+  uint64_t id = 0;  // echoed in the response
+  engine::query_kind kind = engine::query_kind::bfs_distance;
+  engine::query_priority priority = engine::query_priority::normal;
+  std::string graph;
+  uint64_t source = 0;
+  uint64_t target = kNoVertex;
+  uint32_t k = 10;
+  uint32_t deadline_ms = 0;  // 0 = no deadline
+  dynamic::update_batch updates;  // kind == update only
+};
+
+struct wire_response {
+  uint64_t id = 0;
+  wire_status status = wire_status::ok;
+  bool cache_hit = false;
+  int64_t value = 0;
+  double micros = 0.0;
+  std::vector<std::pair<uint32_t, double>> topk;  // pagerank_topk only
+  uint32_t retry_after_ms = 0;  // shed / rejected / shutting_down advice
+  std::string message;          // error frames only
+};
+
+// A parsed frame boundary inside a caller-owned buffer: `payload` points
+// into the buffer passed to try_parse_frame and is valid only as long as
+// those bytes are.
+struct frame_view {
+  frame_type type = frame_type::request;
+  const char* payload = nullptr;
+  uint32_t payload_len = 0;
+};
+
+// Scans `data[0, len)` for one complete frame. Returns std::nullopt when
+// the buffer holds a valid prefix of a frame (read more bytes and retry);
+// returns the frame and sets `consumed` to its total size when one is
+// complete; throws protocol_error when the bytes cannot be a frame (bad
+// magic, unknown version or type, oversized length prefix, CRC mismatch).
+std::optional<frame_view> try_parse_frame(const char* data, size_t len,
+                                          size_t* consumed);
+
+// Whole-frame encoders (header + CRC + payload).
+std::vector<char> encode_request_frame(const wire_request& req);
+std::vector<char> encode_response_frame(const wire_response& resp);
+
+// Payload decoders for a frame try_parse_frame accepted. Bounds-checked:
+// throw protocol_error on any structurally impossible payload (truncated
+// fields, counts that overrun the length prefix, out-of-range enums).
+wire_request decode_request(const char* payload, size_t len);
+wire_response decode_response(const char* payload, size_t len);
+
+// Maps an engine exception (or success) to the wire taxonomy; the server
+// uses these to build error frames, the client to rethrow. make_response
+// fills a response frame from a finished query; throw_if_error turns a
+// received error response back into the typed engine exception.
+wire_response make_response(uint64_t id, const engine::query_result& r);
+wire_response make_error_response(uint64_t id, wire_status status,
+                                  const std::string& message,
+                                  uint32_t retry_after_ms = 0);
+void throw_if_error(const wire_response& resp);
+
+}  // namespace ligra::net

@@ -1,0 +1,598 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "engine/registry.h"
+#include "util/failpoint.h"
+
+namespace ligra::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Bound, listening, nonblocking IPv4 socket; throws on any failure.
+int make_listener(const std::string& addr, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(): " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad bind address: " + addr);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("bind/listen on " + addr + ":" +
+                             std::to_string(port) + ": " + strerror(err));
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+uint16_t bound_port(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) return 0;
+  return ntohs(sa.sin_port);
+}
+
+// HTTP/1.1 response with Connection: close (the endpoint is scrape-shaped:
+// one request, one response, done).
+std::vector<char> http_response(const std::string& status,
+                                const std::string& content_type,
+                                const std::string& body) {
+  std::string head = "HTTP/1.1 " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  std::vector<char> out;
+  out.reserve(head.size() + body.size());
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+server::server(engine::query_executor& ex, server_options opts)
+    : ex_(ex),
+      opts_(opts),
+      m_conns_total_(&ex.metrics().get_counter("engine_net_connections_total")),
+      g_conns_active_(&ex.metrics().get_gauge("engine_net_connections_active")),
+      m_accept_failures_(
+          &ex.metrics().get_counter("engine_net_accept_failures_total")),
+      m_frames_in_(
+          &ex.metrics().get_counter("engine_net_frames_total{dir=\"in\"}")),
+      m_frames_out_(
+          &ex.metrics().get_counter("engine_net_frames_total{dir=\"out\"}")),
+      m_bytes_in_(
+          &ex.metrics().get_counter("engine_net_bytes_total{dir=\"in\"}")),
+      m_bytes_out_(
+          &ex.metrics().get_counter("engine_net_bytes_total{dir=\"out\"}")),
+      m_proto_errors_(
+          &ex.metrics().get_counter("engine_net_protocol_errors_total")),
+      m_requests_(&ex.metrics().get_counter("engine_net_requests_total")),
+      m_http_requests_(
+          &ex.metrics().get_counter("engine_net_http_requests_total")),
+      h_request_micros_(
+          &ex.metrics().get_histogram("engine_net_request_micros")) {
+  if (opts_.completion_threads == 0) opts_.completion_threads = 1;
+  if (opts_.max_inflight_per_conn == 0) opts_.max_inflight_per_conn = 1;
+}
+
+server::~server() { stop(); }
+
+void server::start() {
+  if (running_.load()) throw std::runtime_error("server already started");
+  listen_fd_ = make_listener(opts_.bind_address, opts_.port);
+  port_ = bound_port(listen_fd_);
+  if (opts_.http_port >= 0) {
+    try {
+      http_fd_ = make_listener(opts_.bind_address,
+                               static_cast<uint16_t>(opts_.http_port));
+    } catch (...) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
+    http_port_ = bound_port(http_fd_);
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(listen_fd_);
+    if (http_fd_ >= 0) ::close(http_fd_);
+    listen_fd_ = http_fd_ = -1;
+    throw std::runtime_error("pipe(): " + std::string(strerror(errno)));
+  }
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+  set_nonblocking(wake_rd_);
+  set_nonblocking(wake_wr_);
+
+  draining_.store(false);
+  terminate_.store(false);
+  abandon_waits_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(comp_mutex_);
+    comp_stop_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  event_thread_ = std::thread([this] { event_loop(); });
+  completion_threads_.reserve(opts_.completion_threads);
+  for (size_t i = 0; i < opts_.completion_threads; i++)
+    completion_threads_.emplace_back([this] { completion_loop(); });
+}
+
+void server::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (!running_.load(std::memory_order_acquire)) return;
+
+  // Phase 1: stop accepting and admitting. The event loop closes the
+  // listeners on its next wake; request frames that arrive during the
+  // drain are answered `shutting_down`.
+  draining_.store(true, std::memory_order_release);
+  wake();
+
+  // Phase 2: bounded drain — wait for every submitted query's response to
+  // be enqueued (queries the executor is still running hold this up).
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait_until(lock,
+                         std::chrono::steady_clock::now() + opts_.drain_deadline,
+                         [this] { return inflight_total_ == 0; });
+  }
+  // Completion threads blocked on futures past the deadline abandon their
+  // waits (the executor still settles those futures; nobody reads them).
+  abandon_waits_.store(true, std::memory_order_release);
+
+  // Phase 3: teardown. One last loop turn flushes what it can, then every
+  // socket closes.
+  terminate_.store(true, std::memory_order_release);
+  wake();
+  event_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(comp_mutex_);
+    comp_stop_ = true;
+  }
+  comp_cv_.notify_all();
+  for (auto& t : completion_threads_) t.join();
+  completion_threads_.clear();
+
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+  wake_rd_ = wake_wr_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(comp_mutex_);
+    comp_queue_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(outbox_mutex_);
+    outbox_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    inflight_total_ = 0;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+size_t server::connections() const {
+  return static_cast<size_t>(g_conns_active_->value());
+}
+
+void server::wake() {
+  if (wake_wr_ < 0) return;
+  char b = 1;
+  // Best-effort: a full pipe already guarantees a pending wake.
+  [[maybe_unused]] ssize_t n = ::write(wake_wr_, &b, 1);
+}
+
+void server::event_loop() {
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> pfd_conn;  // conn id per pfds slot (0 = not a conn)
+  while (!terminate_.load(std::memory_order_acquire)) {
+    if (draining_.load(std::memory_order_acquire)) {
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      if (http_fd_ >= 0) {
+        ::close(http_fd_);
+        http_fd_ = -1;
+      }
+    }
+
+    pfds.clear();
+    pfd_conn.clear();
+    auto add = [&](int fd, short events, uint64_t conn_id) {
+      pfds.push_back(pollfd{fd, events, 0});
+      pfd_conn.push_back(conn_id);
+    };
+    add(wake_rd_, POLLIN, 0);
+    if (listen_fd_ >= 0) add(listen_fd_, POLLIN, 0);
+    if (http_fd_ >= 0) add(http_fd_, POLLIN, 0);
+    for (auto& [id, c] : conns_) {
+      short ev = 0;
+      if (!c->close_after_flush) ev |= POLLIN;
+      if (!c->outq.empty()) ev |= POLLOUT;
+      if (ev == 0) ev = POLLOUT;  // close_after_flush with empty queue
+      add(c->fd, ev, id);
+    }
+
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+
+    // Wake pipe: drain it, then move finished responses from the outbox
+    // into per-connection output queues.
+    {
+      char buf[256];
+      while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    {
+      std::vector<std::pair<uint64_t, std::vector<char>>> ready;
+      {
+        std::lock_guard<std::mutex> lock(outbox_mutex_);
+        ready.swap(outbox_);
+      }
+      for (auto& [conn_id, frame] : ready) {
+        auto it = conns_.find(conn_id);
+        if (it == conns_.end()) continue;  // connection died first
+        if (it->second->inflight > 0) it->second->inflight--;
+        enqueue_frame(*it->second, std::move(frame));
+      }
+    }
+
+    std::vector<uint64_t> to_close;
+    for (size_t i = 0; i < pfds.size(); i++) {
+      const short got = pfds[i].revents;
+      if (got == 0) continue;
+      const int fd = pfds[i].fd;
+      if (fd == wake_rd_) continue;
+      if (fd == listen_fd_ || fd == http_fd_) {
+        accept_ready(fd, fd == http_fd_);
+        continue;
+      }
+      auto it = conns_.find(pfd_conn[i]);
+      if (it == conns_.end()) continue;
+      connection& c = *it->second;
+      bool ok = true;
+      if (got & (POLLERR | POLLHUP | POLLNVAL)) ok = (got & POLLIN) != 0;
+      if (ok && (got & POLLIN)) ok = read_ready(c);
+      if (ok && !c.outq.empty()) ok = write_ready(c);
+      if (ok && c.close_after_flush && c.outq.empty()) ok = false;
+      if (!ok) to_close.push_back(c.id);
+    }
+    for (uint64_t id : to_close) close_connection(id);
+
+    // Eagerly flush connections whose output became ready via the outbox
+    // (their POLLOUT interest was registered before the frames existed).
+    std::vector<uint64_t> flush_close;
+    for (auto& [id, c] : conns_) {
+      if (c->outq.empty()) continue;
+      if (!write_ready(*c) || (c->close_after_flush && c->outq.empty()))
+        flush_close.push_back(id);
+    }
+    for (uint64_t id : flush_close) close_connection(id);
+  }
+
+  // Teardown: close everything the loop owns.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (auto& [id, c] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) close_connection(id);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (http_fd_ >= 0) ::close(http_fd_);
+  listen_fd_ = http_fd_ = -1;
+}
+
+void server::accept_ready(int listen_fd, bool http) {
+  for (;;) {
+    int cfd = ::accept(listen_fd, nullptr, nullptr);
+    if (cfd < 0) return;  // EAGAIN or transient error; poll again
+    if (LIGRA_FAILPOINT("net.accept")) {
+      // Injected accept failure: the connection is dropped on the floor —
+      // the client sees a close and retries with backoff.
+      m_accept_failures_->inc();
+      ::close(cfd);
+      continue;
+    }
+    if (conns_.size() >= opts_.max_connections) {
+      m_accept_failures_->inc();
+      ::close(cfd);
+      continue;
+    }
+    set_nonblocking(cfd);
+    if (!http) {
+      int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto c = std::make_unique<connection>();
+    c->fd = cfd;
+    c->id = next_conn_id_++;
+    c->http = http;
+    conns_.emplace(c->id, std::move(c));
+    m_conns_total_->inc();
+    g_conns_active_->set(static_cast<int64_t>(conns_.size()));
+  }
+}
+
+bool server::read_ready(connection& c) {
+  char buf[64 * 1024];
+  for (;;) {
+    if (LIGRA_FAILPOINT("net.read")) return false;  // injected read fault
+    ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n == 0) return !c.outq.empty() && c.close_after_flush;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    m_bytes_in_->inc(static_cast<uint64_t>(n));
+    c.inbuf.append(buf, static_cast<size_t>(n));
+    if (c.inbuf.size() > kMaxPayloadBytes + kFrameHeaderBytes + 8192)
+      return false;  // runaway buffer; no valid frame can need this much
+  }
+  if (c.http) {
+    handle_http(c);
+  } else {
+    parse_frames(c);
+  }
+  return true;
+}
+
+void server::parse_frames(connection& c) {
+  size_t pos = 0;
+  try {
+    for (;;) {
+      size_t consumed = 0;
+      auto f = try_parse_frame(c.inbuf.data() + pos, c.inbuf.size() - pos,
+                               &consumed);
+      if (!f) break;
+      m_frames_in_->inc();
+      if (f->type != frame_type::request) {
+        // A response frame sent *to* the server is a client bug; answer
+        // with a protocol error and drop the connection.
+        throw protocol_error("server expects request frames");
+      }
+      handle_request(c, *f);
+      pos += consumed;
+    }
+    c.inbuf.erase(0, pos);
+  } catch (const protocol_error& e) {
+    // Framing is broken: there is no way to find the next frame boundary,
+    // so answer with a typed protocol error and close once it flushes.
+    m_proto_errors_->inc();
+    enqueue_frame(c, encode_response_frame(make_error_response(
+                         0, wire_status::protocol, e.what())));
+    c.inbuf.clear();
+    c.close_after_flush = true;
+  }
+}
+
+void server::handle_request(connection& c, const frame_view& f) {
+  wire_request wr;
+  try {
+    wr = decode_request(f.payload, f.payload_len);
+  } catch (const protocol_error& e) {
+    // The frame boundary held (magic/length/CRC all passed) but the payload
+    // is malformed — answer and keep the connection: the stream can resync.
+    m_proto_errors_->inc();
+    enqueue_frame(c, encode_response_frame(make_error_response(
+                         0, wire_status::protocol, e.what())));
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    enqueue_frame(c, encode_response_frame(
+                         make_error_response(wr.id, wire_status::shutting_down,
+                                             "server draining", 1000)));
+    return;
+  }
+  if (c.inflight >= opts_.max_inflight_per_conn) {
+    enqueue_frame(
+        c, encode_response_frame(make_error_response(
+               wr.id, wire_status::rejected,
+               "connection in-flight cap (" +
+                   std::to_string(opts_.max_inflight_per_conn) + ") reached",
+               20)));
+    return;
+  }
+  if (wr.source > kNoVertex || wr.target > kNoVertex) {
+    enqueue_frame(c, encode_response_frame(make_error_response(
+                         wr.id, wire_status::bad_request,
+                         "vertex id out of 32-bit range")));
+    return;
+  }
+
+  engine::query_request req;
+  req.graph = std::move(wr.graph);
+  req.kind = wr.kind;
+  req.priority = wr.priority;
+  req.source = static_cast<vertex_id>(wr.source);
+  req.target = static_cast<vertex_id>(wr.target);
+  req.k = wr.k;
+  req.deadline = std::chrono::milliseconds(wr.deadline_ms);
+  if (wr.kind == engine::query_kind::update)
+    req.updates = std::make_shared<dynamic::update_batch>(std::move(wr.updates));
+
+  try {
+    pending p;
+    p.conn_id = c.id;
+    p.request_id = wr.id;
+    p.t0 = mono_now();
+    p.fut = ex_.submit(std::move(req));
+    m_requests_->inc();
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      inflight_total_++;
+    }
+    c.inflight++;
+    {
+      std::lock_guard<std::mutex> lock(comp_mutex_);
+      comp_queue_.push_back(std::move(p));
+    }
+    comp_cv_.notify_one();
+  } catch (const engine::shed_error& e) {
+    enqueue_frame(c, encode_response_frame(make_error_response(
+                         wr.id, wire_status::shed, e.what(),
+                         static_cast<uint32_t>(e.retry_after.count()))));
+  } catch (const engine::rejected_error& e) {
+    enqueue_frame(c, encode_response_frame(make_error_response(
+                         wr.id, wire_status::rejected, e.what(),
+                         static_cast<uint32_t>(e.retry_after.count()))));
+  } catch (const std::exception& e) {
+    enqueue_frame(c, encode_response_frame(make_error_response(
+                         wr.id, wire_status::internal, e.what())));
+  }
+}
+
+void server::completion_loop() {
+  using namespace std::chrono_literals;
+  for (;;) {
+    pending p;
+    {
+      std::unique_lock<std::mutex> lock(comp_mutex_);
+      comp_cv_.wait(lock, [this] { return comp_stop_ || !comp_queue_.empty(); });
+      if (comp_queue_.empty()) {
+        if (comp_stop_) return;
+        continue;
+      }
+      p = std::move(comp_queue_.front());
+      comp_queue_.pop_front();
+    }
+
+    bool abandoned = false;
+    while (p.fut.wait_for(50ms) != std::future_status::ready) {
+      if (abandon_waits_.load(std::memory_order_acquire)) {
+        abandoned = true;  // drain deadline passed; the future is orphaned
+        break;
+      }
+    }
+    if (!abandoned) {
+      wire_response resp;
+      try {
+        resp = make_response(p.request_id, p.fut.get());
+      } catch (const engine::cancelled_error& e) {
+        resp = make_error_response(p.request_id, wire_status::cancelled, e.what());
+      } catch (const engine::deadline_exceeded_error& e) {
+        resp = make_error_response(p.request_id, wire_status::deadline, e.what());
+      } catch (const engine::shed_error& e) {
+        resp = make_error_response(p.request_id, wire_status::shed, e.what(),
+                                   static_cast<uint32_t>(e.retry_after.count()));
+      } catch (const engine::rejected_error& e) {
+        resp = make_error_response(p.request_id, wire_status::rejected, e.what(),
+                                   static_cast<uint32_t>(e.retry_after.count()));
+      } catch (const engine::not_found_error& e) {
+        resp = make_error_response(p.request_id, wire_status::not_found, e.what());
+      } catch (const engine::load_error& e) {
+        resp = make_error_response(p.request_id, wire_status::load, e.what());
+      } catch (const engine::update_error& e) {
+        resp = make_error_response(p.request_id, wire_status::load, e.what());
+      } catch (const std::invalid_argument& e) {
+        resp = make_error_response(p.request_id, wire_status::bad_request,
+                                   e.what());
+      } catch (const std::exception& e) {
+        resp = make_error_response(p.request_id, wire_status::internal, e.what());
+      }
+      h_request_micros_->record(micros_since(p.t0));
+      {
+        std::lock_guard<std::mutex> lock(outbox_mutex_);
+        outbox_.emplace_back(p.conn_id, encode_response_frame(resp));
+      }
+      wake();
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      if (inflight_total_ > 0) inflight_total_--;
+      if (inflight_total_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void server::enqueue_frame(connection& c, std::vector<char> frame) {
+  m_frames_out_->inc();
+  c.outq.push_back(std::move(frame));
+}
+
+bool server::write_ready(connection& c) {
+  while (!c.outq.empty()) {
+    if (LIGRA_FAILPOINT("net.write")) return false;  // injected write fault
+    const auto& front = c.outq.front();
+    ssize_t n = ::send(c.fd, front.data() + c.out_off,
+                       front.size() - c.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    m_bytes_out_->inc(static_cast<uint64_t>(n));
+    c.out_off += static_cast<size_t>(n);
+    if (c.out_off == front.size()) {
+      c.outq.pop_front();
+      c.out_off = 0;
+    }
+  }
+  return true;
+}
+
+void server::handle_http(connection& c) {
+  const size_t end = c.inbuf.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    if (c.inbuf.size() > 8192) c.close_after_flush = true;  // not a request
+    return;
+  }
+  m_http_requests_->inc();
+  // "GET /path HTTP/1.1" — method and path are all this endpoint needs.
+  const std::string line = c.inbuf.substr(0, c.inbuf.find("\r\n"));
+  c.inbuf.clear();
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string method = sp1 == std::string::npos ? "" : line.substr(0, sp1);
+  const std::string path = (sp1 == std::string::npos || sp2 == std::string::npos)
+                               ? ""
+                               : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::vector<char> resp;
+  if (method != "GET") {
+    resp = http_response("405 Method Not Allowed", "text/plain",
+                         "only GET is served here\n");
+  } else if (path == "/metrics") {
+    resp = http_response("200 OK", "text/plain; version=0.0.4",
+                         ex_.metrics().render_text());
+  } else if (path == "/healthz") {
+    resp = http_response("200 OK", "text/plain",
+                         draining_.load() ? "draining\n" : "ok\n");
+  } else {
+    resp = http_response("404 Not Found", "text/plain", "not found\n");
+  }
+  m_bytes_out_->inc(0);  // bytes counted at send time like every write
+  c.outq.push_back(std::move(resp));
+  c.close_after_flush = true;
+}
+
+void server::close_connection(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::close(it->second->fd);
+  conns_.erase(it);
+  g_conns_active_->set(static_cast<int64_t>(conns_.size()));
+}
+
+}  // namespace ligra::net

@@ -1,0 +1,193 @@
+// Network query server (docs/NETWORK.md): the connection tier that makes
+// the admission-controlled engine reachable over TCP.
+//
+// Architecture — three kinds of threads, none of them compute threads:
+//
+//   - One *event-loop* thread owns every socket: it poll()s the query and
+//     HTTP listeners plus all live connections, accepts, reads bytes,
+//     parses frames (net/protocol.h), and writes queued responses. Frame
+//     decode happens here — the I/O thread — and a decoded request is
+//     handed straight to the existing engine::query_executor, whose
+//     admission queue, shed watermark, per-kind caps, deadlines, and
+//     watchdog apply to network traffic exactly as they do to in-process
+//     callers. Immediate outcomes (shed, rejected, draining, per-connection
+//     in-flight cap, protocol errors) are answered from the loop without
+//     touching the executor.
+//   - A small pool of *completion* threads waits on submitted futures,
+//     converts results or typed engine errors into response frames, and
+//     posts them back to the event loop through an outbox + wake pipe (the
+//     loop alone touches sockets, so no socket ever sees two writers).
+//   - The executor's own dispatchers/pool run the query bodies, untouched.
+//
+// Responses may complete out of submission order on a pipelined
+// connection; the request's correlation id is echoed so clients match them
+// up. Per-connection in-flight caps bound how much queue space one client
+// can claim; past the cap the server answers `rejected` with retry_after
+// advice instead of buffering unboundedly.
+//
+// The HTTP side port serves exactly two GET endpoints — /metrics
+// (Prometheus text via obs::metrics_registry::render_text) and /healthz —
+// with Connection: close semantics; it exists so a scraper or load
+// balancer needs no custom protocol.
+//
+// stop() is a graceful drain: listeners close first (no new connections),
+// new request frames are answered `shutting_down`, then stop() waits up to
+// drain_deadline for in-flight queries to finish before tearing sockets
+// down. Failpoints net.accept / net.read / net.write inject connection
+// faults at each I/O boundary (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/executor.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace ligra::net {
+
+struct server_options {
+  // Query listener port; 0 picks an ephemeral port (read it back via
+  // port() — the loopback tests and benches do).
+  uint16_t port = 0;
+  // HTTP /metrics + /healthz side port; -1 disables, 0 is ephemeral.
+  int http_port = -1;
+  std::string bind_address = "127.0.0.1";
+  // Request frames in flight per connection before the server answers
+  // `rejected` with retry_after advice instead of admitting more.
+  size_t max_inflight_per_conn = 32;
+  // Threads waiting on executor futures; bounds how many blocked waits the
+  // server holds, not how many queries run (the executor does that).
+  size_t completion_threads = 2;
+  size_t max_connections = 256;
+  // How long stop() waits for in-flight queries before tearing down.
+  std::chrono::milliseconds drain_deadline{5000};
+};
+
+class server {
+ public:
+  // Publishes engine_net_* metrics into the executor's registry, so one
+  // /metrics exposition covers the network tier alongside everything else.
+  server(engine::query_executor& ex, server_options opts = {});
+  ~server();  // stop()s if still running
+
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  // Binds the listeners and starts the event loop + completion threads.
+  // Throws std::runtime_error on bind/listen failure.
+  void start();
+
+  // Graceful drain (see header comment). Idempotent; safe from any thread
+  // except the server's own.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Actual bound ports (valid after start(); ephemeral requests resolved).
+  uint16_t port() const { return port_; }
+  uint16_t http_port() const { return http_port_; }
+
+  // Live connection count (tests; the gauge mirrors it).
+  size_t connections() const;
+
+ private:
+  struct connection {
+    int fd = -1;
+    uint64_t id = 0;
+    bool http = false;
+    std::string inbuf;
+    std::deque<std::vector<char>> outq;
+    size_t out_off = 0;       // sent bytes of outq.front()
+    size_t inflight = 0;      // submitted, response not yet enqueued
+    bool close_after_flush = false;
+  };
+
+  // A submitted query whose future a completion thread is waiting on.
+  struct pending {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    std::future<engine::query_result> fut;
+    monotonic_time t0;
+  };
+
+  void event_loop();
+  void completion_loop();
+  void accept_ready(int listen_fd, bool http);
+  // Reads until EAGAIN; returns false when the connection must close.
+  bool read_ready(connection& c);
+  // Flushes outq until EAGAIN; returns false when the connection must close.
+  bool write_ready(connection& c);
+  void parse_frames(connection& c);
+  void handle_request(connection& c, const frame_view& f);
+  void handle_http(connection& c);
+  // Appends an encoded frame to c's output queue (event-loop thread only).
+  void enqueue_frame(connection& c, std::vector<char> frame);
+  void close_connection(uint64_t id);
+  void wake();
+
+  engine::query_executor& ex_;
+  server_options opts_;
+  uint16_t port_ = 0;
+  uint16_t http_port_ = 0;
+  int listen_fd_ = -1;
+  int http_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> terminate_{false};
+  std::atomic<bool> abandon_waits_{false};
+  std::thread event_thread_;
+  std::vector<std::thread> completion_threads_;
+
+  // Event-loop-owned (no lock): live connections by id.
+  std::unordered_map<uint64_t, std::unique_ptr<connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  // Completion queue: event loop pushes pending futures, workers pop.
+  std::mutex comp_mutex_;
+  std::condition_variable comp_cv_;
+  std::deque<pending> comp_queue_;
+  bool comp_stop_ = false;
+
+  // Outbox: workers push finished response frames, the event loop drains
+  // them into per-connection output queues after a wake.
+  std::mutex outbox_mutex_;
+  std::vector<std::pair<uint64_t, std::vector<char>>> outbox_;
+
+  // Queries submitted to the executor whose responses have not been
+  // enqueued yet; stop() waits for this to reach zero.
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  size_t inflight_total_ = 0;
+
+  std::mutex stop_mutex_;  // serializes stop() callers
+
+  // engine_net_* metric handles (executor registry).
+  obs::counter* m_conns_total_;
+  obs::gauge* g_conns_active_;
+  obs::counter* m_accept_failures_;
+  obs::counter* m_frames_in_;
+  obs::counter* m_frames_out_;
+  obs::counter* m_bytes_in_;
+  obs::counter* m_bytes_out_;
+  obs::counter* m_proto_errors_;
+  obs::counter* m_requests_;
+  obs::counter* m_http_requests_;
+  obs::histogram* h_request_micros_;
+};
+
+}  // namespace ligra::net

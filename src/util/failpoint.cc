@@ -38,6 +38,7 @@ registry_t& reg() {
 constexpr const char* kKnownSites[] = {
     "cache.insert",       "checkpoint.write",  "dynamic.apply.alloc",
     "dynamic.compact",    "executor.dispatch", "graph_io.read",
+    "net.accept",         "net.read",          "net.write",
     "recovery.replay",    "registry.load.alloc",
     "wal.append",         "wal.fsync",
 };

@@ -546,6 +546,85 @@ TEST_F(RobustnessTest, ShedsLowPriorityPastWatermark) {
   EXPECT_EQ(snap.failed, 0u);
 }
 
+TEST_F(RobustnessTest, RejectedCarriesRetryAfterAdvice) {
+  e::registry reg;
+  reg.add("g", small_graph());
+  e::query_executor ex(reg, {.max_concurrency = 1, .max_queue = 1,
+                             .cache_capacity = 0, .use_pool = false});
+
+  blocker b;
+  auto blocked = ex.submit(b.request("g"));
+  while (b.started.load() == 0) std::this_thread::sleep_for(1ms);
+
+  e::query_request q;
+  q.graph = "g";
+  q.kind = e::query_kind::bfs_distance;
+  q.source = 0;
+  q.target = 1;
+  auto queued = ex.submit(q);  // fills the queue
+  // Full queue: rejection must carry populated backoff advice, the same
+  // contract shedding honors — callers and the network tier rely on it.
+  try {
+    ex.submit(q);
+    FAIL() << "expected rejected_error";
+  } catch (const e::rejected_error& err) {
+    EXPECT_GT(err.retry_after.count(), 0);
+  }
+
+  b.release.set_value();
+  EXPECT_EQ(blocked.get().value, 7);
+  queued.get();
+  ex.wait_idle();
+}
+
+TEST_F(RobustnessTest, DrainStopsAdmissionsAndEmptiesTheQueue) {
+  e::registry reg;
+  reg.add("g", small_graph());
+  e::query_executor ex(reg, {.max_concurrency = 1, .cache_capacity = 0,
+                             .use_pool = false});
+
+  e::query_request q;
+  q.graph = "g";
+  q.kind = e::query_kind::bfs_distance;
+  q.source = 0;
+  q.target = 1;
+  auto inflight = ex.submit(q);
+  EXPECT_FALSE(ex.draining());
+  EXPECT_TRUE(ex.drain(5000ms));  // true = fully drained within the bound
+  EXPECT_TRUE(ex.draining());
+  EXPECT_GE(inflight.get().value, -1);  // admitted work still completed
+  EXPECT_EQ(ex.queue_depth(), 0u);
+
+  // Admissions are closed now; the rejection carries retry advice.
+  try {
+    ex.submit(q);
+    FAIL() << "expected rejected_error after drain";
+  } catch (const e::rejected_error& err) {
+    EXPECT_GT(err.retry_after.count(), 0);
+  }
+  auto snap = ex.stats();
+  EXPECT_EQ(snap.rejected, 1u);
+}
+
+TEST_F(RobustnessTest, DrainDeadlineBoundsTheWait) {
+  e::registry reg;
+  reg.add("g", small_graph());
+  e::query_executor ex(reg, {.max_concurrency = 1, .cache_capacity = 0,
+                             .use_pool = false});
+
+  blocker b;
+  auto blocked = ex.submit(b.request("g"));
+  while (b.started.load() == 0) std::this_thread::sleep_for(1ms);
+
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ex.drain(50ms));  // blocker still running: drain times out
+  EXPECT_LT(ms_since(t0), 5000.0);
+
+  b.release.set_value();
+  EXPECT_EQ(blocked.get().value, 7);
+  ex.wait_idle();
+}
+
 TEST_F(RobustnessTest, PerKindCapLetsOtherKindsRunAhead) {
   e::registry reg;
   reg.add("g", small_graph());

@@ -176,7 +176,8 @@ TEST_F(FailpointTest, KnownSitesListsTheDurabilitySites) {
   auto sites = fp::known_sites();
   EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
   for (const char* want : {"wal.append", "wal.fsync", "checkpoint.write",
-                           "recovery.replay", "graph_io.read"}) {
+                           "recovery.replay", "graph_io.read", "net.accept",
+                           "net.read", "net.write"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), want), sites.end())
         << "missing site " << want;
   }
