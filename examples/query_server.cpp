@@ -41,6 +41,15 @@
 //                       and queue/running depth from the shared registry
 //   -metrics-dump FMT   dump the full metrics registry at exit
 //                       (FMT = text | json; default text)
+//   -log-level L        structured-log threshold: debug|info|warn|error|off
+//                       (default info)
+//   -log-json           emit log lines as JSON objects instead of text
+//   -trace-sample F     sample this fraction of queries server-side: full
+//                       trace armed and retained in the trace store
+//   -slow-trace-ms N    always retain queries slower than N ms (arms a
+//                       trace on every query so slow ones have rounds)
+//   In daemon mode the side port also serves GET /traces, /traces/<id>,
+//   and /debug/flightrec; SIGUSR1 dumps the flight recorder to stderr.
 //
 // Request-file / REPL line format (one request per line, '#' comments):
 //   <graph> bfs <source> <target>
@@ -83,8 +92,11 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/collectors.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "util/cli.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -505,12 +517,19 @@ class periodic_reporter {
 // SIGINT/SIGTERM land on a self-pipe: the handler only write()s (the one
 // async-signal-safe thing worth doing) and the daemon loop does the actual
 // drain on a normal thread. A second signal while draining exits hard.
+// SIGUSR1 shares the pipe with a distinct byte: the daemon loop dumps the
+// flight recorder and keeps serving.
 int g_signal_pipe[2] = {-1, -1};
 std::atomic<int> g_signals_seen{0};
 
 extern "C" void on_shutdown_signal(int) {
   if (g_signals_seen.fetch_add(1) > 0) std::_Exit(130);
   char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+extern "C" void on_flightrec_signal(int) {
+  char b = 2;
   [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
 }
 
@@ -540,16 +559,28 @@ int run_daemon(engine::query_executor& ex, const command_line& cli) {
   }
   std::signal(SIGINT, on_shutdown_signal);
   std::signal(SIGTERM, on_shutdown_signal);
+  std::signal(SIGUSR1, on_flightrec_signal);
 
   std::printf("serving queries on %s:%u", sopts.bind_address.c_str(),
               srv.port());
   if (sopts.http_port >= 0)
-    std::printf(", /metrics + /healthz on :%u", srv.http_port());
-  std::printf(" (SIGINT/SIGTERM to drain and exit)\n");
+    std::printf(", /metrics + /healthz + /traces + /debug/flightrec on :%u",
+                srv.http_port());
+  std::printf(" (SIGINT/SIGTERM to drain and exit, SIGUSR1 to dump the "
+              "flight recorder)\n");
   std::fflush(stdout);
 
-  char b;
-  while (::read(g_signal_pipe[0], &b, 1) < 0 && errno == EINTR) {
+  for (;;) {
+    char b = 0;
+    const ssize_t n = ::read(g_signal_pipe[0], &b, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0 || b != 2) break;  // byte 1 (or pipe failure): shut down
+    // SIGUSR1: dump the flight recorder to stderr and keep serving.
+    if (ex.flightrec() != nullptr)
+      std::fprintf(stderr, "%s\n", ex.flightrec()->to_json().c_str());
+    else
+      std::fprintf(stderr, "{\"error\":\"flight recorder not attached\"}\n");
+    std::fflush(stderr);
   }
 
   std::printf("shutdown: draining connections and in-flight queries...\n");
@@ -683,6 +714,8 @@ void repl(engine::query_executor& ex) {
                     "batch (mutable graphs; returns the new epoch)\n"
                     "  trace <request>   run a query with traversal tracing, "
                     "print the trace JSON\n"
+                    "  trace <32-hex-id>   look up a retained trace by id "
+                    "(slow-query log)\n"
                     "  checkpoint <graph>   snapshot a durable mutable graph "
                     "and reset its WAL\n"
                     "  wal-stats <graph>    durable store counters "
@@ -691,14 +724,28 @@ void repl(engine::query_executor& ex) {
       } else if (line == "metrics") {
         std::fputs(ex.metrics().render_text().c_str(), stdout);
       } else if (line.rfind("trace ", 0) == 0) {
-        engine::query_request req;
-        if (parse_request(line.substr(6), req)) {
-          obs::query_trace trace;
-          req.trace = &trace;
-          auto r = ex.run(req);
-          std::printf("  = %lld   (%.1f us)\n", static_cast<long long>(r.value),
-                      r.micros);
-          std::printf("%s\n", trace.to_json().c_str());
+        const std::string arg = line.substr(6);
+        // A lone 32-hex token is a retained-trace lookup; anything else is
+        // the original trace-a-request path.
+        if (auto tid = obs::trace_id::from_hex(arg)) {
+          if (ex.traces() == nullptr) {
+            std::printf("trace retention is off (set -trace-sample or "
+                        "-slow-trace-ms)\n");
+          } else if (auto rec = ex.traces()->find(*tid)) {
+            std::printf("%s\n", rec->to_json(/*full=*/true).c_str());
+          } else {
+            std::printf("no retained trace with id %s\n", arg.c_str());
+          }
+        } else {
+          engine::query_request req;
+          if (parse_request(arg, req)) {
+            obs::query_trace trace;
+            req.trace = &trace;
+            auto r = ex.run(req);
+            std::printf("  = %lld   (%.1f us)\n",
+                        static_cast<long long>(r.value), r.micros);
+            std::printf("%s\n", trace.to_json().c_str());
+          }
         }
       } else if (line == "graphs") {
         for (const auto& g : ex.graphs().list()) {
@@ -778,6 +825,23 @@ int main(int argc, char* argv[]) {
   obs::metrics_registry metrics;
   obs::install_failpoint_collector(metrics);
   obs::install_scheduler_collector(metrics);
+
+  // Structured logging: one process-wide logger behind every converted
+  // warning site (docs/OBSERVABILITY.md). Drops are counted into
+  // engine_log_dropped_total via the shared registry.
+  if (cli.has("log-level")) {
+    obs::log_level lvl;
+    if (!obs::parse_log_level(cli.get_string("log-level"), &lvl)) {
+      std::fprintf(stderr,
+                   "bad -log-level (want debug|info|warn|error|off): %s\n",
+                   cli.get_string("log-level").c_str());
+      return 1;
+    }
+    obs::logger::global().set_level(lvl);
+  }
+  if (cli.has("log-json")) obs::logger::global().set_json(true);
+  obs::logger::global().set_metrics(&metrics);
+
   engine::registry reg(&metrics);
 
   // Durability: -wal-dir roots the per-graph stores; -fsync and
@@ -843,6 +907,20 @@ int main(int argc, char* argv[]) {
   opts.shed_watermark =
       static_cast<size_t>(cli.get_int("shed-watermark", 0));
   opts.metrics = &metrics;
+
+  // Query observability: trace retention ring + flight recorder, always
+  // attached so GET /traces, /debug/flightrec, SIGUSR1, and the REPL's
+  // `trace <id>` work out of the box. -trace-sample / -slow-trace-ms widen
+  // what the store keeps beyond errors.
+  obs::trace_store traces(
+      static_cast<size_t>(cli.get_int("trace-capacity", 256)), &metrics);
+  obs::flight_recorder flightrec(
+      static_cast<size_t>(cli.get_int("flightrec-capacity", 512)));
+  opts.traces = &traces;
+  opts.flightrec = &flightrec;
+  opts.trace_sample_rate = cli.get_double("trace-sample", 0.0);
+  opts.slow_trace_micros =
+      static_cast<uint64_t>(cli.get_int("slow-trace-ms", 0)) * 1000;
   engine::query_executor ex(reg, opts);
 
   if (cli.has("failpoints")) {

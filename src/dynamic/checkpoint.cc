@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "graph/graph_io.h"
+#include "obs/log.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 #include "util/timer.h"
@@ -385,8 +386,8 @@ void durable_store::note_applied(const std::function<graph()>& materialize,
     // auto-checkpoint costs only replay time at the next recovery. Count
     // it, say so, move on.
     if (m_ckpt_failures_ != nullptr) m_ckpt_failures_->inc();
-    std::fprintf(stderr, "ligra: auto-checkpoint of %s failed: %s\n",
-                 dir_.c_str(), e.what());
+    obs::log_warn("checkpoint", "auto-checkpoint failed",
+                  {{"dir", dir_}, {"error", e.what()}});
   }
 }
 

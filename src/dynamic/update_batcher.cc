@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/log.h"
+
 namespace ligra::dynamic {
 
 update_batcher::update_batcher(publish_fn publish, batcher_options opts)
@@ -19,10 +21,8 @@ update_batcher::~update_batcher() {
   try {
     flush_locked();
   } catch (const std::exception& e) {
-    std::fprintf(stderr,
-                 "ligra: update_batcher dropped a pending batch at "
-                 "destruction: %s\n",
-                 e.what());
+    obs::log_warn("dynamic", "update_batcher dropped a pending batch at destruction",
+                  {{"error", e.what()}});
   }
 }
 

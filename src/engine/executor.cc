@@ -8,9 +8,13 @@
 #include "apps/query_adapters.h"
 #include "dynamic/incremental.h"
 #include "ligra/edge_map.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "parallel/scheduler.h"
 #include "util/failpoint.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace ligra::engine {
@@ -161,19 +165,95 @@ query_result query_executor::execute(const query_request& req,
   return r;
 }
 
+bool query_executor::draw_sample() {
+  if (opts_.trace_sample_rate <= 0.0) return false;
+  if (opts_.trace_sample_rate >= 1.0) return true;
+  // Hash draw over a process-wide counter: deterministic per process (no
+  // clock reads on the submit path), uniform, and lock-free.
+  const uint64_t n = sample_ctr_.fetch_add(1, std::memory_order_relaxed);
+  const double u =
+      static_cast<double>(hash64(n) >> 11) * 0x1.0p-53;  // [0, 1)
+  return u < opts_.trace_sample_rate;
+}
+
+void query_executor::observe_done(const obs::trace_id& tid,
+                                  const query_request& req, bool sampled,
+                                  obs::query_trace* trace, uint64_t epoch,
+                                  double queued_micros, const char* outcome,
+                                  double exec_micros, const query_result* r,
+                                  const std::string& error,
+                                  uint32_t retry_after_ms) {
+  if (!observing()) return;
+  const size_t rounds = trace != nullptr ? trace->rounds().size() : 0;
+  if (opts_.flightrec != nullptr) {
+    obs::flight_entry e;
+    e.id = tid;
+    e.set_kind(query_kind_name(req.kind));
+    e.set_graph(req.graph);
+    e.set_outcome(outcome);
+    e.epoch = epoch;
+    e.queued_micros = queued_micros;
+    e.exec_micros = exec_micros;
+    e.rounds = static_cast<uint32_t>(rounds);
+    e.retry_after_ms = retry_after_ms;
+    if (r != nullptr) {
+      // Approximate wire size of the answer (net/protocol.h response body).
+      e.result_bytes = 8 + 12 * r->topk.size();
+      e.cache_hit = r->cache_hit;
+    }
+    opts_.flightrec->record(e);
+  }
+  if (opts_.traces == nullptr) return;
+  // Retention rules (docs/OBSERVABILITY.md): sampled queries always; every
+  // non-ok outcome always; slow queries always.
+  const bool is_ok = error.empty() && std::string_view(outcome) == "ok";
+  const bool slow =
+      opts_.slow_trace_micros > 0 &&
+      exec_micros >= static_cast<double>(opts_.slow_trace_micros);
+  if (!sampled && is_ok && !slow) return;
+  obs::trace_record rec;
+  rec.id = tid;
+  rec.kind = query_kind_name(req.kind);
+  rec.graph = req.graph;
+  rec.outcome = outcome;
+  rec.sampled = sampled;
+  rec.cache_hit = r != nullptr && r->cache_hit;
+  rec.epoch = epoch;
+  rec.queued_micros = queued_micros;
+  rec.exec_micros = exec_micros;
+  rec.retry_after_ms = retry_after_ms;
+  rec.rounds = rounds;
+  rec.error = error;
+  if (trace != nullptr) rec.trace_json = trace->to_json();
+  opts_.traces->insert(std::move(rec));
+}
+
 std::future<query_result> query_executor::submit(query_request req) {
   stats_.record_submitted();
   auto j = std::make_shared<job>();
   j->req = std::move(req);
+  j->submit_t0 = mono_now();
+  // Mint a correlation id for requests that arrive without one whenever a
+  // sink is attached; echo a caller-supplied id either way. Sampling is
+  // sticky from here: the wire bit (or the server-side draw) decides once.
+  if (observing() && !j->req.tid.valid()) j->req.tid = obs::trace_id::mint();
+  j->tid = j->req.tid;
+  j->sampled = j->req.sampled || (observing() && draw_sample());
+  // Log lines fired from the submission path carry the query's id.
+  obs::trace_id_scope id_scope(j->tid);
   std::future<query_result> fut = j->promise.get_future();
 
   j->handle = registry_.try_get(j->req.graph);
   if (!j->handle) {
     stats_.record_failed();
-    j->promise.set_exception(std::make_exception_ptr(not_found_error(
-        "no graph named '" + j->req.graph + "' is registered")));
+    const std::string msg =
+        "no graph named '" + j->req.graph + "' is registered";
+    observe_done(j->tid, j->req, j->sampled, nullptr, 0, 0.0, "not_found", 0.0,
+                 nullptr, msg, 0);
+    j->promise.set_exception(std::make_exception_ptr(not_found_error(msg)));
     return fut;
   }
+  j->epoch = j->handle->epoch();
 
   j->cacheable = j->req.kind != query_kind::custom &&
                  j->req.kind != query_kind::update && cache_.capacity() > 0 &&
@@ -184,10 +264,28 @@ std::future<query_result> query_executor::submit(query_request req) {
       query_result r = *cached;
       r.cache_hit = true;
       r.micros = 0.0;
+      r.tid = j->tid;
       stats_.record_completed();
+      observe_done(j->tid, j->req, j->sampled, nullptr, j->epoch, 0.0, "ok",
+                   0.0, &r, "", 0);
       j->promise.set_value(std::move(r));
       return fut;
     }
+  }
+
+  // Arm an executor-owned trace when the caller didn't bring one and the
+  // retention rules could want rounds to show: sampled queries, queries
+  // that can end in a deadline, and (when slow retention is configured)
+  // every query. Owned traces do NOT disable caching — the cacheable
+  // decision above only looks at caller traces, so a sampled query still
+  // fills the cache for its unsampled siblings.
+  if (j->req.trace != nullptr) {
+    j->trace = j->req.trace;
+  } else if (opts_.traces != nullptr &&
+             (j->sampled || j->req.deadline.count() > 0 ||
+              opts_.slow_trace_micros > 0)) {
+    j->owned_trace = std::make_unique<obs::query_trace>();
+    j->trace = j->owned_trace.get();
   }
 
   // Layer the per-query deadline on top of any caller token. Queries with
@@ -212,16 +310,27 @@ std::future<query_result> query_executor::submit(query_request req) {
       auto over = queue_.size() - opts_.shed_watermark + 1;
       auto advice = std::chrono::milliseconds(
           std::min<uint64_t>(1000, 20 * static_cast<uint64_t>(over)));
-      throw shed_error("load shedding active (" + std::to_string(queue_.size()) +
-                           " pending >= watermark " +
-                           std::to_string(opts_.shed_watermark) +
-                           "); low-priority query shed",
-                       advice);
+      const std::string msg =
+          "load shedding active (" + std::to_string(queue_.size()) +
+          " pending >= watermark " + std::to_string(opts_.shed_watermark) +
+          "); low-priority query shed";
+      const auto advice_ms = static_cast<uint32_t>(advice.count());
+      observe_done(j->tid, j->req, j->sampled, nullptr, j->epoch, 0.0, "shed",
+                   0.0, nullptr, msg, advice_ms);
+      if (observing())
+        obs::log_warn("engine", "query shed",
+                      {{"kind", query_kind_name(j->req.kind)},
+                       {"graph", j->req.graph},
+                       {"queue_depth", queue_.size()},
+                       {"retry_after_ms", advice_ms}});
+      throw shed_error(msg, advice);
     }
     if (draining_) {
       stats_.record_rejected();
-      throw rejected_error("executor draining; no new queries admitted",
-                           std::chrono::milliseconds(1000));
+      const std::string msg = "executor draining; no new queries admitted";
+      observe_done(j->tid, j->req, j->sampled, nullptr, j->epoch, 0.0,
+                   "rejected", 0.0, nullptr, msg, 1000);
+      throw rejected_error(msg, std::chrono::milliseconds(1000));
     }
     if (queue_.size() >= opts_.max_queue) {
       stats_.record_rejected();
@@ -230,17 +339,25 @@ std::future<query_result> query_executor::submit(query_request req) {
       auto advice = std::chrono::milliseconds(std::min<uint64_t>(
           1000, 20 * static_cast<uint64_t>(queue_.size() - opts_.max_queue + 1 +
                                            opts_.max_queue / 2)));
-      throw rejected_error(
+      const std::string msg =
           "admission queue full (" + std::to_string(queue_.size()) +
-              " pending, limit " + std::to_string(opts_.max_queue) +
-              "); retry later",
-          advice);
+          " pending, limit " + std::to_string(opts_.max_queue) +
+          "); retry later";
+      const auto advice_ms = static_cast<uint32_t>(advice.count());
+      observe_done(j->tid, j->req, j->sampled, nullptr, j->epoch, 0.0,
+                   "rejected", 0.0, nullptr, msg, advice_ms);
+      if (observing())
+        obs::log_warn("engine", "query rejected",
+                      {{"kind", query_kind_name(j->req.kind)},
+                       {"graph", j->req.graph},
+                       {"queue_depth", queue_.size()},
+                       {"retry_after_ms", advice_ms}});
+      throw rejected_error(msg, advice);
     }
     queue_.push_back(j);
     g_queue_depth_->set(static_cast<int64_t>(queue_.size()));
   }
-  if (j->req.trace != nullptr)
-    j->queued_span = j->req.trace->begin_span("queued");
+  if (j->trace != nullptr) j->queued_span = j->trace->begin_span("queued");
   work_cv_.notify_one();
 
   if (j->deadline_at != std::chrono::steady_clock::time_point::max()) {
@@ -255,20 +372,49 @@ std::future<query_result> query_executor::submit(query_request req) {
 
 query_result query_executor::run(const query_request& req) {
   stats_.record_submitted();
-  graph_handle handle = registry_.get(req.graph);
+  // Same observability contract as submit(): mint when a sink is attached,
+  // echo otherwise (the REPL path shows up in /traces too).
+  obs::trace_id tid = req.tid;
+  bool sampled = req.sampled;
+  if (observing()) {
+    if (!tid.valid()) tid = obs::trace_id::mint();
+    sampled = sampled || draw_sample();
+  }
+  obs::trace_id_scope id_scope(tid);
+  graph_handle handle;
+  try {
+    handle = registry_.get(req.graph);
+  } catch (const not_found_error& e) {
+    stats_.record_failed();
+    observe_done(tid, req, sampled, nullptr, 0, 0.0, "not_found", 0.0, nullptr,
+                 e.what(), 0);
+    throw;
+  }
+  const uint64_t epoch = handle->epoch();
   bool cacheable = req.kind != query_kind::custom &&
                    req.kind != query_kind::update && cache_.capacity() > 0 &&
                    req.trace == nullptr;
   cache_key key;
   if (cacheable) {
-    key = make_key(req, handle->epoch());
+    key = make_key(req, epoch);
     if (auto cached = cache_.get(key)) {
       query_result r = *cached;
       r.cache_hit = true;
       r.micros = 0.0;
+      r.tid = tid;
       stats_.record_completed();
+      observe_done(tid, req, sampled, nullptr, epoch, 0.0, "ok", 0.0, &r, "",
+                   0);
       return r;
     }
+  }
+  // Arm an executor-owned trace under the same rules as the async path.
+  std::unique_ptr<obs::query_trace> owned_trace;
+  obs::query_trace* trace = req.trace;
+  if (trace == nullptr && opts_.traces != nullptr &&
+      (sampled || req.deadline.count() > 0 || opts_.slow_trace_micros > 0)) {
+    owned_trace = std::make_unique<obs::query_trace>();
+    trace = owned_trace.get();
   }
   // Synchronous path: deadline enforced by polling only (there is no one to
   // settle the caller's stack frame early).
@@ -283,11 +429,12 @@ query_result query_executor::run(const query_request& req) {
   try {
     query_result r;
     {
-      obs::trace_scope tracing(req.trace);
+      obs::trace_scope tracing(trace);
       obs::span_scope span("execute");
       r = execute(req, *handle, token);
     }
     r.micros = micros_since(t0);
+    r.tid = tid;
     if (cacheable) {
       try {
         cache_.put(key, std::make_shared<query_result>(r));
@@ -297,15 +444,28 @@ query_result query_executor::run(const query_request& req) {
     }
     stats_.record_latency(req.kind, r.micros);
     stats_.record_completed();
+    observe_done(tid, req, sampled, trace, epoch, 0.0, "ok", r.micros, &r, "",
+                 0);
     return r;
-  } catch (const cancelled_error&) {
+  } catch (const cancelled_error& e) {
     stats_.record_cancelled();
+    observe_done(tid, req, sampled, trace, epoch, 0.0, "cancelled",
+                 micros_since(t0), nullptr, e.what(), 0);
     throw;
-  } catch (const deadline_exceeded_error&) {
+  } catch (const deadline_exceeded_error& e) {
     stats_.record_deadline_exceeded();
+    observe_done(tid, req, sampled, trace, epoch, 0.0, "deadline",
+                 micros_since(t0), nullptr, e.what(), 0);
+    throw;
+  } catch (const std::exception& e) {
+    stats_.record_failed();
+    observe_done(tid, req, sampled, trace, epoch, 0.0, "error",
+                 micros_since(t0), nullptr, e.what(), 0);
     throw;
   } catch (...) {
     stats_.record_failed();
+    observe_done(tid, req, sampled, trace, epoch, 0.0, "error",
+                 micros_since(t0), nullptr, "unknown error", 0);
     throw;
   }
 }
@@ -326,22 +486,38 @@ void query_executor::settle_error(const job_ptr& j, std::exception_ptr err) {
 
 void query_executor::execute_job(const job_ptr& j,
                                  edge_map_scratch* scratch) {
-  if (j->req.trace != nullptr && j->queued_span != SIZE_MAX)
-    j->req.trace->end_span(j->queued_span);
+  j->queued_micros = micros_since(j->submit_t0);
+  obs::trace_id_scope id_scope(j->tid);
+  if (j->trace != nullptr && j->queued_span != SIZE_MAX)
+    j->trace->end_span(j->queued_span);
   // A queued job whose token already tripped (deadline passed or caller
   // cancelled while it waited) is settled without running the body.
   if (j->token.should_stop()) {
     std::exception_ptr err;
-    if (j->token.deadline_exceeded())
-      err = std::make_exception_ptr(
-          deadline_exceeded_error("query deadline exceeded while queued"));
-    else
-      err = std::make_exception_ptr(
-          cancelled_error("query cancelled while queued"));
+    const char* outcome;
+    std::string msg;
+    if (j->token.deadline_exceeded()) {
+      outcome = "deadline";
+      msg = "query deadline exceeded while queued";
+      err = std::make_exception_ptr(deadline_exceeded_error(msg));
+    } else {
+      outcome = "cancelled";
+      msg = "query cancelled while queued";
+      err = std::make_exception_ptr(cancelled_error(msg));
+    }
     settle_error(j, std::move(err));
+    observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                 j->queued_micros, outcome, 0.0, nullptr, msg, 0);
     return;
   }
-  if (j->settled.load(std::memory_order_acquire)) return;
+  if (j->settled.load(std::memory_order_acquire)) {
+    // The watchdog already settled this job while it sat in the queue; it
+    // never ran, but the flight recorder still wants the refusal.
+    observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                 j->queued_micros, "deadline", 0.0, nullptr,
+                 "query deadline exceeded while queued (watchdog)", 0);
+    return;
+  }
 
   const monotonic_time t0 = mono_now();
   query_result r;
@@ -353,9 +529,12 @@ void query_executor::execute_job(const job_ptr& j,
   // it). The scratch is owned by the dispatcher, which runs one body at a
   // time, so consecutive queries through the same dispatcher reuse warmed
   // buffers; the scope nests, so a body injected onto a worker that is
-  // mid-join in another query never sees that query's scratch.
+  // mid-join in another query never sees that query's scratch. The trace
+  // installed is the *effective* one (caller's or executor-armed), and the
+  // trace id rides along so log lines fired inside the body correlate.
   auto body = [&]() noexcept {
-    obs::trace_scope tracing(j->req.trace);
+    obs::trace_scope tracing(j->trace);
+    obs::trace_id_scope body_id_scope(j->tid);
     edge_map_scratch_scope scratch_scope(scratch);
     obs::span_scope span("execute");
     try {
@@ -372,12 +551,43 @@ void query_executor::execute_job(const job_ptr& j,
   } else {
     body();
   }
+  const double exec_micros = micros_since(t0);
   if (err) {
-    settle_error(j, std::move(err));
+    // Derive the retained outcome from the exception type; settle_error
+    // repeats the classification for stats (it may lose the settle race to
+    // the watchdog, observation here happens exactly once either way).
+    const char* outcome = "error";
+    std::string msg = "unknown error";
+    try {
+      std::rethrow_exception(err);
+    } catch (const cancelled_error& e) {
+      outcome = "cancelled";
+      msg = e.what();
+    } catch (const deadline_exceeded_error& e) {
+      outcome = "deadline";
+      msg = e.what();
+    } catch (const std::exception& e) {
+      msg = e.what();
+    } catch (...) {
+    }
+    settle_error(j, err);
+    observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                 j->queued_micros, outcome, exec_micros, nullptr, msg, 0);
     return;
   }
-  if (j->settled.exchange(true)) return;  // late result; watchdog already spoke
-  r.micros = micros_since(t0);
+  if (j->settled.exchange(true)) {
+    // Late result: the watchdog already delivered deadline_exceeded to the
+    // caller. Retained with the body's real cost — this is exactly the
+    // query a post-mortem wants to see (what was still burning CPU after
+    // its deadline), with every round the body ran.
+    observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                 j->queued_micros, "deadline", exec_micros, nullptr,
+                 "query deadline exceeded (watchdog): late result discarded",
+                 0);
+    return;
+  }
+  r.micros = exec_micros;
+  r.tid = j->tid;
   if (j->cacheable) {
     try {
       cache_.put(j->key, std::make_shared<query_result>(r));
@@ -388,6 +598,8 @@ void query_executor::execute_job(const job_ptr& j,
   }
   stats_.record_latency(j->req.kind, r.micros);
   stats_.record_completed();
+  observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+               j->queued_micros, "ok", r.micros, &r, "", 0);
   j->promise.set_value(std::move(r));
 }
 

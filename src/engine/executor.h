@@ -51,6 +51,11 @@ namespace ligra {
 struct edge_map_scratch;  // ligra/edge_map.h
 }  // namespace ligra
 
+namespace ligra::obs {
+class trace_store;      // obs/trace_store.h
+class flight_recorder;  // obs/flight_recorder.h
+}  // namespace ligra::obs
+
 namespace ligra::engine {
 
 struct executor_options {
@@ -74,6 +79,28 @@ struct executor_options {
   // failpoints). Null = the executor creates and owns a private registry,
   // reachable via metrics() — per-executor counts stay isolated by default.
   obs::metrics_registry* metrics = nullptr;
+
+  // --- query observability (docs/OBSERVABILITY.md) -------------------------
+  // All four default to "off"; a query touches none of this machinery
+  // unless a store/recorder is attached (pay-for-what-you-touch).
+  //
+  // Caller-owned retention ring for completed traces: sampled queries are
+  // always retained, and every query ending in an error outcome (or slower
+  // than slow_trace_micros) is retained too — with full per-round JSON when
+  // a trace was armed, summary-only otherwise. Must outlive the executor.
+  obs::trace_store* traces = nullptr;
+  // Caller-owned ring of per-query summaries recording *every* outcome
+  // (including shed/rejected refusals). Must outlive the executor.
+  obs::flight_recorder* flightrec = nullptr;
+  // Fraction of submissions sampled server-side (full trace armed +
+  // retained) on top of requests that arrive with sampled=true. 0 = only
+  // explicit requests sample.
+  double trace_sample_rate = 0.0;
+  // Completed queries at/above this execution time are retained in the
+  // trace store even when unsampled — and every query is armed with a
+  // trace so the slow ones have rounds to show. 0 disables slow retention
+  // (and the always-armed cost that comes with it).
+  uint64_t slow_trace_micros = 0;
 };
 
 class query_executor {
@@ -103,6 +130,16 @@ class query_executor {
   // null). render_text()/render_json() on it is the scrape endpoint.
   obs::metrics_registry& metrics() { return *metrics_; }
 
+  // The retention rings attached at construction (null when off). The
+  // network tier serves GET /traces and /debug/flightrec from these.
+  obs::trace_store* traces() const { return opts_.traces; }
+  obs::flight_recorder* flightrec() const { return opts_.flightrec; }
+  // True when any observability sink is attached — the executor then mints
+  // trace ids for requests that arrive without one.
+  bool observing() const {
+    return opts_.traces != nullptr || opts_.flightrec != nullptr;
+  }
+
   size_t queue_depth() const;
   // Blocks until no request is queued or running.
   void wait_idle();
@@ -127,8 +164,19 @@ class query_executor {
     cancel_source source;
     cancel_token token;
     bool has_source = false;
-    // Open "queued" span in req.trace; SIZE_MAX when untraced.
+    // Open "queued" span in the effective trace; SIZE_MAX when untraced.
     size_t queued_span = SIZE_MAX;
+    // Observability (docs/OBSERVABILITY.md): the correlation id (mirrors
+    // req.tid after minting), whether this query samples, the
+    // executor-armed trace (when the caller didn't bring one), and the
+    // effective trace pointer the body installs (caller's or owned).
+    obs::trace_id tid{};
+    bool sampled = false;
+    std::unique_ptr<obs::query_trace> owned_trace;
+    obs::query_trace* trace = nullptr;
+    monotonic_time submit_t0;
+    double queued_micros = 0.0;
+    uint64_t epoch = 0;
     std::chrono::steady_clock::time_point deadline_at =
         std::chrono::steady_clock::time_point::max();
     // Whoever exchanges this false->true owns the promise; the loser (a
@@ -148,6 +196,19 @@ class query_executor {
   void execute_job(const job_ptr& j, edge_map_scratch* scratch);
   // Settles `j` with `err` (if unsettled) and records the outcome in stats.
   void settle_error(const job_ptr& j, std::exception_ptr err);
+  // Per-submission sampling draw against opts_.trace_sample_rate.
+  bool draw_sample();
+  // Records a finished (or refused) query into the flight recorder and —
+  // when the retention rules say so (sampled, non-ok outcome, or
+  // exec >= slow_trace_micros) — the trace store. `trace` may be null
+  // (summary-only record); `r` may be null (error/refusal outcomes);
+  // `retry_after_ms` carries shed/rejected advice. No-op when observing()
+  // is false.
+  void observe_done(const obs::trace_id& tid, const query_request& req,
+                    bool sampled, obs::query_trace* trace, uint64_t epoch,
+                    double queued_micros, const char* outcome,
+                    double exec_micros, const query_result* r,
+                    const std::string& error, uint32_t retry_after_ms);
   // First queued job whose kind is under its concurrency cap; queue_.end()
   // if none. Caller holds mutex_.
   std::deque<job_ptr>::iterator find_eligible_locked();
@@ -194,6 +255,9 @@ class query_executor {
   std::priority_queue<wd_entry, std::vector<wd_entry>, std::greater<>> wd_heap_;
   bool wd_stop_ = false;
   std::thread watchdog_;
+
+  // Counter feeding the deterministic-per-process sampling hash draw.
+  std::atomic<uint64_t> sample_ctr_{0};
 };
 
 }  // namespace ligra::engine

@@ -105,6 +105,16 @@ struct query_request {
   // Optional caller-held cancellation; the executor layers the deadline on
   // top of it, so cancelling the source stops the query either way.
   cancel_token token;
+  // Correlation id (docs/OBSERVABILITY.md): zero means unassigned — when
+  // the executor has a trace store or flight recorder attached it mints one
+  // at submit() so every retained record, flight entry, and log line agrees
+  // on the query's identity. The network tier carries it on the wire
+  // (net/protocol.h), so a remote caller's id survives into the server's
+  // retention rings.
+  obs::trace_id tid{};
+  // Caller asked for full trace retention: the executor arms a trace and
+  // retains it in the trace store regardless of latency or outcome.
+  bool sampled = false;
   // Optional traversal trace (docs/OBSERVABILITY.md): the executor installs
   // it on the thread running the body, so edge_map records every round's
   // direction decision and the adapters annotate their phases. The caller
@@ -131,6 +141,9 @@ struct query_result {
   std::vector<std::pair<vertex_id, double>> topk;  // pagerank_topk only
   bool cache_hit = false;
   double micros = 0.0;  // execution time (0 for cache hits)
+  // The request's correlation id, echoed (or minted) by the executor; zero
+  // when observability is off. GET /traces/<tid> retrieves what was kept.
+  obs::trace_id tid{};
 };
 
 }  // namespace ligra::engine

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "graph/graph_io.h"
+#include "obs/log.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -102,6 +103,11 @@ graph_handle registry::load(const std::string& name, const std::string& path,
                          attempt);
       }
       if (m_load_retries_ != nullptr) m_load_retries_->inc();
+      obs::log_warn("registry", "graph load failed; retrying",
+                    {{"graph", name},
+                     {"path", path},
+                     {"attempt", attempt},
+                     {"error", e.what()}});
       std::this_thread::sleep_for(backoff_for(opts.retry, attempt));
     }
   }
@@ -298,6 +304,10 @@ graph_handle registry::apply_updates(const std::string& name,
                            attempt);
       }
       if (m_update_retries_ != nullptr) m_update_retries_->inc();
+      obs::log_warn("registry", "update apply failed; retrying",
+                    {{"graph", name},
+                     {"attempt", attempt},
+                     {"error", e.what()}});
       std::this_thread::sleep_for(backoff_for(retry, attempt));
     }
   }

@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/rng.h"
+
 namespace ligra::net {
 
 client::client(client_options opts) : opts_(opts) {}
@@ -82,7 +84,7 @@ wire_response client::read_response() {
     if (f) {
       if (f->type != frame_type::response)
         throw protocol_error("client expects response frames");
-      wire_response resp = decode_response(f->payload, f->payload_len);
+      wire_response resp = decode_response(f->payload, f->payload_len, f->flags);
       inbuf_.erase(0, consumed);
       return resp;
     }
@@ -104,6 +106,19 @@ wire_response client::read_response() {
 engine::query_result client::run(wire_request req) {
   if (fd_ < 0) throw std::runtime_error("client not connected");
   if (req.id == 0) req.id = next_id_++;
+  // Client-side sampling: mint an id and set the sampled bit on the drawn
+  // fraction of requests. An explicit req.tid travels as given either way.
+  if (!req.tid.valid() && opts_.trace_sample > 0.0) {
+    const double u =
+        static_cast<double>(ligra::hash64(sample_ctr_++) >> 11) * 0x1.0p-53;
+    if (u < opts_.trace_sample) {
+      req.tid = obs::trace_id::mint();
+      req.sampled = true;
+    }
+  } else if (req.sampled && !req.tid.valid()) {
+    req.tid = obs::trace_id::mint();
+  }
+  last_tid_ = req.tid;
   auto frame = encode_request_frame(req);
   send_all(frame.data(), frame.size());
   // Responses can complete out of order on a pipelined connection, but this
@@ -114,12 +129,16 @@ engine::query_result client::run(wire_request req) {
     throw protocol_error("response id " + std::to_string(resp.id) +
                          " does not match request id " +
                          std::to_string(req.id));
+  // Record the server's view of the id *before* error statuses rethrow:
+  // the post-mortem fetch after a deadline error is the whole point.
+  if (resp.tid.valid()) last_tid_ = resp.tid;
   throw_if_error(resp);
   engine::query_result r;
   r.kind = req.kind;
   r.value = resp.value;
   r.micros = resp.micros;
   r.cache_hit = resp.cache_hit;
+  r.tid = resp.tid;
   r.topk.reserve(resp.topk.size());
   for (auto& [v, rank] : resp.topk) r.topk.emplace_back(v, rank);
   return r;

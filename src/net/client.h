@@ -29,6 +29,12 @@ struct client_options {
   int connect_attempts = 5;
   std::chrono::milliseconds first_backoff{5};
   std::chrono::milliseconds max_backoff{200};
+  // Client-side trace sampling (docs/OBSERVABILITY.md): this fraction of
+  // run() calls mints a trace id with sampled=1, asking the server to
+  // retain the full per-round trace. 0 sends no trace block (the frame
+  // stays byte-identical to protocol v1); requests whose tid/sampled were
+  // set explicitly are sent as given.
+  double trace_sample = 0.0;
 };
 
 class client {
@@ -60,6 +66,12 @@ class client {
                                     size_t* sheds = nullptr,
                                     size_t* rejects = nullptr);
 
+  // The correlation id of the last run() call — client-minted or echoed
+  // back by the server — recorded even when run() threw a typed engine
+  // error. GET /traces/<hex> on the server's HTTP port with this id is the
+  // post-mortem path for a query that blew its deadline.
+  obs::trace_id last_trace_id() const { return last_tid_; }
+
  private:
   void send_all(const char* data, size_t len);
   wire_response read_response();
@@ -67,6 +79,8 @@ class client {
   client_options opts_;
   int fd_ = -1;
   uint64_t next_id_ = 1;
+  uint64_t sample_ctr_ = 0;  // feeds the trace_sample hash draw
+  obs::trace_id last_tid_{};
   std::string inbuf_;  // bytes read past the last complete frame
 };
 

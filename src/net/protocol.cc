@@ -100,16 +100,20 @@ uint32_t header_crc(const char* hdr8, const char* payload, size_t payload_len) {
   return util::crc32(payload, payload_len, c);
 }
 
-std::vector<char> seal_frame(frame_type type, std::vector<char> payload) {
+std::vector<char> seal_frame(frame_type type, std::vector<char> payload,
+                             uint8_t flags = 0) {
   if (payload.size() > kMaxPayloadBytes)
     throw protocol_error("payload exceeds kMaxPayloadBytes: " +
                          std::to_string(payload.size()));
   std::vector<char> out;
   out.reserve(kFrameHeaderBytes + payload.size());
   for (char m : kFrameMagic) out.push_back(m);
-  put_u16(out, kProtocolVersion);
+  // Untraced frames stay byte-identical to the v1 wire format, so they
+  // interoperate with v1 peers; only frames that actually carry the trace
+  // block announce version 2.
+  put_u16(out, flags == 0 ? kMinProtocolVersion : kProtocolVersion);
   put_u8(out, static_cast<uint8_t>(type));
-  put_u8(out, 0);  // flags
+  put_u8(out, flags);
   put_u32(out, static_cast<uint32_t>(payload.size()));
   uint32_t crc = header_crc(out.data() + 4, payload.data(), payload.size());
   put_u32(out, crc);
@@ -144,10 +148,10 @@ std::optional<frame_view> try_parse_frame(const char* data, size_t len,
   cursor c{data + 4, kFrameHeaderBytes - 4};
   const uint16_t version = c.u16();
   const uint8_t type = c.u8();
-  c.u8();  // flags (ignored, but CRC-covered)
+  const uint8_t flags = c.u8();  // CRC-covered; unknown bits ignored
   const uint32_t payload_len = c.u32();
   const uint32_t crc = c.u32();
-  if (version != kProtocolVersion)
+  if (version < kMinProtocolVersion || version > kProtocolVersion)
     throw protocol_error("unsupported protocol version " +
                          std::to_string(version));
   if (type != static_cast<uint8_t>(frame_type::request) &&
@@ -161,7 +165,8 @@ std::optional<frame_view> try_parse_frame(const char* data, size_t len,
   if (header_crc(data + 4, payload, payload_len) != crc)
     throw protocol_error("frame CRC mismatch");
   *consumed = kFrameHeaderBytes + payload_len;
-  return frame_view{static_cast<frame_type>(type), payload, payload_len};
+  return frame_view{static_cast<frame_type>(type), payload, payload_len,
+                    version, flags};
 }
 
 std::vector<char> encode_request_frame(const wire_request& req) {
@@ -189,10 +194,17 @@ std::vector<char> encode_request_frame(const wire_request& req) {
     put_u32(p, e.u);
     put_u32(p, e.v);
   }
-  return seal_frame(frame_type::request, std::move(p));
+  uint8_t flags = 0;
+  if (req.tid.valid()) {
+    flags |= kFlagTrace;
+    put_u64(p, req.tid.hi);
+    put_u64(p, req.tid.lo);
+    put_u8(p, req.sampled ? 1 : 0);
+  }
+  return seal_frame(frame_type::request, std::move(p), flags);
 }
 
-wire_request decode_request(const char* payload, size_t len) {
+wire_request decode_request(const char* payload, size_t len, uint8_t flags) {
   cursor c{payload, len};
   wire_request r;
   r.id = c.u64();
@@ -213,10 +225,13 @@ wire_request decode_request(const char* payload, size_t len) {
   const uint32_t n_ins = c.u32();
   const uint32_t n_del = c.u32();
   // Counts are validated against the remaining payload *before* any vector
-  // reserve: an attacker-controlled count never sizes an allocation.
+  // reserve: an attacker-controlled count never sizes an allocation. A
+  // frame announcing the trace flag must carry exactly the 17 extra block
+  // bytes — a truncated or inflated block is structurally corrupt.
   const size_t variable = len - c.off;
-  const size_t want = static_cast<size_t>(graph_len) +
-                      8 * (static_cast<size_t>(n_ins) + n_del);
+  size_t want = static_cast<size_t>(graph_len) +
+                8 * (static_cast<size_t>(n_ins) + n_del);
+  if ((flags & kFlagTrace) != 0) want += 17;
   if (variable != want)
     throw protocol_error("request length mismatch: " + std::to_string(variable) +
                          " variable bytes, layout wants " +
@@ -231,6 +246,16 @@ wire_request decode_request(const char* payload, size_t len) {
   for (uint32_t i = 0; i < n_del; i++) {
     vertex_id u = c.u32(), v = c.u32();
     r.updates.deletes.emplace_back(u, v);
+  }
+  if ((flags & kFlagTrace) != 0) {
+    r.tid.hi = c.u64();
+    r.tid.lo = c.u64();
+    const uint8_t sampled = c.u8();
+    if (sampled > 1)
+      throw protocol_error("bad trace sampled byte " + std::to_string(sampled));
+    r.sampled = sampled != 0;
+    if (!r.tid.valid())
+      throw protocol_error("trace flag set with a zero trace id");
   }
   if (r.kind != engine::query_kind::update && !r.updates.empty())
     throw protocol_error("update edges on a non-update request");
@@ -255,10 +280,16 @@ std::vector<char> encode_response_frame(const wire_response& resp) {
     put_u32(p, v);
     put_double(p, rank);
   }
-  return seal_frame(frame_type::response, std::move(p));
+  uint8_t flags = 0;
+  if (resp.tid.valid()) {
+    flags |= kFlagTrace;
+    put_u64(p, resp.tid.hi);
+    put_u64(p, resp.tid.lo);
+  }
+  return seal_frame(frame_type::response, std::move(p), flags);
 }
 
-wire_response decode_response(const char* payload, size_t len) {
+wire_response decode_response(const char* payload, size_t len, uint8_t flags) {
   cursor c{payload, len};
   wire_response r;
   r.id = c.u64();
@@ -273,7 +304,8 @@ wire_response decode_response(const char* payload, size_t len) {
   r.micros = c.f64();
   const uint32_t n_topk = c.u32();
   const size_t variable = len - c.off;
-  const size_t want = static_cast<size_t>(msg_len) + 12 * static_cast<size_t>(n_topk);
+  size_t want = static_cast<size_t>(msg_len) + 12 * static_cast<size_t>(n_topk);
+  if ((flags & kFlagTrace) != 0) want += 16;
   if (variable != want)
     throw protocol_error("response length mismatch: " +
                          std::to_string(variable) + " variable bytes, layout wants " +
@@ -285,6 +317,12 @@ wire_response decode_response(const char* payload, size_t len) {
     double rank = c.f64();
     r.topk.emplace_back(v, rank);
   }
+  if ((flags & kFlagTrace) != 0) {
+    r.tid.hi = c.u64();
+    r.tid.lo = c.u64();
+    if (!r.tid.valid())
+      throw protocol_error("trace flag set with a zero trace id");
+  }
   return r;
 }
 
@@ -295,6 +333,7 @@ wire_response make_response(uint64_t id, const engine::query_result& r) {
   resp.cache_hit = r.cache_hit;
   resp.value = r.value;
   resp.micros = r.micros;
+  resp.tid = r.tid;
   resp.topk.reserve(r.topk.size());
   for (const auto& [v, rank] : r.topk) resp.topk.emplace_back(v, rank);
   return resp;

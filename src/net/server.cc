@@ -13,6 +13,9 @@
 #include <utility>
 
 #include "engine/registry.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/trace_store.h"
 #include "util/failpoint.h"
 
 namespace ligra::net {
@@ -150,6 +153,8 @@ void server::stop() {
   // listeners on its next wake; request frames that arrive during the
   // drain are answered `shutting_down`.
   draining_.store(true, std::memory_order_release);
+  obs::log_info("net", "server draining",
+                {{"port", static_cast<uint64_t>(port_)}});
   wake();
 
   // Phase 2: bounded drain — wait for every submitted query's response to
@@ -317,6 +322,8 @@ void server::accept_ready(int listen_fd, bool http) {
     }
     if (conns_.size() >= opts_.max_connections) {
       m_accept_failures_->inc();
+      obs::log_warn("net", "connection refused: max_connections reached",
+                    {{"max_connections", opts_.max_connections}});
       ::close(cfd);
       continue;
     }
@@ -381,6 +388,8 @@ void server::parse_frames(connection& c) {
     // Framing is broken: there is no way to find the next frame boundary,
     // so answer with a typed protocol error and close once it flushes.
     m_proto_errors_->inc();
+    obs::log_warn("net", "unframeable bytes; closing connection",
+                  {{"conn", c.id}, {"error", e.what()}});
     enqueue_frame(c, encode_response_frame(make_error_response(
                          0, wire_status::protocol, e.what())));
     c.inbuf.clear();
@@ -391,34 +400,45 @@ void server::parse_frames(connection& c) {
 void server::handle_request(connection& c, const frame_view& f) {
   wire_request wr;
   try {
-    wr = decode_request(f.payload, f.payload_len);
+    wr = decode_request(f.payload, f.payload_len, f.flags);
   } catch (const protocol_error& e) {
     // The frame boundary held (magic/length/CRC all passed) but the payload
     // is malformed — answer and keep the connection: the stream can resync.
     m_proto_errors_->inc();
+    obs::log_warn("net", "malformed request payload",
+                  {{"conn", c.id}, {"error", e.what()}});
     enqueue_frame(c, encode_response_frame(make_error_response(
                          0, wire_status::protocol, e.what())));
     return;
   }
+  // Trace context: a client-sent id crosses the hop intact; when the client
+  // sent none and this server observes, mint here so even refusals answered
+  // below (draining / in-flight cap / bad request) carry a retrievable id.
+  if (ex_.observing() && !wr.tid.valid()) wr.tid = obs::trace_id::mint();
+  // Every early answer echoes the id the engine would have used.
+  auto error_frame = [&](uint64_t id, wire_status status,
+                         const std::string& message, uint32_t retry_ms) {
+    wire_response resp = make_error_response(id, status, message, retry_ms);
+    resp.tid = wr.tid;
+    return encode_response_frame(resp);
+  };
   if (draining_.load(std::memory_order_acquire)) {
-    enqueue_frame(c, encode_response_frame(
-                         make_error_response(wr.id, wire_status::shutting_down,
-                                             "server draining", 1000)));
+    enqueue_frame(c, error_frame(wr.id, wire_status::shutting_down,
+                                 "server draining", 1000));
     return;
   }
   if (c.inflight >= opts_.max_inflight_per_conn) {
     enqueue_frame(
-        c, encode_response_frame(make_error_response(
-               wr.id, wire_status::rejected,
-               "connection in-flight cap (" +
-                   std::to_string(opts_.max_inflight_per_conn) + ") reached",
-               20)));
+        c, error_frame(wr.id, wire_status::rejected,
+                       "connection in-flight cap (" +
+                           std::to_string(opts_.max_inflight_per_conn) +
+                           ") reached",
+                       20));
     return;
   }
   if (wr.source > kNoVertex || wr.target > kNoVertex) {
-    enqueue_frame(c, encode_response_frame(make_error_response(
-                         wr.id, wire_status::bad_request,
-                         "vertex id out of 32-bit range")));
+    enqueue_frame(c, error_frame(wr.id, wire_status::bad_request,
+                                 "vertex id out of 32-bit range", 0));
     return;
   }
 
@@ -430,6 +450,8 @@ void server::handle_request(connection& c, const frame_view& f) {
   req.target = static_cast<vertex_id>(wr.target);
   req.k = wr.k;
   req.deadline = std::chrono::milliseconds(wr.deadline_ms);
+  req.tid = wr.tid;
+  req.sampled = wr.sampled;
   if (wr.kind == engine::query_kind::update)
     req.updates = std::make_shared<dynamic::update_batch>(std::move(wr.updates));
 
@@ -437,6 +459,7 @@ void server::handle_request(connection& c, const frame_view& f) {
     pending p;
     p.conn_id = c.id;
     p.request_id = wr.id;
+    p.tid = wr.tid;
     p.t0 = mono_now();
     p.fut = ex_.submit(std::move(req));
     m_requests_->inc();
@@ -451,16 +474,13 @@ void server::handle_request(connection& c, const frame_view& f) {
     }
     comp_cv_.notify_one();
   } catch (const engine::shed_error& e) {
-    enqueue_frame(c, encode_response_frame(make_error_response(
-                         wr.id, wire_status::shed, e.what(),
-                         static_cast<uint32_t>(e.retry_after.count()))));
+    enqueue_frame(c, error_frame(wr.id, wire_status::shed, e.what(),
+                                 static_cast<uint32_t>(e.retry_after.count())));
   } catch (const engine::rejected_error& e) {
-    enqueue_frame(c, encode_response_frame(make_error_response(
-                         wr.id, wire_status::rejected, e.what(),
-                         static_cast<uint32_t>(e.retry_after.count()))));
+    enqueue_frame(c, error_frame(wr.id, wire_status::rejected, e.what(),
+                                 static_cast<uint32_t>(e.retry_after.count())));
   } catch (const std::exception& e) {
-    enqueue_frame(c, encode_response_frame(make_error_response(
-                         wr.id, wire_status::internal, e.what())));
+    enqueue_frame(c, error_frame(wr.id, wire_status::internal, e.what(), 0));
   }
 }
 
@@ -512,6 +532,10 @@ void server::completion_loop() {
       } catch (const std::exception& e) {
         resp = make_error_response(p.request_id, wire_status::internal, e.what());
       }
+      // Error responses carry the id too: make_response stamps it from the
+      // result, the catch arms above cannot — a deadline-exceeded caller
+      // needs exactly this id to fetch the post-mortem trace.
+      if (!resp.tid.valid()) resp.tid = p.tid;
       h_request_micros_->record(micros_since(p.t0));
       {
         std::lock_guard<std::mutex> lock(outbox_mutex_);
@@ -579,6 +603,40 @@ void server::handle_http(connection& c) {
   } else if (path == "/healthz") {
     resp = http_response("200 OK", "text/plain",
                          draining_.load() ? "draining\n" : "ok\n");
+  } else if (path == "/traces") {
+    obs::trace_store* ts = ex_.traces();
+    if (ts == nullptr) {
+      resp = http_response("404 Not Found", "application/json",
+                           "{\"error\":\"trace store not attached\"}\n");
+    } else {
+      resp = http_response("200 OK", "application/json",
+                           ts->render_index_json() + "\n");
+    }
+  } else if (path.rfind("/traces/", 0) == 0) {
+    obs::trace_store* ts = ex_.traces();
+    auto id = obs::trace_id::from_hex(path.substr(8));
+    if (ts == nullptr) {
+      resp = http_response("404 Not Found", "application/json",
+                           "{\"error\":\"trace store not attached\"}\n");
+    } else if (!id) {
+      resp = http_response(
+          "400 Bad Request", "application/json",
+          "{\"error\":\"trace id must be 32 hex chars\"}\n");
+    } else if (auto rec = ts->find(*id)) {
+      resp = http_response("200 OK", "application/json",
+                           rec->to_json(/*full=*/true) + "\n");
+    } else {
+      resp = http_response("404 Not Found", "application/json",
+                           "{\"error\":\"no retained trace with that id\"}\n");
+    }
+  } else if (path == "/debug/flightrec") {
+    obs::flight_recorder* fr = ex_.flightrec();
+    if (fr == nullptr) {
+      resp = http_response("404 Not Found", "application/json",
+                           "{\"error\":\"flight recorder not attached\"}\n");
+    } else {
+      resp = http_response("200 OK", "application/json", fr->to_json() + "\n");
+    }
   } else {
     resp = http_response("404 Not Found", "text/plain", "not found\n");
   }

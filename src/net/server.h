@@ -25,10 +25,14 @@
 // can claim; past the cap the server answers `rejected` with retry_after
 // advice instead of buffering unboundedly.
 //
-// The HTTP side port serves exactly two GET endpoints — /metrics
-// (Prometheus text via obs::metrics_registry::render_text) and /healthz —
-// with Connection: close semantics; it exists so a scraper or load
-// balancer needs no custom protocol.
+// The HTTP side port serves a handful of GET endpoints — /metrics
+// (Prometheus text via obs::metrics_registry::render_text), /healthz,
+// /traces (recent retained-trace index), /traces/<id> (one full trace,
+// per-round JSON), and /debug/flightrec (the flight-recorder ring) — with
+// Connection: close semantics; it exists so a scraper, load balancer, or
+// an operator with curl needs no custom protocol. The trace endpoints
+// answer 404 with a JSON error body when the executor has no ring
+// attached (observability off).
 //
 // stop() is a graceful drain: listeners close first (no new connections),
 // new request frames are answered `shutting_down`, then stop() waits up to
@@ -118,6 +122,10 @@ class server {
   struct pending {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
+    // The query's correlation id (client-sent or server-minted) — stamped
+    // onto the response frame even when the future resolves to an error,
+    // so a remote caller can GET /traces/<id> post-mortem.
+    obs::trace_id tid{};
     std::future<engine::query_result> fut;
     monotonic_time t0;
   };

@@ -1,0 +1,154 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ctime>
+
+#include "obs/metrics.h"
+
+namespace ligra::obs {
+
+const char* log_level_name(log_level l) {
+  switch (l) {
+    case log_level::debug: return "debug";
+    case log_level::info: return "info";
+    case log_level::warn: return "warn";
+    case log_level::error: return "error";
+    case log_level::off: return "off";
+  }
+  return "?";
+}
+
+bool parse_log_level(std::string_view s, log_level* out) {
+  if (s == "debug") *out = log_level::debug;
+  else if (s == "info") *out = log_level::info;
+  else if (s == "warn" || s == "warning") *out = log_level::warn;
+  else if (s == "error") *out = log_level::error;
+  else if (s == "off" || s == "none") *out = log_level::off;
+  else return false;
+  return true;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+logger::logger() : last_refill_(mono_now()) {}
+
+logger& logger::global() {
+  static logger g;
+  return g;
+}
+
+void logger::set_sink(std::FILE* f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = f;
+}
+
+void logger::set_rate_limit(double per_sec, double burst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rate_per_sec_ = per_sec > 0 ? per_sec : 0.0;
+  burst_ = burst > 0 ? burst : per_sec;
+  tokens_ = burst_;
+  last_refill_ = mono_now();
+}
+
+void logger::set_metrics(metrics_registry* m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  m_dropped_ = m != nullptr ? &m->get_counter("engine_log_dropped_total")
+                            : nullptr;
+}
+
+void logger::write(log_level l, std::string_view component,
+                   std::string_view message,
+                   std::initializer_list<log_field> fields) {
+  if (!enabled(l)) return;
+  const trace_id tid = current_trace_id();
+
+  // Wall-clock seconds with millisecond precision: log lines are for
+  // operators correlating with the outside world, unlike the monotonic
+  // timestamps every latency measurement uses.
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  const double now =
+      static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) / 1e9;
+
+  std::string line;
+  line.reserve(128 + message.size());
+  const bool as_json = json();
+  if (as_json) {
+    char head[96];
+    std::snprintf(head, sizeof(head), "{\"ts\":%.3f,\"level\":\"%s\",", now,
+                  log_level_name(l));
+    line += head;
+    line += "\"component\":\"" + json_escape(component) + "\",";
+    line += "\"msg\":\"" + json_escape(message) + "\"";
+    if (tid.valid()) line += ",\"trace_id\":\"" + tid.to_hex() + "\"";
+    for (const auto& f : fields) {
+      line += ",\"" + json_escape(f.key) + "\":";
+      if (f.quoted)
+        line += "\"" + json_escape(f.value) + "\"";
+      else
+        line += f.value;
+    }
+    line += "}\n";
+  } else {
+    char head[64];
+    std::snprintf(head, sizeof(head), "[%.3f] %s ", now, log_level_name(l));
+    line += head;
+    line.append(component);
+    line += ": ";
+    line.append(message);
+    for (const auto& f : fields) {
+      line += " ";
+      line += f.key;
+      line += "=";
+      line += f.value;
+    }
+    if (tid.valid()) line += " trace=" + tid.to_hex();
+    line += "\n";
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Token bucket, refilled lazily. Errors bypass it: the lines that
+    // explain an outage must survive the storm that caused it.
+    if (rate_per_sec_ > 0.0 && l != log_level::error) {
+      const double elapsed = micros_since(last_refill_) / 1e6;
+      last_refill_ = mono_now();
+      tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_sec_);
+      if (tokens_ < 1.0) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (m_dropped_ != nullptr) m_dropped_->inc();
+        return;
+      }
+      tokens_ -= 1.0;
+    }
+    std::FILE* out = sink_ != nullptr ? sink_ : stderr;
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fflush(out);
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ligra::obs

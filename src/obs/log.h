@@ -1,0 +1,159 @@
+// Leveled structured logger (docs/OBSERVABILITY.md).
+//
+// One process-wide logger replaces the ad-hoc fprintf(stderr, ...) sites
+// that used to be scattered through the engine, dynamic, and net layers.
+// Every event carries a level, a component tag, a human message, optional
+// typed key/value fields, and — when one is installed on the emitting
+// thread (obs::trace_id_scope) — the current query's trace id, so a WAL
+// warning fired mid-query lands in the same correlation stream as the
+// query's retained trace and flight-recorder entry.
+//
+// Two output formats on the same sink (stderr by default, redirectable for
+// tests and daemons):
+//
+//   text:  [ts] WARN failpoint: unknown failpoint site 'wal.apend' site=...
+//   json:  {"ts":...,"level":"warn","component":"failpoint",
+//           "msg":"...","trace_id":"...","site":"..."}
+//
+// Thread safety and cost discipline: the level check is one relaxed atomic
+// load — a suppressed event pays nothing else. Events that pass the level
+// serialize on a mutex (log volume is operational, not per-edge) and flow
+// through a token-bucket rate limiter; drops are counted (dropped(), plus
+// the engine_log_dropped_total counter when a metrics registry is
+// attached) so silence is never mistaken for health. `error` events bypass
+// the limiter: the lines that explain an outage must survive the storm
+// that caused it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace ligra::obs {
+
+class metrics_registry;
+class counter;
+
+enum class log_level : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+const char* log_level_name(log_level l);
+// Parses "debug" | "info" | "warn" | "error" | "off"; false on anything else.
+bool parse_log_level(std::string_view s, log_level* out);
+
+// JSON string-body escaping (quotes, backslashes, control chars) shared by
+// the logger, trace store, and flight recorder expositions.
+std::string json_escape(std::string_view s);
+
+// One typed key/value attached to a log event. Numeric and bool overloads
+// render unquoted in JSON output. A single template covers every integer
+// width and float type — per-width constructors would either collide
+// (size_t aliases uint64_t on LP64) or leave uint32_t ambiguous.
+struct log_field {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+
+  log_field(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  log_field(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  log_field(std::string k, std::string_view v)
+      : key(std::move(k)), value(v) {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  log_field(std::string k, T v) : key(std::move(k)), quoted(false) {
+    if constexpr (std::is_floating_point_v<T>) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(v));
+      value = buf;
+    } else {
+      value = std::to_string(v);
+    }
+  }
+  log_field(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), quoted(false) {}
+};
+
+class logger {
+ public:
+  logger();
+
+  // The process-wide instance every log_*() free function and every
+  // converted call site uses.
+  static logger& global();
+
+  void set_level(log_level l) {
+    level_.store(static_cast<int>(l), std::memory_order_relaxed);
+  }
+  log_level level() const {
+    return static_cast<log_level>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(log_level l) const {
+    return static_cast<int>(l) >= level_.load(std::memory_order_relaxed) &&
+           l != log_level::off;
+  }
+
+  void set_json(bool on) { json_.store(on, std::memory_order_relaxed); }
+  bool json() const { return json_.load(std::memory_order_relaxed); }
+
+  // Redirects output; nullptr restores stderr. The logger never owns the
+  // FILE* — the caller keeps it open for as long as lines may be emitted.
+  void set_sink(std::FILE* f);
+
+  // Token bucket: sustained `per_sec` events with `burst` headroom.
+  // per_sec <= 0 disables limiting. Errors are never limited.
+  void set_rate_limit(double per_sec, double burst);
+
+  // Attaches engine_log_dropped_total to `m` (null detaches).
+  void set_metrics(metrics_registry* m);
+
+  // Emits one event (subject to level and rate limit). `component` is a
+  // short static-ish tag ("wal", "failpoint", "net", "engine").
+  void write(log_level l, std::string_view component, std::string_view message,
+             std::initializer_list<log_field> fields = {});
+
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> level_{static_cast<int>(log_level::info)};
+  std::atomic<bool> json_{false};
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  std::mutex mu_;  // guards everything below
+  std::FILE* sink_ = nullptr;  // nullptr = stderr (resolved at write time)
+  double rate_per_sec_ = 0.0;  // 0 = unlimited
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  monotonic_time last_refill_;
+  counter* m_dropped_ = nullptr;
+};
+
+// Convenience wrappers over logger::global().
+inline void log_debug(std::string_view component, std::string_view message,
+                      std::initializer_list<log_field> fields = {}) {
+  logger::global().write(log_level::debug, component, message, fields);
+}
+inline void log_info(std::string_view component, std::string_view message,
+                     std::initializer_list<log_field> fields = {}) {
+  logger::global().write(log_level::info, component, message, fields);
+}
+inline void log_warn(std::string_view component, std::string_view message,
+                     std::initializer_list<log_field> fields = {}) {
+  logger::global().write(log_level::warn, component, message, fields);
+}
+inline void log_error(std::string_view component, std::string_view message,
+                      std::initializer_list<log_field> fields = {}) {
+  logger::global().write(log_level::error, component, message, fields);
+}
+
+}  // namespace ligra::obs

@@ -1,12 +1,62 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <cstdio>
+#include <random>
+
+#include "util/rng.h"
 
 namespace ligra::obs {
 
 namespace detail {
 thread_local query_trace* tl_trace = nullptr;
+thread_local trace_id tl_trace_id = {};
 }  // namespace detail
+
+std::string trace_id::to_hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+std::optional<trace_id> trace_id::from_hex(std::string_view s) {
+  if (s.size() != 32) return std::nullopt;
+  uint64_t parts[2] = {0, 0};
+  for (int half = 0; half < 2; half++) {
+    for (int i = 0; i < 16; i++) {
+      char c = s[static_cast<size_t>(half * 16 + i)];
+      uint64_t nib;
+      if (c >= '0' && c <= '9') nib = static_cast<uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') nib = static_cast<uint64_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') nib = static_cast<uint64_t>(c - 'A' + 10);
+      else return std::nullopt;
+      parts[half] = (parts[half] << 4) | nib;
+    }
+  }
+  trace_id id{parts[0], parts[1]};
+  if (!id.valid()) return std::nullopt;
+  return id;
+}
+
+trace_id trace_id::mint() {
+  static std::atomic<uint64_t> counter{0};
+  // Per-thread entropy so two processes (a client and a server minting for
+  // different requests) diverge even with identical counter sequences.
+  thread_local const uint64_t entropy = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+           static_cast<uint64_t>(
+               mono_now().time_since_epoch().count());
+  }();
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  trace_id id;
+  id.hi = hash64(entropy ^ (n * 0x9e3779b97f4a7c15ULL));
+  id.lo = hash64(n ^ hash64(entropy) ^ 0xda942042e4dd58b5ULL);
+  if (!id.valid()) id.lo = 1;  // zero means absent; never mint it
+  return id;
+}
 
 query_trace::query_trace() : start_(mono_now()) {}
 

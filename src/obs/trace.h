@@ -21,12 +21,35 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/timer.h"
 
 namespace ligra::obs {
+
+// 128-bit query correlation id, minted client- or server-side and carried
+// on the wire (net/protocol.h), stamped into results, retained trace
+// records, flight-recorder entries, and log lines. Zero means "absent" —
+// a request without observability enabled never pays for one.
+struct trace_id {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  bool operator==(const trace_id& o) const { return hi == o.hi && lo == o.lo; }
+  bool operator!=(const trace_id& o) const { return !(*this == o); }
+
+  // 32 lowercase hex chars, no separators (the /traces/<id> URL form).
+  std::string to_hex() const;
+  // Parses exactly 32 hex chars; nullopt on anything else.
+  static std::optional<trace_id> from_hex(std::string_view s);
+  // Fresh, never-zero id: per-thread entropy mixed with a process-wide
+  // counter, so concurrent minters never collide.
+  static trace_id mint();
+};
 
 // One edge_map call under this trace.
 struct trace_round {
@@ -81,7 +104,30 @@ class query_trace {
 
 namespace detail {
 extern thread_local query_trace* tl_trace;
+extern thread_local trace_id tl_trace_id;
 }  // namespace detail
+
+// The trace id of the query running on this thread (zero when none). The
+// structured logger (obs/log.h) attaches it to every line automatically,
+// which is how a WAL warning fired from inside a query body ends up
+// correlated with the request that caused it.
+inline trace_id current_trace_id() { return detail::tl_trace_id; }
+
+// Installs `id` as the current trace id for this scope; restores the
+// previous id on destruction so scopes nest (executor around a query body,
+// REPL around a command, ...).
+class trace_id_scope {
+ public:
+  explicit trace_id_scope(trace_id id) : prev_(detail::tl_trace_id) {
+    detail::tl_trace_id = id;
+  }
+  ~trace_id_scope() { detail::tl_trace_id = prev_; }
+  trace_id_scope(const trace_id_scope&) = delete;
+  trace_id_scope& operator=(const trace_id_scope&) = delete;
+
+ private:
+  trace_id prev_;
+};
 
 // The trace installed on this thread, or nullptr. The only thing a
 // disabled call site pays for.

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/log.h"
 #include "util/rng.h"
 
 namespace ligra::util::failpoint {
@@ -60,7 +61,8 @@ struct env_loader {
     try {
       configure(e);
     } catch (const std::exception& ex) {
-      std::fprintf(stderr, "LIGRA_FAILPOINTS ignored: %s\n", ex.what());
+      obs::log_warn("failpoint",
+                    std::string("LIGRA_FAILPOINTS ignored: ") + ex.what());
     }
   }
 };
@@ -197,11 +199,12 @@ void configure(const std::string& spec_string) {
         std::lock_guard<std::mutex> lock(r.mu);
         first = r.warned_unknown.insert(site).second;
       }
+      // The site name appears exactly once in the line (no extra field):
+      // FailpointTest.ConfigureWarnsOnceOnUnknownSites counts occurrences.
       if (first)
-        std::fprintf(stderr,
-                     "LIGRA_FAILPOINTS: warning: unknown failpoint site '%s' "
-                     "(armed, but no such site exists in this build)\n",
-                     site.c_str());
+        obs::log_warn("failpoint", "unknown failpoint site '" + site +
+                                       "' (armed, but no such site exists "
+                                       "in this build)");
     }
   }
 }

@@ -25,6 +25,9 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -716,5 +719,350 @@ TEST_F(NetTest, GracefulStopDrainsAndRefusesNewWork) {
   n::client again;
   again.connect("127.0.0.1", srv.port());
   EXPECT_NO_THROW(again.run(bfs_request(0, 0, 3)));
+  srv.stop();
+}
+
+// --- query tracing over the wire (docs/OBSERVABILITY.md) --------------------
+
+TEST_F(NetTest, TraceBlockRoundTripsOnRequestAndResponse) {
+  n::wire_request req = bfs_request(11, 2, 3);
+  req.tid = {0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  req.sampled = true;
+
+  auto frame = n::encode_request_frame(req);
+  size_t consumed = 0;
+  auto f = n::try_parse_frame(frame.data(), frame.size(), &consumed);
+  ASSERT_TRUE(f.has_value());
+  // A traced frame announces v2 and the trace flag.
+  EXPECT_EQ(f->version, n::kProtocolVersion);
+  EXPECT_NE(f->flags & n::kFlagTrace, 0);
+  auto back = n::decode_request(f->payload, f->payload_len, f->flags);
+  EXPECT_EQ(back.tid, req.tid);
+  EXPECT_TRUE(back.sampled);
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.graph, req.graph);
+
+  n::wire_response resp = n::make_response(11, e::query_result{});
+  resp.tid = req.tid;
+  auto rframe = n::encode_response_frame(resp);
+  auto rf = n::try_parse_frame(rframe.data(), rframe.size(), &consumed);
+  ASSERT_TRUE(rf.has_value());
+  EXPECT_EQ(rf->version, n::kProtocolVersion);
+  auto rback = n::decode_response(rf->payload, rf->payload_len, rf->flags);
+  EXPECT_EQ(rback.tid, req.tid);
+}
+
+TEST_F(NetTest, UntracedFramesStayProtocolV1) {
+  // No trace id -> the encoder emits version 1 with zero flags,
+  // byte-identical to the pre-trace wire format, so v1 peers interoperate.
+  auto frame = n::encode_request_frame(bfs_request(1));
+  ASSERT_GE(frame.size(), size_t{n::kFrameHeaderBytes});
+  EXPECT_EQ(static_cast<uint8_t>(frame[4]), 1);  // version lo byte
+  EXPECT_EQ(static_cast<uint8_t>(frame[5]), 0);  // version hi byte
+  EXPECT_EQ(static_cast<uint8_t>(frame[7]), 0);  // flags
+
+  size_t consumed = 0;
+  auto f = n::try_parse_frame(frame.data(), frame.size(), &consumed);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->version, 1);
+  EXPECT_EQ(f->flags, 0);
+  auto back = n::decode_request(f->payload, f->payload_len, f->flags);
+  EXPECT_FALSE(back.tid.valid());
+  EXPECT_FALSE(back.sampled);
+}
+
+namespace {
+
+// Patches a frame in place after a payload mutation: recomputes the CRC the
+// same way seal_frame does (bytes [4, 12) then the payload).
+void refresh_crc(std::vector<char>& frame) {
+  const size_t payload_len = frame.size() - n::kFrameHeaderBytes;
+  uint32_t c = ligra::util::crc32(frame.data() + 4, 8);
+  c = ligra::util::crc32(frame.data() + n::kFrameHeaderBytes, payload_len, c);
+  std::memcpy(frame.data() + 12, &c, 4);
+}
+
+}  // namespace
+
+TEST_F(NetTest, HostileTraceBlocksAreRejected) {
+  n::wire_request req = bfs_request(12, 0, 1);
+  req.tid = {7, 9};
+  req.sampled = true;
+  auto traced = n::encode_request_frame(req);
+  size_t consumed = 0;
+
+  // Sampled byte outside {0, 1}: structurally corrupt.
+  {
+    auto mut = traced;
+    mut.back() = 2;  // the sampled byte is the last payload byte
+    refresh_crc(mut);
+    auto f = n::try_parse_frame(mut.data(), mut.size(), &consumed);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_THROW(n::decode_request(f->payload, f->payload_len, f->flags),
+                 n::protocol_error);
+  }
+
+  // Trace flag set but the id bytes are all zero: flag and block disagree.
+  {
+    auto mut = traced;
+    std::memset(mut.data() + mut.size() - 17, 0, 16);
+    refresh_crc(mut);
+    auto f = n::try_parse_frame(mut.data(), mut.size(), &consumed);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_THROW(n::decode_request(f->payload, f->payload_len, f->flags),
+                 n::protocol_error);
+  }
+
+  // Trace flag set with no block bytes at all: length mismatch.
+  {
+    auto mut = n::encode_request_frame(bfs_request(13));
+    mut[4] = 2;                                      // version 2
+    mut[7] = static_cast<char>(n::kFlagTrace);       // flag without the bytes
+    refresh_crc(mut);
+    auto f = n::try_parse_frame(mut.data(), mut.size(), &consumed);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_THROW(n::decode_request(f->payload, f->payload_len, f->flags),
+                 n::protocol_error);
+  }
+
+  // Truncated trace block (one id byte missing): length mismatch, no
+  // over-read.
+  {
+    auto mut = traced;
+    mut.pop_back();
+    uint32_t plen = static_cast<uint32_t>(mut.size() - n::kFrameHeaderBytes);
+    std::memcpy(mut.data() + 8, &plen, 4);
+    refresh_crc(mut);
+    auto f = n::try_parse_frame(mut.data(), mut.size(), &consumed);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_THROW(n::decode_request(f->payload, f->payload_len, f->flags),
+                 n::protocol_error);
+  }
+
+  // Response-side: traced response with the block sliced off.
+  {
+    n::wire_response resp = n::make_response(12, e::query_result{});
+    resp.tid = {7, 9};
+    auto rmut = n::encode_response_frame(resp);
+    rmut.resize(rmut.size() - 16);
+    uint32_t plen = static_cast<uint32_t>(rmut.size() - n::kFrameHeaderBytes);
+    std::memcpy(rmut.data() + 8, &plen, 4);
+    refresh_crc(rmut);
+    auto f = n::try_parse_frame(rmut.data(), rmut.size(), &consumed);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_THROW(n::decode_response(f->payload, f->payload_len, f->flags),
+                 n::protocol_error);
+  }
+}
+
+// The bit-flip guarantee holds for v2 traced frames exactly as for v1.
+TEST_F(NetTest, FuzzBitFlipsTracedFramesNeverParse) {
+  n::wire_request req = bfs_request(3, 1, 2);
+  req.graph = "fuzz-target";
+  req.tid = obs::trace_id::mint();
+  req.sampled = true;
+  auto frame = n::encode_request_frame(req);
+  for (size_t byte = 0; byte < frame.size(); byte++) {
+    for (int bit = 0; bit < 8; bit++) {
+      auto mut = frame;
+      mut[byte] = static_cast<char>(mut[byte] ^ (1 << bit));
+      size_t consumed = 0;
+      bool parsed = false;
+      try {
+        auto f = n::try_parse_frame(mut.data(), mut.size(), &consumed);
+        if (f.has_value()) {
+          parsed = true;
+          n::decode_request(f->payload, f->payload_len, f->flags);
+        }
+      } catch (const n::protocol_error&) {
+        continue;  // detected — the expected outcome
+      }
+      EXPECT_FALSE(parsed) << "bit " << bit << " of byte " << byte
+                           << " flipped yet the traced frame parsed";
+    }
+  }
+}
+
+namespace {
+
+// One HTTP GET against the server's side port; returns status line + body.
+std::string http_get(uint16_t port, const std::string& path) {
+  int fd = raw_connect(port);
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n";
+  raw_send(fd, req.data(), req.size());
+  std::string body = raw_read_all(fd);
+  ::close(fd);
+  return body;
+}
+
+// Retention happens when the query body exits (the executor observes on
+// the execution path, never from the watchdog), so a just-settled error
+// response can precede its trace record by a beat — poll briefly.
+std::string http_get_eventually(uint16_t port, const std::string& path) {
+  for (int i = 0; i < 100; i++) {
+    auto body = http_get(port, path);
+    if (body.find("200 OK") != std::string::npos) return body;
+    std::this_thread::sleep_for(20ms);
+  }
+  return http_get(port, path);
+}
+
+}  // namespace
+
+TEST_F(NetTest, TraceIdRoundTripsEndToEndAndIsRetrievable) {
+  obs::trace_store traces(64);
+  obs::flight_recorder flightrec(64);
+  e::registry reg;
+  reg.add("g", small_graph());
+  e::executor_options eopts;
+  eopts.traces = &traces;
+  eopts.flightrec = &flightrec;
+  eopts.slow_trace_micros = 1;  // everything is "slow": armed + retained
+  e::query_executor ex(reg, eopts);
+  n::server_options sopts;
+  sopts.http_port = 0;
+  n::server srv(ex, sopts);
+  srv.start();
+  ASSERT_GT(srv.http_port(), 0);
+
+  n::client_options copts;
+  copts.trace_sample = 1.0;  // every request minted + sampled client-side
+  n::client c(copts);
+  c.connect("127.0.0.1", srv.port());
+  auto r = c.run(bfs_request(0, 1, 6));
+  // The response carries the id back; the client records it.
+  ASSERT_TRUE(r.tid.valid());
+  EXPECT_EQ(c.last_trace_id(), r.tid);
+  const std::string hex = r.tid.to_hex();
+
+  // GET /traces/<id>: the retained record, with the full armed trace —
+  // per-round edge_map records and phase spans.
+  auto body = http_get_eventually(srv.http_port(), "/traces/" + hex);
+  EXPECT_NE(body.find("200 OK"), std::string::npos);
+  EXPECT_NE(body.find(hex), std::string::npos);
+  EXPECT_NE(body.find("\"rounds\""), std::string::npos);
+  EXPECT_NE(body.find("\"spans\""), std::string::npos);
+  EXPECT_NE(body.find("\"outcome\":\"ok\""), std::string::npos);
+
+  // GET /traces: the index lists it (summaries, newest first).
+  auto index = http_get(srv.http_port(), "/traces");
+  EXPECT_NE(index.find("200 OK"), std::string::npos);
+  EXPECT_NE(index.find(hex), std::string::npos);
+  EXPECT_NE(index.find("\"retained\""), std::string::npos);
+
+  // GET /debug/flightrec: the summary ring saw the query too.
+  auto flight = http_get(srv.http_port(), "/debug/flightrec");
+  EXPECT_NE(flight.find("200 OK"), std::string::npos);
+  EXPECT_NE(flight.find(hex), std::string::npos);
+  EXPECT_NE(flight.find("\"entries\""), std::string::npos);
+
+  // Unknown and malformed ids get JSON errors, not crashes.
+  EXPECT_NE(http_get(srv.http_port(),
+                     "/traces/00000000000000000000000000000001")
+                .find("404"),
+            std::string::npos);
+  EXPECT_NE(http_get(srv.http_port(), "/traces/zzz").find("400"),
+            std::string::npos);
+  srv.stop();
+}
+
+TEST_F(NetTest, DeadlineExceededQueryIsRetrievablePostMortem) {
+  obs::trace_store traces(64);
+  obs::flight_recorder flightrec(64);
+  e::registry reg;
+  reg.add("g", small_graph());
+  e::executor_options eopts;
+  eopts.max_concurrency = 1;
+  eopts.cache_capacity = 0;
+  eopts.use_pool = false;
+  eopts.traces = &traces;
+  eopts.flightrec = &flightrec;
+  e::query_executor ex(reg, eopts);
+  n::server_options sopts;
+  sopts.http_port = 0;
+  n::server srv(ex, sopts);
+  srv.start();
+
+  // Occupy the one dispatcher so the wire query blows its 1 ms budget.
+  blocker b;
+  auto blocked = ex.submit(b.request("g"));
+  while (b.started.load() == 0) std::this_thread::yield();
+
+  n::client_options copts;
+  copts.trace_sample = 1.0;
+  n::client c(copts);
+  c.connect("127.0.0.1", srv.port());
+  n::wire_request req = bfs_request(0);
+  req.deadline_ms = 1;
+  EXPECT_THROW(c.run(req), e::deadline_exceeded_error);
+  // The error response still carried the id — the post-mortem handle.
+  const obs::trace_id tid = c.last_trace_id();
+  ASSERT_TRUE(tid.valid());
+
+  b.release.set_value();
+  EXPECT_EQ(blocked.get().value, 7);
+
+  // The retained record is reachable by that id and says what happened.
+  auto body =
+      http_get_eventually(srv.http_port(), "/traces/" + tid.to_hex());
+  EXPECT_NE(body.find("200 OK"), std::string::npos);
+  EXPECT_NE(body.find(tid.to_hex()), std::string::npos);
+  EXPECT_NE(body.find("\"outcome\":\"deadline\""), std::string::npos);
+  srv.stop();
+}
+
+TEST_F(NetTest, ShedRefusalCarriesTraceIdAndRetryAdvice) {
+  obs::trace_store traces(64);
+  obs::flight_recorder flightrec(64);
+  e::registry reg;
+  reg.add("g", small_graph());
+  e::executor_options eopts;
+  eopts.max_concurrency = 1;
+  eopts.shed_watermark = 1;
+  eopts.cache_capacity = 0;
+  eopts.use_pool = false;
+  eopts.traces = &traces;
+  eopts.flightrec = &flightrec;
+  e::query_executor ex(reg, eopts);
+  n::server_options sopts;
+  sopts.http_port = 0;
+  n::server srv(ex, sopts);
+  srv.start();
+
+  blocker b;
+  auto blocked = ex.submit(b.request("g"));
+  while (b.started.load() == 0) std::this_thread::yield();
+  e::query_request filler;
+  filler.graph = "g";
+  filler.kind = e::query_kind::component_id;
+  filler.source = 1;
+  auto queued = ex.submit(filler);
+
+  n::client_options copts;
+  copts.trace_sample = 1.0;
+  n::client c(copts);
+  c.connect("127.0.0.1", srv.port());
+  n::wire_request req = bfs_request(0);
+  req.priority = e::query_priority::low;
+  obs::trace_id tid{};
+  try {
+    c.run(req);
+    FAIL() << "low-priority request at the watermark must shed";
+  } catch (const e::shed_error& ex_shed) {
+    EXPECT_GT(ex_shed.retry_after.count(), 0);
+    tid = c.last_trace_id();
+  }
+  ASSERT_TRUE(tid.valid());
+
+  b.release.set_value();
+  blocked.get();
+  queued.get();
+
+  // The slow-query log kept the refusal, with the advice the caller got.
+  auto body =
+      http_get_eventually(srv.http_port(), "/traces/" + tid.to_hex());
+  EXPECT_NE(body.find("200 OK"), std::string::npos);
+  EXPECT_NE(body.find("\"outcome\":\"shed\""), std::string::npos);
+  EXPECT_NE(body.find("\"retry_after_ms\""), std::string::npos);
   srv.stop();
 }
