@@ -27,6 +27,13 @@
 //   -shed-watermark N   shed low-priority submissions past this queue depth
 //   -failpoints SPEC    arm failpoints, e.g. "cache.insert=fail,p=0.1"
 //
+// Batched execution knobs (docs/ENGINE.md "Batched execution"):
+//   -batch-max N        members per coalesced multi-BFS fan-out (<= 64;
+//                       1 disables batching; default 64)
+//   -batch-window-us N  hold a forming batch open N microseconds waiting
+//                       for companions (default 0: only coalesce what is
+//                       already queued)
+//
 // Durability knobs (docs/DURABILITY.md):
 //   -wal-dir DIR        give every mutable graph a durable store under
 //                       DIR/<name>: updates append to a write-ahead log
@@ -906,6 +913,13 @@ int main(int argc, char* argv[]) {
   opts.use_pool = !cli.has("no-pool");
   opts.shed_watermark =
       static_cast<size_t>(cli.get_int("shed-watermark", 0));
+  // Batched execution (docs/ENGINE.md): coalesce concurrent bfs queries
+  // into one bit-parallel multi-BFS. Opportunistic coalescing is on by
+  // default; -batch-window-us adds a collection window, -batch-max 1
+  // disables batching outright.
+  opts.batch_max = static_cast<size_t>(cli.get_int("batch-max", 64));
+  opts.batch_window_micros =
+      static_cast<uint64_t>(cli.get_int("batch-window-us", 0));
   opts.metrics = &metrics;
 
   // Query observability: trace retention ring + flight recorder, always

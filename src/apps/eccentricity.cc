@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "parallel/atomics.h"
+#include "ligra/multi_bfs.h"
 #include "parallel/primitives.h"
 #include "util/rng.h"
 
@@ -10,69 +10,21 @@ namespace ligra::apps {
 
 namespace {
 
-// One multi-BFS sweep from the given sources; folds per-vertex last-reached
-// rounds into `ecc` via max. Returns rounds executed.
+// One multi-BFS sweep from the given sources (ligra/multi_bfs.h); folds
+// per-vertex last-reached rounds into `ecc` via max. Returns rounds
+// executed. The scratch carries the bit vectors across the two passes.
 size_t sweep(const graph& g, const std::vector<vertex_id>& sources,
-             std::vector<int64_t>& ecc, const edge_map_options& opts) {
-  // Reuse the Radii functor machinery by driving the same loop inline
-  // (radii_estimate picks its own random sources, so the loop is restated
-  // here with explicit sources).
+             std::vector<int64_t>& ecc, const edge_map_options& opts,
+             multi_bfs_scratch& scratch) {
   const vertex_id n = g.num_vertices();
-  std::vector<uint64_t> visited(n, 0), next_visited(n, 0);
-  std::vector<int64_t> rounds_reached(n, -1);
-  std::vector<vertex_id> frontier_ids;
-  for (size_t i = 0; i < sources.size(); i++) {
-    vertex_id v = sources[i];
-    visited[v] |= uint64_t{1} << i;
-    next_visited[v] = visited[v];
-    rounds_reached[v] = 0;
-    frontier_ids.push_back(v);
-  }
-
-  struct sweep_f {
-    const uint64_t* visited;
-    uint64_t* next_visited;
-    int64_t* rounds_reached;
-    int64_t round;
-    bool update(vertex_id u, vertex_id v) const {
-      uint64_t to_write = visited[v] | visited[u];
-      if (visited[v] != to_write) {
-        next_visited[v] |= to_write;
-        if (rounds_reached[v] != round) {
-          rounds_reached[v] = round;
-          return true;
-        }
-      }
-      return false;
-    }
-    bool update_atomic(vertex_id u, vertex_id v) const {
-      uint64_t to_write = visited[v] | visited[u];
-      if (visited[v] != to_write) {
-        write_or(&next_visited[v], to_write);
-        int64_t old = atomic_load(&rounds_reached[v]);
-        if (old != round) return compare_and_swap(&rounds_reached[v], old, round);
-      }
-      return false;
-    }
-    bool cond(vertex_id) const { return true; }
-  };
-
-  vertex_subset frontier(n, std::move(frontier_ids));
-  int64_t round = 0;
-  while (!frontier.empty()) {
-    round++;
-    vertex_subset next = edge_map(
-        g, frontier,
-        sweep_f{visited.data(), next_visited.data(), rounds_reached.data(),
-                round},
-        opts);
-    next.for_each([&](vertex_id v) { visited[v] = next_visited[v]; });
-    frontier = std::move(next);
-  }
+  multi_bfs_options mopts;
+  mopts.edge_map = opts;
+  mopts.scratch = &scratch;
+  multi_bfs_result result = multi_bfs_sweep(g, sources, mopts);
   parallel::parallel_for(0, n, [&](size_t v) {
-    if (rounds_reached[v] > ecc[v]) ecc[v] = rounds_reached[v];
+    if (result.last_reached[v] > ecc[v]) ecc[v] = result.last_reached[v];
   });
-  return static_cast<size_t>(round);
+  return static_cast<size_t>(result.num_rounds);
 }
 
 }  // namespace
@@ -100,7 +52,8 @@ eccentricity_result eccentricity_two_pass(const graph& g, uint64_t seed,
       sources.push_back(v);
     }
   }
-  result.num_rounds += sweep(g, sources, result.ecc, opts);
+  multi_bfs_scratch scratch;
+  result.num_rounds += sweep(g, sources, result.ecc, opts, scratch);
 
   // Pass 2: the periphery pass 1 discovered — the vertices with the
   // largest current estimates (ties broken by id via the sort order).
@@ -114,7 +67,7 @@ eccentricity_result eccentricity_two_pass(const graph& g, uint64_t seed,
       order.begin(),
       order.begin() + std::min<size_t>(order.size(),
                                        static_cast<size_t>(num_samples)));
-  result.num_rounds += sweep(g, periphery, result.ecc, opts);
+  result.num_rounds += sweep(g, periphery, result.ecc, opts, scratch);
 
   result.diameter_estimate = parallel::reduce(
       n, [&](size_t v) { return result.ecc[v]; }, int64_t{0},

@@ -1,48 +1,10 @@
 #include "apps/radii.h"
 
-#include "ligra/vertex_map.h"
-#include "parallel/atomics.h"
+#include "ligra/multi_bfs.h"
+#include "parallel/primitives.h"
 #include "util/rng.h"
 
 namespace ligra::apps {
-
-namespace {
-
-// Multi-BFS update (paper Figure 6): propagate the union of source bits;
-// a vertex joins the frontier the first time its bit set grows in a round.
-struct radii_f {
-  const uint64_t* visited;
-  uint64_t* next_visited;
-  int64_t* radii;
-  int64_t round;
-
-  bool update(vertex_id u, vertex_id v) const {
-    uint64_t to_write = visited[v] | visited[u];
-    if (visited[v] != to_write) {
-      next_visited[v] |= to_write;
-      if (radii[v] != round) {
-        radii[v] = round;
-        return true;
-      }
-    }
-    return false;
-  }
-  bool update_atomic(vertex_id u, vertex_id v) const {
-    uint64_t to_write = visited[v] | visited[u];
-    if (visited[v] != to_write) {
-      write_or(&next_visited[v], to_write);
-      int64_t old_radii = atomic_load(&radii[v]);
-      // At most one updater per round wins this CAS, so the output
-      // frontier is duplicate-free.
-      if (old_radii != round)
-        return compare_and_swap(&radii[v], old_radii, round);
-    }
-    return false;
-  }
-  bool cond(vertex_id) const { return true; }
-};
-
-}  // namespace
 
 radii_result radii_estimate(const graph& g, uint64_t seed, int num_samples,
                             const edge_map_options& opts) {
@@ -55,31 +17,25 @@ radii_result radii_estimate(const graph& g, uint64_t seed, int num_samples,
   if (static_cast<vertex_id>(num_samples) > n)
     num_samples = static_cast<int>(n);
 
-  std::vector<uint64_t> visited(n, 0), next_visited(n, 0);
   rng r(seed);
+  std::vector<uint8_t> used(n, 0);
   std::vector<vertex_id> sources;
   sources.reserve(static_cast<size_t>(num_samples));
   for (int i = 0; sources.size() < static_cast<size_t>(num_samples); i++) {
     auto v = static_cast<vertex_id>(r.bounded(static_cast<uint64_t>(i), n));
-    if (visited[v] == 0) {  // distinct sources
-      visited[v] = uint64_t{1} << sources.size();
-      next_visited[v] = visited[v];
-      result.radii[v] = 0;
+    if (!used[v]) {  // distinct sources
+      used[v] = 1;
       sources.push_back(v);
     }
   }
 
-  vertex_subset frontier(n, std::move(sources));
-  int64_t round = 0;
-  while (!frontier.empty()) {
-    round++;
-    radii_f f{visited.data(), next_visited.data(), result.radii.data(), round};
-    vertex_subset next = edge_map(g, frontier, f, opts);
-    // Publish this round's unions for the next round.
-    vertex_map(next, [&](vertex_id v) { visited[v] = next_visited[v]; });
-    frontier = std::move(next);
-  }
-  result.num_rounds = static_cast<size_t>(round);
+  // The bit-parallel sweep's per-vertex last-reached round is exactly the
+  // radii estimate (ligra/multi_bfs.h).
+  multi_bfs_options mopts;
+  mopts.edge_map = opts;
+  multi_bfs_result sweep = multi_bfs_sweep(g, sources, mopts);
+  result.radii = std::move(sweep.last_reached);
+  result.num_rounds = static_cast<size_t>(sweep.num_rounds);
   result.diameter_estimate = parallel::reduce(
       n, [&](size_t v) { return result.radii[v]; }, int64_t{0},
       [](int64_t a, int64_t b) { return a > b ? a : b; });

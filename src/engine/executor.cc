@@ -5,9 +5,12 @@
 #include <string>
 #include <utility>
 
+#include <unordered_map>
+
 #include "apps/query_adapters.h"
 #include "dynamic/incremental.h"
 #include "ligra/edge_map.h"
+#include "ligra/multi_bfs.h"
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/trace.h"
@@ -47,7 +50,12 @@ query_executor::query_executor(registry& graphs, executor_options opts)
       cache_(opts.cache_capacity, metrics_),
       stats_(*metrics_),
       g_queue_depth_(&metrics_->get_gauge("engine_queue_depth")),
-      g_running_(&metrics_->get_gauge("engine_running")) {
+      g_running_(&metrics_->get_gauge("engine_running")),
+      c_batches_(&metrics_->get_counter("engine_batch_batches_total")),
+      c_batch_members_(&metrics_->get_counter("engine_batch_members_total")),
+      c_batch_dedup_(&metrics_->get_counter("engine_batch_dedup_total")),
+      h_batch_width_(&metrics_->get_histogram("engine_batch_width")),
+      h_batch_wait_(&metrics_->get_histogram("engine_batch_wait_micros")) {
   // Force pool construction from this thread before any dispatcher starts:
   // lazy construction from a dispatcher would adopt it as worker 0 and
   // alias deque ownership with the caller's thread.
@@ -55,6 +63,7 @@ query_executor::query_executor(registry& graphs, executor_options opts)
   if (opts_.max_concurrency == 0)
     opts_.max_concurrency = std::min<size_t>(4, workers);
   if (opts_.max_queue == 0) opts_.max_queue = 1;
+  if (opts_.batch_max > 64) opts_.batch_max = 64;  // one bit per source
   dispatchers_.reserve(opts_.max_concurrency);
   for (size_t i = 0; i < opts_.max_concurrency; i++)
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
@@ -182,7 +191,8 @@ void query_executor::observe_done(const obs::trace_id& tid,
                                   double queued_micros, const char* outcome,
                                   double exec_micros, const query_result* r,
                                   const std::string& error,
-                                  uint32_t retry_after_ms) {
+                                  uint32_t retry_after_ms, uint64_t batch_id,
+                                  uint32_t batch_width) {
   if (!observing()) return;
   const size_t rounds = trace != nullptr ? trace->rounds().size() : 0;
   if (opts_.flightrec != nullptr) {
@@ -223,6 +233,8 @@ void query_executor::observe_done(const obs::trace_id& tid,
   rec.exec_micros = exec_micros;
   rec.retry_after_ms = retry_after_ms;
   rec.rounds = rounds;
+  rec.batch_id = batch_id;
+  rec.batch_width = batch_width;
   rec.error = error;
   if (trace != nullptr) rec.trace_json = trace->to_json();
   opts_.traces->insert(std::move(rec));
@@ -287,6 +299,15 @@ std::future<query_result> query_executor::submit(query_request req) {
     j->owned_trace = std::make_unique<obs::query_trace>();
     j->trace = j->owned_trace.get();
   }
+
+  // Coalescing eligibility (docs/ENGINE.md "Batched execution"): point BFS
+  // on a static entry. Mutable entries answer BFS over the live base+delta
+  // view (no shared CSR to fan out over), and a caller-supplied trace
+  // promises per-round detail this query's own traversal would produce —
+  // batch members share the leader's rounds, so those stay singular.
+  j->batchable = opts_.batch_max > 1 &&
+                 j->req.kind == query_kind::bfs_distance &&
+                 !j->handle->is_mutable() && j->req.trace == nullptr;
 
   // Layer the per-query deadline on top of any caller token. Queries with
   // neither keep an inactive token: the apps then skip the per-round poll
@@ -354,11 +375,13 @@ std::future<query_result> query_executor::submit(query_request req) {
                        {"retry_after_ms", advice_ms}});
       throw rejected_error(msg, advice);
     }
+    // The span must start before the queue lock drops: once push_back
+    // publishes the job, the dispatcher may read queued_span concurrently.
+    if (j->trace != nullptr) j->queued_span = j->trace->begin_span("queued");
     queue_.push_back(j);
     g_queue_depth_->set(static_cast<int64_t>(queue_.size()));
   }
-  if (j->trace != nullptr) j->queued_span = j->trace->begin_span("queued");
-  work_cv_.notify_one();
+  notify_work();
 
   if (j->deadline_at != std::chrono::steady_clock::time_point::max()) {
     {
@@ -613,12 +636,47 @@ query_executor::find_eligible_locked() {
   return queue_.end();
 }
 
+void query_executor::notify_work() {
+  if (opts_.batch_window_micros > 0 && opts_.batch_max > 1)
+    work_cv_.notify_all();
+  else
+    work_cv_.notify_one();
+}
+
+void query_executor::collect_batch_locked(std::vector<job_ptr>& batch) {
+  // Copied, not a reference: push_back below reallocates the vector.
+  const job_ptr leader = batch.front();
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < opts_.batch_max;) {
+    // Same entry object (one handle pins one immutable epoch), so the
+    // members provably traverse the same structure. Members join the
+    // leader's traversal regardless of the per-kind cap: riding an
+    // already-running fan-out only reduces total work.
+    if ((*it)->batchable && (*it)->handle == leader->handle &&
+        (*it)->epoch == leader->epoch) {
+      running_++;
+      running_by_kind_[static_cast<size_t>((*it)->req.kind)]++;
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  g_queue_depth_->set(static_cast<int64_t>(queue_.size()));
+  g_running_->set(static_cast<int64_t>(running_));
+}
+
 void query_executor::dispatcher_loop() {
   // This dispatcher's traversal working memory, reused by every query it
-  // runs for the executor's lifetime (ligra/edge_map.h scratch contract).
+  // runs for the executor's lifetime (ligra/edge_map.h scratch contract);
+  // mb_scratch additionally carries the multi-BFS bit vectors across
+  // batches.
   edge_map_scratch scratch;
+  multi_bfs_scratch mb_scratch;
   while (true) {
     job_ptr j;
+    std::vector<job_ptr> batch;
+    double wait_micros = 0.0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       // During shutdown caps are ignored so the queue always drains.
@@ -637,18 +695,312 @@ void query_executor::dispatcher_loop() {
       running_by_kind_[static_cast<size_t>(j->req.kind)]++;
       g_queue_depth_->set(static_cast<int64_t>(queue_.size()));
       g_running_->set(static_cast<int64_t>(running_));
+      if (j->batchable && !stop_) {
+        batch.push_back(j);
+        collect_batch_locked(batch);
+        // Hold the window open for companions when configured (skipped
+        // while draining or shutting down — nothing new is coming).
+        if (opts_.batch_window_micros > 0 && batch.size() < opts_.batch_max &&
+            !draining_) {
+          const monotonic_time w0 = mono_now();
+          const auto until =
+              std::chrono::steady_clock::now() +
+              std::chrono::microseconds(opts_.batch_window_micros);
+          while (batch.size() < opts_.batch_max && !stop_ && !draining_) {
+            const auto status = work_cv_.wait_until(lock, until);
+            collect_batch_locked(batch);
+            if (status == std::cv_status::timeout) break;
+          }
+          wait_micros = micros_since(w0);
+        }
+      }
     }
-    execute_job(j, &scratch);
+    if (batch.size() > 1) {
+      execute_batch(batch, &scratch, &mb_scratch, wait_micros);
+    } else {
+      execute_job(j, &scratch);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      running_--;
-      running_by_kind_[static_cast<size_t>(j->req.kind)]--;
+      const size_t done = batch.empty() ? 1 : batch.size();
+      running_ -= done;
+      running_by_kind_[static_cast<size_t>(j->req.kind)] -= done;
       g_running_->set(static_cast<int64_t>(running_));
       if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
     }
     // A kind slot freed up; a queued job previously passed over for its cap
     // may be eligible now.
-    work_cv_.notify_one();
+    notify_work();
+  }
+}
+
+void query_executor::execute_batch(std::vector<job_ptr>& batch,
+                                   edge_map_scratch* scratch,
+                                   multi_bfs_scratch* mb_scratch,
+                                   double wait_micros) {
+  const uint64_t batch_id =
+      batch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto width = static_cast<uint32_t>(batch.size());
+
+  // Per-member prologue, exactly the singular path's: close the queued
+  // span, and settle members whose token tripped (or whose watchdog fired)
+  // while they sat in the queue or the coalescing window.
+  std::vector<job_ptr> live;
+  live.reserve(batch.size());
+  for (auto& j : batch) {
+    j->queued_micros = micros_since(j->submit_t0);
+    obs::trace_id_scope id_scope(j->tid);
+    if (j->trace != nullptr && j->queued_span != SIZE_MAX)
+      j->trace->end_span(j->queued_span);
+    if (j->token.should_stop()) {
+      const bool deadline = j->token.deadline_exceeded();
+      const std::string msg = deadline
+                                  ? "query deadline exceeded while queued"
+                                  : "query cancelled while queued";
+      settle_error(j, deadline ? std::make_exception_ptr(
+                                     deadline_exceeded_error(msg))
+                               : std::make_exception_ptr(cancelled_error(msg)));
+      observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                   j->queued_micros, deadline ? "deadline" : "cancelled", 0.0,
+                   nullptr, msg, 0, batch_id, width);
+      continue;
+    }
+    if (j->settled.load(std::memory_order_acquire)) {
+      observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                   j->queued_micros, "deadline", 0.0, nullptr,
+                   "query deadline exceeded while queued (watchdog)", 0,
+                   batch_id, width);
+      continue;
+    }
+    live.push_back(j);
+  }
+  if (live.empty()) return;
+
+  // Batched cache probe (one lock for the whole batch): a sibling batch or
+  // singular query may have filled a member's key since its submit-time
+  // miss.
+  {
+    std::vector<cache_key> keys;
+    std::vector<size_t> key_member;
+    for (size_t i = 0; i < live.size(); i++) {
+      if (live[i]->cacheable) {
+        keys.push_back(live[i]->key);
+        key_member.push_back(i);
+      }
+    }
+    if (!keys.empty()) {
+      auto found = cache_.get_many(keys);
+      std::vector<char> hit(live.size(), 0);
+      for (size_t k = 0; k < keys.size(); k++) {
+        if (!found[k]) continue;
+        const job_ptr& j = live[key_member[k]];
+        hit[key_member[k]] = 1;
+        if (j->settled.exchange(true)) continue;
+        query_result r = *found[k];
+        r.cache_hit = true;
+        r.micros = 0.0;
+        r.tid = j->tid;
+        stats_.record_completed();
+        observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                     j->queued_micros, "ok", 0.0, &r, "", 0, batch_id, width);
+        j->promise.set_value(std::move(r));
+      }
+      size_t w = 0;
+      for (size_t i = 0; i < live.size(); i++)
+        if (!hit[i]) live[w++] = std::move(live[i]);
+      live.resize(w);
+    }
+  }
+  if (live.empty()) return;
+
+  // Invalid vertices fail their member only — the rest of the batch still
+  // traverses.
+  const graph_entry& entry = *live.front()->handle;
+  const vertex_id n = entry.num_vertices();
+  {
+    size_t w = 0;
+    for (size_t i = 0; i < live.size(); i++) {
+      const job_ptr& j = live[i];
+      try {
+        check_vertex("bfs_hop_distance source", j->req.source, n);
+        check_vertex("bfs_hop_distance target", j->req.target, n);
+        live[w++] = std::move(live[i]);
+      } catch (const std::invalid_argument& e) {
+        settle_error(j, std::current_exception());
+        observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                     j->queued_micros, "error", 0.0, nullptr, e.what(), 0,
+                     batch_id, width);
+      }
+    }
+    live.resize(w);
+  }
+  if (live.empty()) return;
+
+  // Single-flight grouping: identical (source, target) members share one
+  // watch, distinct sources share one bit — two callers asking the same
+  // question pay for one answer.
+  std::vector<vertex_id> sources;
+  std::vector<multi_bfs_pair> pairs;
+  std::vector<std::vector<size_t>> watch_members;  // watch -> live indices
+  {
+    std::unordered_map<uint64_t, size_t> watch_of;  // (source, target) key
+    std::unordered_map<vertex_id, uint32_t> slot_of;
+    uint64_t dedup = 0;
+    for (size_t i = 0; i < live.size(); i++) {
+      const uint64_t key =
+          (static_cast<uint64_t>(live[i]->req.source) << 32) |
+          static_cast<uint64_t>(live[i]->req.target);
+      auto it = watch_of.find(key);
+      if (it != watch_of.end()) {
+        watch_members[it->second].push_back(i);
+        dedup++;
+        continue;
+      }
+      auto [sit, fresh] = slot_of.try_emplace(
+          live[i]->req.source, static_cast<uint32_t>(sources.size()));
+      if (fresh) sources.push_back(live[i]->req.source);
+      watch_of.emplace(key, pairs.size());
+      pairs.push_back({sit->second, live[i]->req.target});
+      watch_members.push_back({i});
+    }
+    if (dedup > 0) c_batch_dedup_->inc(dedup);
+  }
+  c_batches_->inc();
+  c_batch_members_->inc(live.size());
+  h_batch_width_->record(static_cast<uint64_t>(live.size()));
+  h_batch_wait_->record(static_cast<uint64_t>(wait_micros));
+
+  // Fan out: one bit-parallel traversal answers every member. The leader's
+  // effective trace is installed (its rounds carry the batch width via the
+  // multi_bfs span); the other members keep summary-only records stamped
+  // with the batch id. `finished` marks members settled mid-flight so the
+  // epilogue skips them; it is only ever touched by this call chain (the
+  // body runs to completion before the epilogue), never concurrently.
+  const job_ptr& leader = live.front();
+  std::vector<char> finished(live.size(), 0);
+  const monotonic_time t0 = mono_now();
+  std::vector<int64_t> dist;
+  std::exception_ptr err;
+  auto body = [&]() noexcept {
+    obs::trace_scope tracing(leader->trace);
+    obs::trace_id_scope body_id_scope(leader->tid);
+    edge_map_scratch_scope scratch_scope(scratch);
+    obs::span_scope span("execute");
+    try {
+      if (LIGRA_FAILPOINT("batch.fanout"))
+        throw engine_error(
+            "injected batch fan-out failure (failpoint batch.fanout)");
+      multi_bfs_options mopts;
+      mopts.scratch = mb_scratch;
+      // Per-member cancel/deadline isolation: a tripped member is settled
+      // at the round boundary and the traversal carries on for its
+      // siblings; only a fully-abandoned batch stops early.
+      mopts.on_round = [&](int64_t, size_t) {
+        size_t alive = 0;
+        for (size_t i = 0; i < live.size(); i++) {
+          if (finished[i]) continue;
+          const job_ptr& j = live[i];
+          if (j->settled.load(std::memory_order_acquire)) continue;
+          if (j->token.should_stop()) {
+            const bool deadline = j->token.deadline_exceeded();
+            const std::string msg =
+                deadline ? "query deadline exceeded during batched execution"
+                         : "query cancelled during batched execution";
+            settle_error(
+                j, deadline ? std::make_exception_ptr(
+                                  deadline_exceeded_error(msg))
+                            : std::make_exception_ptr(cancelled_error(msg)));
+            observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                         j->queued_micros, deadline ? "deadline" : "cancelled",
+                         micros_since(t0), nullptr, msg, 0, batch_id, width);
+            finished[i] = 1;
+            continue;
+          }
+          alive++;
+        }
+        return alive > 0;
+      };
+      dist = multi_bfs_distances(entry.structure(), sources, pairs, mopts);
+    } catch (...) {
+      err = std::current_exception();
+    }
+  };
+  if (opts_.use_pool) {
+    parallel::run_on_pool(body);
+  } else {
+    body();
+  }
+  const double exec_micros = micros_since(t0);
+
+  if (err) {
+    // A failed fan-out (failpoint, allocation) fails each remaining member
+    // with the typed error; the coalescer itself is fine — the next batch
+    // starts clean.
+    std::string msg = "unknown error";
+    try {
+      std::rethrow_exception(err);
+    } catch (const std::exception& e) {
+      msg = e.what();
+    } catch (...) {
+    }
+    for (size_t i = 0; i < live.size(); i++) {
+      if (finished[i]) continue;
+      settle_error(live[i], err);
+      observe_done(live[i]->tid, live[i]->req, live[i]->sampled,
+                   live[i]->trace, live[i]->epoch, live[i]->queued_micros,
+                   "error", exec_micros, nullptr, msg, 0, batch_id, width);
+    }
+    return;
+  }
+
+  // Split the answers back per member, each settled and cached
+  // individually (one put_many lock for the whole batch) so popular
+  // sources hit the cache next time. The cache insert happens BEFORE any
+  // promise is fulfilled: a caller that observes its result and
+  // immediately resubmits the same key must hit.
+  std::vector<std::pair<cache_key, std::shared_ptr<const query_result>>>
+      inserts;
+  std::vector<std::pair<job_ptr, query_result>> settle;
+  settle.reserve(live.size());
+  for (size_t w = 0; w < pairs.size(); w++) {
+    bool cached_this_watch = false;
+    for (size_t i : watch_members[w]) {
+      if (finished[i]) continue;
+      const job_ptr& j = live[i];
+      query_result r;
+      r.kind = query_kind::bfs_distance;
+      r.value = dist[w];
+      r.micros = exec_micros;
+      r.tid = j->tid;
+      if (j->settled.exchange(true)) {
+        observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                     j->queued_micros, "deadline", exec_micros, nullptr,
+                     "query deadline exceeded (watchdog): late result "
+                     "discarded",
+                     0, batch_id, width);
+        continue;
+      }
+      if (j->cacheable && !cached_this_watch) {
+        inserts.emplace_back(j->key, std::make_shared<query_result>(r));
+        cached_this_watch = true;
+      }
+      settle.emplace_back(j, std::move(r));
+    }
+  }
+  if (!inserts.empty()) {
+    try {
+      cache_.put_many(std::move(inserts));
+    } catch (...) {
+      // Cache insertion failure never fails a completed query.
+    }
+  }
+  for (auto& [j, r] : settle) {
+    stats_.record_latency(j->req.kind, exec_micros);
+    stats_.record_completed();
+    observe_done(j->tid, j->req, j->sampled, j->trace, j->epoch,
+                 j->queued_micros, "ok", exec_micros, &r, "", 0, batch_id,
+                 width);
+    j->promise.set_value(std::move(r));
   }
 }
 

@@ -48,7 +48,8 @@
 #include "obs/metrics.h"
 
 namespace ligra {
-struct edge_map_scratch;  // ligra/edge_map.h
+struct edge_map_scratch;   // ligra/edge_map.h
+struct multi_bfs_scratch;  // ligra/multi_bfs.h
 }  // namespace ligra
 
 namespace ligra::obs {
@@ -74,6 +75,20 @@ struct executor_options {
   size_t cache_capacity = 1024;
   // Run query bodies inside the work-stealing pool (see header comment).
   bool use_pool = true;
+
+  // --- batched execution (docs/ENGINE.md "Batched execution") -------------
+  // Compatible queued queries — kind bfs_distance against the same
+  // non-mutable graph epoch, no caller-supplied trace — are coalesced into
+  // one bit-parallel multi-BFS (ligra/multi_bfs.h): one traversal answers
+  // the whole batch, each member settled individually with its own typed
+  // outcome. batch_max caps members per fan-out (clamped to 64, one bit
+  // per distinct source; <= 1 disables coalescing entirely).
+  size_t batch_max = 64;
+  // How long a dispatcher holds the first member of a forming batch open
+  // waiting for companions to arrive, in microseconds. 0 (default) only
+  // coalesces what is already queued — no latency is ever added; a backlog
+  // still batches, an idle engine dispatches immediately.
+  uint64_t batch_window_micros = 0;
   // Publish stats/cache/queue metrics into this registry (so one exposition
   // covers the executor alongside the graph registry, scheduler, and
   // failpoints). Null = the executor creates and owns a private registry,
@@ -177,6 +192,9 @@ class query_executor {
     monotonic_time submit_t0;
     double queued_micros = 0.0;
     uint64_t epoch = 0;
+    // Eligible for multi-BFS coalescing (set at submit: bfs_distance on a
+    // non-mutable entry, no caller trace, batching enabled).
+    bool batchable = false;
     std::chrono::steady_clock::time_point deadline_at =
         std::chrono::steady_clock::time_point::max();
     // Whoever exchanges this false->true owns the promise; the loser (a
@@ -204,11 +222,29 @@ class query_executor {
   // (summary-only record); `r` may be null (error/refusal outcomes);
   // `retry_after_ms` carries shed/rejected advice. No-op when observing()
   // is false.
+  // `batch_id`/`batch_width` stamp records of queries served as members of
+  // a coalesced fan-out (0/0 = unbatched).
   void observe_done(const obs::trace_id& tid, const query_request& req,
                     bool sampled, obs::query_trace* trace, uint64_t epoch,
                     double queued_micros, const char* outcome,
                     double exec_micros, const query_result* r,
-                    const std::string& error, uint32_t retry_after_ms);
+                    const std::string& error, uint32_t retry_after_ms,
+                    uint64_t batch_id = 0, uint32_t batch_width = 0);
+  // Coalesced execution (docs/ENGINE.md "Batched execution"): runs a batch
+  // of compatible bfs_distance jobs as one bit-parallel multi-BFS
+  // (ligra/multi_bfs.h), settling every member individually — a member's
+  // cancel/deadline/cache-hit/invalid-vertex outcome never touches its
+  // siblings. `wait_micros` is how long the dispatcher held the window
+  // open (the coalesce-wait latency metric).
+  void execute_batch(std::vector<job_ptr>& batch, edge_map_scratch* scratch,
+                     multi_bfs_scratch* mb_scratch, double wait_micros);
+  // Moves every queued job coalescible with batch.front() into `batch`
+  // (same handle/epoch, up to the batch_max cap), accounting each as
+  // running. Caller holds mutex_.
+  void collect_batch_locked(std::vector<job_ptr>& batch);
+  // notify_one, except when window-waiting dispatchers may exist: those
+  // consume notifications they might not act on, so everyone is woken.
+  void notify_work();
   // First queued job whose kind is under its concurrency cap; queue_.end()
   // if none. Caller holds mutex_.
   std::deque<job_ptr>::iterator find_eligible_locked();
@@ -230,6 +266,12 @@ class query_executor {
   engine_stats stats_;
   obs::gauge* g_queue_depth_;  // engine_queue_depth
   obs::gauge* g_running_;      // engine_running
+  // Batched-execution observability (docs/OBSERVABILITY.md).
+  obs::counter* c_batches_;        // engine_batch_batches_total
+  obs::counter* c_batch_members_;  // engine_batch_members_total
+  obs::counter* c_batch_dedup_;    // engine_batch_dedup_total
+  obs::histogram* h_batch_width_;  // engine_batch_width
+  obs::histogram* h_batch_wait_;   // engine_batch_wait_micros
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -258,6 +300,8 @@ class query_executor {
 
   // Counter feeding the deterministic-per-process sampling hash draw.
   std::atomic<uint64_t> sample_ctr_{0};
+  // Batch ids handed to trace records (1-based; 0 = unbatched).
+  std::atomic<uint64_t> batch_seq_{0};
 };
 
 }  // namespace ligra::engine

@@ -64,6 +64,80 @@ void result_cache::put(const cache_key& key,
   }
 }
 
+std::vector<std::shared_ptr<const query_result>> result_cache::get_many(
+    const std::vector<cache_key>& keys) {
+  std::vector<std::shared_ptr<const query_result>> out(keys.size());
+  uint64_t hits = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < keys.size(); i++) {
+      auto it = map_.find(keys[i]);
+      if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+        out[i] = it->second->second;
+        hits++;
+      }
+    }
+  }
+  const uint64_t misses = keys.size() - hits;
+  if (hits > 0) {
+    hits_.fetch_add(hits, std::memory_order_relaxed);
+    if (m_hits_ != nullptr) m_hits_->inc(hits);
+  }
+  if (misses > 0) {
+    misses_.fetch_add(misses, std::memory_order_relaxed);
+    if (m_misses_ != nullptr) m_misses_->inc(misses);
+  }
+  return out;
+}
+
+void result_cache::put_many(
+    std::vector<std::pair<cache_key, std::shared_ptr<const query_result>>>
+        entries) {
+  if (capacity_ == 0 || entries.empty()) return;
+  uint64_t failures = 0;
+  uint64_t evicted = 0;
+  uint64_t inserted = 0;
+  size_t size_after = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, value] : entries) {
+      if (LIGRA_FAILPOINT("cache.insert")) {
+        failures++;
+        continue;
+      }
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        it->second->second = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        continue;
+      }
+      if (lru_.size() >= capacity_) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+        evicted++;
+      }
+      lru_.emplace_front(key, std::move(value));
+      map_[key] = lru_.begin();
+      inserted++;
+    }
+    size_after = lru_.size();
+  }
+  if (failures > 0) {
+    insert_failures_.fetch_add(failures, std::memory_order_relaxed);
+    if (m_insert_failures_ != nullptr) m_insert_failures_->inc(failures);
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    if (m_evictions_ != nullptr) m_evictions_->inc(evicted);
+  }
+  if (inserted > 0) {
+    insertions_.fetch_add(inserted, std::memory_order_relaxed);
+    if (m_insertions_ != nullptr) m_insertions_->inc(inserted);
+    if (m_size_ != nullptr) m_size_->set(static_cast<int64_t>(size_after));
+  }
+}
+
 void result_cache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();

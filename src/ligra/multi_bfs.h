@@ -1,0 +1,95 @@
+// Bit-parallel multi-source BFS — the paper's Figure 6 (Radii) traversal
+// extracted into a reusable primitive (docs/ENGINE.md "Batched execution").
+//
+// Up to 64 simultaneous breadth-first searches share one pass over the
+// graph: search i's visited set is bit i of a per-vertex uint64_t, and one
+// edge relaxation propagates the whole union `visited[v] | visited[u]` at
+// once. Every cache line an edge_map round touches is amortized across the
+// full batch, which is why coalescing 64 point queries into one traversal
+// wins by an order of magnitude even on a single core — the parallelism is
+// word-level, not thread-level.
+//
+// Two entry points share the driver:
+//   * multi_bfs_sweep — per-vertex "last round my bit set grew" fold, the
+//     Radii/eccentricity estimator semantics (a vertex's estimate is the
+//     furthest sampled source that reached it).
+//   * multi_bfs_distances — batched point queries: per (source slot,
+//     target) pair, the round the source's bit first set on the target,
+//     i.e. the exact BFS hop distance. Stops as soon as every pair is
+//     resolved. This is what the engine's query coalescer fans out onto.
+//
+// The driver runs on the standard edge_map kernel (dense / sparse /
+// blocked / bitmap frontiers all apply; options pass through), polls an
+// optional cancel hook at round boundaries, and reuses caller-provided
+// working vectors across runs via multi_bfs_scratch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ligra/edge_map.h"
+
+namespace ligra {
+
+// Reusable per-run working memory: three n-sized vectors a steady-state
+// caller (one batch after another through the same dispatcher) allocates
+// once. Reset per run by the driver; contents are meaningless between runs.
+struct multi_bfs_scratch {
+  std::vector<uint64_t> visited;
+  std::vector<uint64_t> next_visited;
+  std::vector<int64_t> last_reached;
+};
+
+struct multi_bfs_options {
+  // Kernel knobs for every round's traversal (strategy, blocked kernel,
+  // round scratch, stats) — same pass-through the apps take.
+  edge_map_options edge_map;
+  // Cancel/deadline polling site, called once per round before the
+  // traversal. Throwing aborts the whole run (the exception propagates).
+  std::function<void()> poll;
+  // Called after each completed round with the 1-based round index and the
+  // number of vertices whose bit sets grew. Return false to stop early —
+  // the batching layer uses this to abandon a traversal every member of
+  // which has already been settled.
+  std::function<bool(int64_t round, size_t grew)> on_round;
+  // Optional working-memory reuse (see multi_bfs_scratch).
+  multi_bfs_scratch* scratch = nullptr;
+};
+
+struct multi_bfs_result {
+  // last_reached[v] = last round in which v's bit set grew: 0 for sources,
+  // -1 for vertices no search reached. This is exactly the Radii estimate
+  // (max over sampled searches of their distance to v).
+  std::vector<int64_t> last_reached;
+  int64_t num_rounds = 0;
+  size_t num_sources = 0;
+};
+
+// One watched point query: hop distance from sources[source_slot] to
+// target.
+struct multi_bfs_pair {
+  uint32_t source_slot = 0;
+  vertex_id target = 0;
+};
+
+// Simultaneous BFS from `sources` (distinct, 1..64 of them — throws
+// std::invalid_argument otherwise, or on an out-of-range vertex), folding
+// per-vertex last-reached rounds. Runs until the shared frontier empties.
+multi_bfs_result multi_bfs_sweep(const graph& g,
+                                 const std::vector<vertex_id>& sources,
+                                 const multi_bfs_options& opts = {});
+
+// Batched point distances: out[i] = BFS hop distance from
+// sources[pairs[i].source_slot] to pairs[i].target, or -1 when
+// unreachable. Identical to running one bfs per pair, but in a single
+// traversal; stops as soon as every pair is resolved. Throws
+// std::invalid_argument on bad sources (as above), a slot >=
+// sources.size(), or an out-of-range target.
+std::vector<int64_t> multi_bfs_distances(
+    const graph& g, const std::vector<vertex_id>& sources,
+    const std::vector<multi_bfs_pair>& pairs,
+    const multi_bfs_options& opts = {});
+
+}  // namespace ligra

@@ -37,7 +37,8 @@ registry_t& reg() {
 // outside this list so a typo'd LIGRA_FAILPOINTS entry is visible instead
 // of silently never firing.
 constexpr const char* kKnownSites[] = {
-    "cache.insert",       "checkpoint.write",  "dynamic.apply.alloc",
+    "batch.fanout",       "cache.insert",      "checkpoint.write",
+    "dynamic.apply.alloc",
     "dynamic.compact",    "executor.dispatch", "graph_io.read",
     "net.accept",         "net.read",          "net.write",
     "recovery.replay",    "registry.load.alloc",

@@ -1,0 +1,415 @@
+// Tests for batched multi-source query execution (docs/ENGINE.md "Batched
+// execution"): concurrent bfs_distance queries against one graph epoch are
+// coalesced into a single bit-parallel multi-BFS, every member settles
+// individually (answers identical to the singular path), and the knobs —
+// batch_max splitting, batch_window holding, per-member cancel/deadline
+// isolation, cache interaction, single-flight dedup — behave as documented.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/query_adapters.h"
+#include "engine/executor.h"
+#include "graph/generators.h"
+#include "obs/trace_store.h"
+
+namespace e = ligra::engine;
+using namespace ligra;
+
+namespace {
+
+struct fixture {
+  e::registry reg;
+  graph social;
+
+  fixture() {
+    social = gen::rmat_graph(9, 1 << 12, /*seed=*/5);
+    reg.add("social", social);
+  }
+};
+
+e::query_request bfs_req(vertex_id source, vertex_id target,
+                         const std::string& g = "social") {
+  e::query_request q;
+  q.graph = g;
+  q.kind = e::query_kind::bfs_distance;
+  q.source = source;
+  q.target = target;
+  return q;
+}
+
+// Distinct (source, target) pairs so neither the submit-time cache probe
+// nor single-flight dedup interferes with a test that isn't about them.
+std::pair<vertex_id, vertex_id> pair_for(size_t i, vertex_id n) {
+  return {static_cast<vertex_id>((i * 13 + 1) % n),
+          static_cast<vertex_id>((i * 29 + 7) % n)};
+}
+
+// Holds the (single) dispatcher so queries pile up in the queue and get
+// coalesced deterministically. Always paired with max_concurrency=1 and
+// use_pool=false (see test_engine_executor.cc).
+struct blocker {
+  std::promise<void> release;
+  std::shared_future<void> gate{release.get_future().share()};
+  std::atomic<int> started{0};
+
+  e::query_request request(const std::string& g = "social") {
+    e::query_request q;
+    q.graph = g;
+    q.kind = e::query_kind::custom;
+    q.custom = [this](const e::graph_entry&, const e::cancel_token&) -> int64_t {
+      started.fetch_add(1);
+      gate.wait();
+      return 7;
+    };
+    return q;
+  }
+
+  void wait_started(int count) {
+    while (started.load() < count) std::this_thread::yield();
+  }
+};
+
+e::executor_options serial_opts() {
+  e::executor_options o;
+  o.max_concurrency = 1;
+  o.use_pool = false;
+  return o;
+}
+
+uint64_t ctr(e::query_executor& ex, const char* name) {
+  return ex.metrics().get_counter(name).value();
+}
+
+}  // namespace
+
+TEST(EngineBatch, BacklogCoalescesIntoOneBatchWithExactAnswers) {
+  fixture fx;
+  e::query_executor ex(fx.reg, serial_opts());
+  const vertex_id n = fx.social.num_vertices();
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  std::vector<std::future<e::query_result>> futs;
+  std::vector<std::pair<vertex_id, vertex_id>> pts;
+  for (size_t i = 0; i < 32; i++) {
+    pts.push_back(pair_for(i, n));
+    futs.push_back(ex.submit(bfs_req(pts[i].first, pts[i].second)));
+  }
+  b.release.set_value();
+  bf.get();
+
+  for (size_t i = 0; i < futs.size(); i++) {
+    auto r = futs[i].get();
+    EXPECT_EQ(r.value,
+              apps::bfs_hop_distance(fx.social, pts[i].first, pts[i].second))
+        << "member " << i;
+    EXPECT_FALSE(r.cache_hit);
+  }
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 1u);
+  EXPECT_EQ(ctr(ex, "engine_batch_members_total"), 32u);
+  EXPECT_EQ(ctr(ex, "engine_batch_dedup_total"), 0u);
+}
+
+TEST(EngineBatch, BatchMaxSplitsOverflowIntoMultipleBatches) {
+  fixture fx;
+  auto opts = serial_opts();
+  opts.batch_max = 8;
+  e::query_executor ex(fx.reg, opts);
+  const vertex_id n = fx.social.num_vertices();
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  std::vector<std::future<e::query_result>> futs;
+  for (size_t i = 0; i < 32; i++) {
+    auto [s, t] = pair_for(i, n);
+    futs.push_back(ex.submit(bfs_req(s, t)));
+  }
+  b.release.set_value();
+  bf.get();
+
+  for (size_t i = 0; i < futs.size(); i++) {
+    auto [s, t] = pair_for(i, n);
+    EXPECT_EQ(futs[i].get().value, apps::bfs_hop_distance(fx.social, s, t));
+  }
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 4u);
+  EXPECT_EQ(ctr(ex, "engine_batch_members_total"), 32u);
+}
+
+TEST(EngineBatch, WindowDispatchesEarlyWhenBatchFills) {
+  fixture fx;
+  auto opts = serial_opts();
+  opts.batch_max = 2;
+  opts.batch_window_micros = 2'000'000;  // 2s: a timeout would be visible
+  e::query_executor ex(fx.reg, opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto f1 = ex.submit(bfs_req(1, 9));
+  auto f2 = ex.submit(bfs_req(2, 17));
+  EXPECT_EQ(f1.get().value, apps::bfs_hop_distance(fx.social, 1, 9));
+  EXPECT_EQ(f2.get().value, apps::bfs_hop_distance(fx.social, 2, 17));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // The second arrival fills the batch; the dispatcher must not sleep out
+  // the full window.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 1u);
+  EXPECT_EQ(ctr(ex, "engine_batch_members_total"), 2u);
+}
+
+TEST(EngineBatch, WindowExpiryRunsLoneQuerySingularly) {
+  fixture fx;
+  auto opts = serial_opts();
+  opts.batch_window_micros = 50'000;  // 50ms
+  e::query_executor ex(fx.reg, opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = ex.submit(bfs_req(3, 200)).get();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(r.value, apps::bfs_hop_distance(fx.social, 3, 200));
+  // The window was held open (wait_until cannot time out early) ...
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+  // ... and a batch of one takes the singular path: no batch accounting.
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 0u);
+  EXPECT_EQ(ctr(ex, "engine_batch_members_total"), 0u);
+}
+
+TEST(EngineBatch, CancelledMemberDoesNotTouchSiblings) {
+  fixture fx;
+  e::query_executor ex(fx.reg, serial_opts());
+  const vertex_id n = fx.social.num_vertices();
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  e::cancel_source src;
+  std::vector<std::future<e::query_result>> futs;
+  for (size_t i = 0; i < 8; i++) {
+    auto [s, t] = pair_for(i, n);
+    auto q = bfs_req(s, t);
+    if (i == 3) q.token = src.token();
+    futs.push_back(ex.submit(std::move(q)));
+  }
+  src.request_cancel();  // trips member 3 while it sits in the queue
+  b.release.set_value();
+  bf.get();
+
+  for (size_t i = 0; i < futs.size(); i++) {
+    auto [s, t] = pair_for(i, n);
+    if (i == 3) {
+      EXPECT_THROW(futs[i].get(), e::cancelled_error);
+    } else {
+      EXPECT_EQ(futs[i].get().value, apps::bfs_hop_distance(fx.social, s, t))
+          << "member " << i;
+    }
+  }
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 1u);
+  // The cancelled member never traversed.
+  EXPECT_EQ(ctr(ex, "engine_batch_members_total"), 7u);
+}
+
+TEST(EngineBatch, DeadlineMemberDoesNotTouchSiblings) {
+  fixture fx;
+  e::query_executor ex(fx.reg, serial_opts());
+  const vertex_id n = fx.social.num_vertices();
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  std::vector<std::future<e::query_result>> futs;
+  for (size_t i = 0; i < 8; i++) {
+    auto [s, t] = pair_for(i, n);
+    auto q = bfs_req(s, t);
+    if (i == 5) q.deadline = std::chrono::milliseconds(5);
+    futs.push_back(ex.submit(std::move(q)));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  b.release.set_value();
+  bf.get();
+
+  for (size_t i = 0; i < futs.size(); i++) {
+    auto [s, t] = pair_for(i, n);
+    if (i == 5) {
+      EXPECT_THROW(futs[i].get(), e::deadline_exceeded_error);
+    } else {
+      EXPECT_EQ(futs[i].get().value, apps::bfs_hop_distance(fx.social, s, t))
+          << "member " << i;
+    }
+  }
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 1u);
+}
+
+TEST(EngineBatch, BatchFillsCachePerMember) {
+  fixture fx;
+  e::query_executor ex(fx.reg, serial_opts());
+  const vertex_id n = fx.social.num_vertices();
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  std::vector<std::future<e::query_result>> futs;
+  for (size_t i = 0; i < 8; i++) {
+    auto [s, t] = pair_for(i, n);
+    futs.push_back(ex.submit(bfs_req(s, t)));
+  }
+  b.release.set_value();
+  bf.get();
+  for (auto& f : futs) EXPECT_FALSE(f.get().cache_hit);
+
+  // Every member's answer was inserted individually: repeats all hit at
+  // submit time, forming no second batch.
+  for (size_t i = 0; i < 8; i++) {
+    auto [s, t] = pair_for(i, n);
+    auto r = ex.submit(bfs_req(s, t)).get();
+    EXPECT_TRUE(r.cache_hit);
+    EXPECT_EQ(r.value, apps::bfs_hop_distance(fx.social, s, t));
+  }
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 1u);
+  EXPECT_GE(ex.stats().cache.hits, 8u);
+}
+
+TEST(EngineBatch, FanoutProbeServesMemberCachedAfterSubmit) {
+  fixture fx;
+  e::query_executor ex(fx.reg, serial_opts());
+  const vertex_id n = fx.social.num_vertices();
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  std::vector<std::future<e::query_result>> futs;
+  for (size_t i = 0; i < 8; i++) {
+    auto [s, t] = pair_for(i, n);
+    futs.push_back(ex.submit(bfs_req(s, t)));
+  }
+  // Member 0's key fills *after* its submit-time miss — the batched
+  // get_many probe at fan-out must serve it without a second traversal.
+  auto [s0, t0] = pair_for(0, n);
+  ex.run(bfs_req(s0, t0));
+  b.release.set_value();
+  bf.get();
+
+  EXPECT_TRUE(futs[0].get().cache_hit);
+  for (size_t i = 1; i < futs.size(); i++) {
+    auto [s, t] = pair_for(i, n);
+    EXPECT_EQ(futs[i].get().value, apps::bfs_hop_distance(fx.social, s, t));
+  }
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 1u);
+  EXPECT_EQ(ctr(ex, "engine_batch_members_total"), 7u);
+}
+
+TEST(EngineBatch, IdenticalMembersSingleFlightDedup) {
+  fixture fx;
+  auto opts = serial_opts();
+  opts.cache_capacity = 0;  // dedup must work without the cache's help
+  e::query_executor ex(fx.reg, opts);
+  const vertex_id n = fx.social.num_vertices();
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  std::vector<std::future<e::query_result>> futs;
+  for (size_t i = 0; i < 6; i++) futs.push_back(ex.submit(bfs_req(2, 9)));
+  for (size_t i = 0; i < 2; i++) {
+    auto [s, t] = pair_for(i + 40, n);
+    futs.push_back(ex.submit(bfs_req(s, t)));
+  }
+  b.release.set_value();
+  bf.get();
+
+  const int64_t expect29 = apps::bfs_hop_distance(fx.social, 2, 9);
+  for (size_t i = 0; i < 6; i++) EXPECT_EQ(futs[i].get().value, expect29);
+  for (size_t i = 0; i < 2; i++) {
+    auto [s, t] = pair_for(i + 40, n);
+    EXPECT_EQ(futs[6 + i].get().value,
+              apps::bfs_hop_distance(fx.social, s, t));
+  }
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 1u);
+  EXPECT_EQ(ctr(ex, "engine_batch_members_total"), 8u);
+  EXPECT_EQ(ctr(ex, "engine_batch_dedup_total"), 5u);
+}
+
+TEST(EngineBatch, BatchMaxOneDisablesCoalescing) {
+  fixture fx;
+  auto opts = serial_opts();
+  opts.batch_max = 1;
+  e::query_executor ex(fx.reg, opts);
+  const vertex_id n = fx.social.num_vertices();
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  std::vector<std::future<e::query_result>> futs;
+  for (size_t i = 0; i < 6; i++) {
+    auto [s, t] = pair_for(i, n);
+    futs.push_back(ex.submit(bfs_req(s, t)));
+  }
+  b.release.set_value();
+  bf.get();
+
+  for (size_t i = 0; i < futs.size(); i++) {
+    auto [s, t] = pair_for(i, n);
+    EXPECT_EQ(futs[i].get().value, apps::bfs_hop_distance(fx.social, s, t));
+  }
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 0u);
+  EXPECT_EQ(ctr(ex, "engine_batch_members_total"), 0u);
+}
+
+TEST(EngineBatch, MutableGraphQueriesAreNotBatched) {
+  fixture fx;
+  fx.reg.add_mutable("dyn", gen::random_graph(256, 6, /*seed=*/3));
+  e::query_executor ex(fx.reg, serial_opts());
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  auto f1 = ex.submit(bfs_req(1, 9, "dyn"));
+  auto f2 = ex.submit(bfs_req(2, 17, "dyn"));
+  b.release.set_value();
+  bf.get();
+
+  // Answers still come back (via the singular mutable-view path) ...
+  EXPECT_GE(f1.get().value, -1);
+  EXPECT_GE(f2.get().value, -1);
+  // ... but no coalescing happened: live-view traversals aren't batchable.
+  EXPECT_EQ(ctr(ex, "engine_batch_batches_total"), 0u);
+}
+
+TEST(EngineBatch, BatchedTracesCarryBatchIdAndWidth) {
+  fixture fx;
+  obs::trace_store store(64);
+  auto opts = serial_opts();
+  opts.traces = &store;
+  opts.trace_sample_rate = 1.0;  // retain every record
+  e::query_executor ex(fx.reg, opts);
+  const vertex_id n = fx.social.num_vertices();
+
+  blocker b;
+  auto bf = ex.submit(b.request());
+  b.wait_started(1);
+  std::vector<std::future<e::query_result>> futs;
+  for (size_t i = 0; i < 4; i++) {
+    auto [s, t] = pair_for(i, n);
+    futs.push_back(ex.submit(bfs_req(s, t)));
+  }
+  b.release.set_value();
+  bf.get();
+  for (auto& f : futs) f.get();
+
+  size_t stamped = 0;
+  uint64_t batch_id = 0;
+  for (const auto& rec : store.recent(0)) {
+    if (rec.kind != "bfs" || rec.batch_width == 0) continue;
+    stamped++;
+    EXPECT_EQ(rec.batch_width, 4u);
+    EXPECT_GT(rec.batch_id, 0u);
+    if (batch_id == 0) batch_id = rec.batch_id;
+    EXPECT_EQ(rec.batch_id, batch_id);  // one batch, one id
+    EXPECT_NE(rec.to_json(false).find("\"batch_width\":4"), std::string::npos);
+  }
+  EXPECT_EQ(stamped, 4u);
+}
